@@ -1,0 +1,30 @@
+//! # gpstream-apps
+//!
+//! The four scientific applications of the paper's Section IV-C, each as
+//! a stream program (authored with `gpstream-core`, compiled by
+//! `gpstream-compiler`) plus a "regular code" twin with verified-identical
+//! numeric results:
+//!
+//! * [`fem`] — streamFEM: Discontinuous-Galerkin blast-wave solver
+//!   (Euler/MHD x linear/quadratic, 4816 triangular cells);
+//! * [`cdp`] — streamCDP: WENO transport solver on 4-neighbor and
+//!   6-neighbor meshes;
+//! * [`neo`] — neo-hookean finite elasticity with 144 bytes/element of
+//!   producer-consumer intermediate streams;
+//! * [`spas`] — streamSPAS: CSR sparse matrix-vector multiply, the
+//!   paper's negative result.
+//!
+//! Input data the paper took from production Fortran codes is replaced by
+//! seeded synthetic generators in [`mesh`] (see DESIGN.md).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cdp;
+pub mod common;
+pub mod fem;
+pub mod mesh;
+pub mod neo;
+pub mod spas;
+
+pub use common::AppBench;

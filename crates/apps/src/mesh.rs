@@ -1,0 +1,360 @@
+//! Synthetic mesh and sparse-matrix generators.
+//!
+//! The paper's applications run on meshes from fluid-dynamics and solid-
+//! mechanics codes we do not have; these generators produce structurally
+//! equivalent synthetic inputs (same record sizes, neighbor counts,
+//! access randomness and nnz/row ratios) with fixed seeds so every run is
+//! reproducible. See DESIGN.md ("Substitutions").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A triangulated rectangular mesh: `2 * nx * ny` triangular cells (each
+/// grid square split into two triangles), with per-edge connectivity.
+#[derive(Debug, Clone)]
+pub struct TriMesh {
+    /// Number of cells.
+    pub n_cells: usize,
+    /// Interior edges as (left cell, right cell) pairs.
+    pub edges: Vec<(u32, u32)>,
+    /// For each cell, indices of its (up to 3) incident interior edges.
+    pub cell_edges: Vec<[u32; 3]>,
+}
+
+impl TriMesh {
+    /// Build a mesh with roughly `target_cells` triangles, visiting edges
+    /// in a shuffled (unstructured) order like a real irregular mesh file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_cells < 8`.
+    #[must_use]
+    pub fn unstructured(target_cells: usize, seed: u64) -> Self {
+        assert!(target_cells >= 8, "mesh too small");
+        let nx = ((target_cells / 2) as f64).sqrt().ceil() as usize;
+        let ny = target_cells.div_ceil(2 * nx);
+        let n_cells = 2 * nx * ny;
+        // Cells: square (i,j) -> lower triangle 2*(j*nx+i), upper +1.
+        let lower = |i: usize, j: usize| (2 * (j * nx + i)) as u32;
+        let upper = |i: usize, j: usize| (2 * (j * nx + i) + 1) as u32;
+        let mut edges = Vec::new();
+        for j in 0..ny {
+            for i in 0..nx {
+                // Diagonal edge inside the square.
+                edges.push((lower(i, j), upper(i, j)));
+                // Right neighbor: upper(i,j) - lower(i+1,j).
+                if i + 1 < nx {
+                    edges.push((upper(i, j), lower(i + 1, j)));
+                }
+                // Top neighbor: upper(i,j) - lower(i,j+1).
+                if j + 1 < ny {
+                    edges.push((upper(i, j), lower(i, j + 1)));
+                }
+            }
+        }
+        // Unstructured ordering: shuffle edges like a mesh generator's
+        // output, so edge->cell gathers are effectively random.
+        let mut rng = StdRng::seed_from_u64(seed);
+        edges.shuffle(&mut rng);
+
+        let mut cell_edges = vec![[u32::MAX; 3]; n_cells];
+        let mut fill = vec![0usize; n_cells];
+        for (e, &(l, r)) in edges.iter().enumerate() {
+            for c in [l as usize, r as usize] {
+                if fill[c] < 3 {
+                    cell_edges[c][fill[c]] = e as u32;
+                    fill[c] += 1;
+                }
+            }
+        }
+        // Boundary cells have fewer than 3 interior edges: point the spare
+        // slots at edge 0 so gathers stay in range (flux contribution of a
+        // repeated edge is deterministic in both program versions).
+        for ce in &mut cell_edges {
+            for slot in ce.iter_mut() {
+                if *slot == u32::MAX {
+                    *slot = 0;
+                }
+            }
+        }
+        TriMesh { n_cells, edges, cell_edges }
+    }
+
+    /// Left-cell index per edge.
+    #[must_use]
+    pub fn edge_left(&self) -> Arc<Vec<u32>> {
+        Arc::new(self.edges.iter().map(|&(l, _)| l).collect())
+    }
+
+    /// Right-cell index per edge.
+    #[must_use]
+    pub fn edge_right(&self) -> Arc<Vec<u32>> {
+        Arc::new(self.edges.iter().map(|&(_, r)| r).collect())
+    }
+
+    /// Flattened cell->edge indices (3 per cell).
+    #[must_use]
+    pub fn cell_edge_indices(&self) -> Arc<Vec<u32>> {
+        Arc::new(self.cell_edges.iter().flat_map(|e| e.iter().copied()).collect())
+    }
+}
+
+/// A regular grid with `k` neighbors per cell (4 = square grid, 6 = cubic
+/// mesh), used by streamCDP. Faces connect cell pairs.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Number of cells.
+    pub n_cells: usize,
+    /// Faces as (left cell, right cell).
+    pub faces: Vec<(u32, u32)>,
+    /// For each cell, its incident face indices (k per cell, padded by
+    /// repeating the first).
+    pub cell_faces: Vec<Vec<u32>>,
+    /// Neighbors per cell (4 or 6).
+    pub k: usize,
+}
+
+impl Grid {
+    /// Build a `k`-neighbor grid with roughly `target_cells` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is 4 or 6, or the grid is too small.
+    #[must_use]
+    pub fn new(target_cells: usize, k: usize, seed: u64) -> Self {
+        assert!(k == 4 || k == 6, "k must be 4 (square) or 6 (cubic)");
+        assert!(target_cells >= 16, "grid too small");
+        let dims: Vec<usize> = if k == 4 {
+            let nx = (target_cells as f64).sqrt().ceil() as usize;
+            vec![nx, target_cells.div_ceil(nx)]
+        } else {
+            let nx = (target_cells as f64).cbrt().ceil() as usize;
+            let ny = nx;
+            vec![nx, ny, target_cells.div_ceil(nx * ny)]
+        };
+        let n_cells: usize = dims.iter().product();
+        let idx = |coords: &[usize]| -> u32 {
+            let mut v = 0usize;
+            for (d, &c) in coords.iter().enumerate() {
+                v = v * dims[d] + c;
+            }
+            v as u32
+        };
+        let mut faces = Vec::new();
+        let ndim = dims.len();
+        let mut coords = vec![0usize; ndim];
+        loop {
+            for d in 0..ndim {
+                if coords[d] + 1 < dims[d] {
+                    let mut nb = coords.clone();
+                    nb[d] += 1;
+                    faces.push((idx(&coords), idx(&nb)));
+                }
+            }
+            // Increment multi-index.
+            let mut d = ndim;
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                coords[d] += 1;
+                if coords[d] < dims[d] {
+                    break;
+                }
+                coords[d] = 0;
+                if d == 0 {
+                    d = usize::MAX;
+                    break;
+                }
+            }
+            if d == usize::MAX {
+                break;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        faces.shuffle(&mut rng);
+
+        let mut cell_faces = vec![Vec::with_capacity(k); n_cells];
+        for (f, &(l, r)) in faces.iter().enumerate() {
+            cell_faces[l as usize].push(f as u32);
+            cell_faces[r as usize].push(f as u32);
+        }
+        for cf in &mut cell_faces {
+            let pad = cf.first().copied().unwrap_or(0);
+            while cf.len() < k {
+                cf.push(pad);
+            }
+            cf.truncate(k);
+        }
+        Grid { n_cells, faces, cell_faces, k }
+    }
+
+    /// Left-cell index per face.
+    #[must_use]
+    pub fn face_left(&self) -> Arc<Vec<u32>> {
+        Arc::new(self.faces.iter().map(|&(l, _)| l).collect())
+    }
+
+    /// Right-cell index per face.
+    #[must_use]
+    pub fn face_right(&self) -> Arc<Vec<u32>> {
+        Arc::new(self.faces.iter().map(|&(_, r)| r).collect())
+    }
+
+    /// Flattened cell->face indices (`k` per cell).
+    #[must_use]
+    pub fn cell_face_indices(&self) -> Arc<Vec<u32>> {
+        Arc::new(self.cell_faces.iter().flat_map(|f| f.iter().copied()).collect())
+    }
+}
+
+/// A CSR sparse matrix from a synthetic 3D-FEM-like discretization:
+/// `nnz_per_row` non-zeros per row clustered near the diagonal (like the
+/// matrices the paper takes from 3D FEM), values seeded.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    /// Number of rows (and columns).
+    pub rows: usize,
+    /// Row start offsets (length `rows + 1`).
+    pub row_ptr: Vec<u32>,
+    /// Column index per non-zero.
+    pub cols: Vec<u32>,
+    /// Value per non-zero.
+    pub vals: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build a matrix with ~`nnz_per_row` non-zeros per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0` or `nnz_per_row == 0`.
+    #[must_use]
+    pub fn fem_like(rows: usize, nnz_per_row: usize, seed: u64) -> Self {
+        assert!(rows > 0 && nnz_per_row > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0u32);
+        // FEM stencils touch nearby unknowns: draw columns from a band
+        // around the diagonal, plus a few long-range couplings.
+        let band = (nnz_per_row * 8).max(64) as i64;
+        for r in 0..rows {
+            let n = nnz_per_row + (rng.gen_range(0..=2)) - 1;
+            let mut row_cols = std::collections::BTreeSet::new();
+            row_cols.insert(r as u32);
+            while row_cols.len() < n.max(1) {
+                let c = if rng.gen_bool(0.9) {
+                    let off = rng.gen_range(-band..=band);
+                    (r as i64 + off).clamp(0, rows as i64 - 1) as u32
+                } else {
+                    rng.gen_range(0..rows as u32)
+                };
+                row_cols.insert(c);
+            }
+            for c in row_cols {
+                cols.push(c);
+                vals.push(rng.gen_range(-1.0..1.0));
+            }
+            row_ptr.push(cols.len() as u32);
+        }
+        CsrMatrix { rows, row_ptr, cols, vals }
+    }
+
+    /// Total non-zeros.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Reference sequential SpMV: `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    #[must_use]
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows);
+        let mut y = vec![0.0f32; self.rows];
+        for (r, out) in y.iter_mut().enumerate() {
+            let (a, b) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let mut acc = 0.0f32;
+            for j in a..b {
+                acc += self.vals[j] * x[self.cols[j] as usize];
+            }
+            *out = acc;
+        }
+        y
+    }
+}
+
+/// Seeded vector of `n` floats in `[-1, 1)`.
+#[must_use]
+pub fn random_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimesh_connectivity_is_consistent() {
+        let m = TriMesh::unstructured(4816, 1);
+        assert!(m.n_cells >= 4816);
+        for &(l, r) in &m.edges {
+            assert!(l != r);
+            assert!((l as usize) < m.n_cells && (r as usize) < m.n_cells);
+        }
+        let ce = m.cell_edge_indices();
+        assert_eq!(ce.len(), 3 * m.n_cells);
+        assert!(ce.iter().all(|&e| (e as usize) < m.edges.len()));
+    }
+
+    #[test]
+    fn trimesh_is_deterministic() {
+        let a = TriMesh::unstructured(512, 7);
+        let b = TriMesh::unstructured(512, 7);
+        assert_eq!(a.edges, b.edges);
+        let c = TriMesh::unstructured(512, 8);
+        assert_ne!(a.edges, c.edges, "different seed, different shuffle");
+    }
+
+    #[test]
+    fn grid_4n_and_6n() {
+        for k in [4, 6] {
+            let g = Grid::new(4096, k, 3);
+            assert!(g.n_cells >= 4096);
+            assert_eq!(g.k, k);
+            let cf = g.cell_face_indices();
+            assert_eq!(cf.len(), k * g.n_cells);
+            assert!(cf.iter().all(|&f| (f as usize) < g.faces.len()));
+        }
+    }
+
+    #[test]
+    fn csr_has_requested_density() {
+        let m = CsrMatrix::fem_like(4816, 46, 5);
+        let ratio = m.nnz() as f64 / m.rows as f64;
+        assert!((40.0..52.0).contains(&ratio), "nnz/row = {ratio:.1}");
+        assert_eq!(m.row_ptr.len(), m.rows + 1);
+        assert!(m.cols.iter().all(|&c| (c as usize) < m.rows));
+    }
+
+    #[test]
+    fn csr_spmv_identity_check() {
+        // A = I scaled: build tiny matrix by hand.
+        let m = CsrMatrix {
+            rows: 3,
+            row_ptr: vec![0, 1, 2, 3],
+            cols: vec![0, 1, 2],
+            vals: vec![2.0, 3.0, 4.0],
+        };
+        assert_eq!(m.spmv(&[1.0, 1.0, 1.0]), vec![2.0, 3.0, 4.0]);
+    }
+}

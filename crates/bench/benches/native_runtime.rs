@@ -1,0 +1,59 @@
+//! Benchmarks of the *native* two-thread work-queue runtime (real
+//! threads, real copies) — the part of the system that runs on the host
+//! rather than the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpstream_compiler::{compile, CompilerOptions};
+use gpstream_core::exec::functional::FunctionalExecutor;
+use gpstream_core::exec::native::{NativeExecutor, NativeWaitPolicy};
+use gpstream_core::GraphBuilder;
+
+fn pipeline(n: usize) -> (gpstream_core::StreamGraph, gpstream_core::World) {
+    let mut b = GraphBuilder::new();
+    let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let a = b.array("a", &data);
+    let y = b.array_zeroed::<f32>("y", n);
+    let xs = b.gather_seq("xs", a);
+    let ys = b.stream::<f32>("ys", n);
+    b.kernel("saxpyish", &[xs.id()], &[ys.id()], 8, |args| {
+        let x: Vec<f32> = args.input::<f32>(0).to_vec();
+        for (o, v) in args.output::<f32>(0).iter_mut().zip(x) {
+            *o = 2.5 * v + 1.0;
+        }
+    });
+    b.scatter_seq(ys, y);
+    b.build().unwrap()
+}
+
+fn bench_executors(c: &mut Criterion) {
+    let n = 1 << 18;
+    let (graph, world) = pipeline(n);
+    let compiled = compile(&graph, &CompilerOptions::paper()).unwrap();
+    let mut g = c.benchmark_group("native_runtime");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((n * 4) as u64));
+    g.bench_function("functional-reference", |b| {
+        b.iter(|| {
+            let mut w = world.clone();
+            FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut w)
+        });
+    });
+    for (name, policy) in
+        [("native-spin", NativeWaitPolicy::Spin), ("native-park", NativeWaitPolicy::Park)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = world.clone();
+                NativeExecutor::new().with_wait_policy(policy).run(
+                    &compiled.schedule,
+                    &compiled.graph,
+                    &mut w,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_executors);
+criterion_main!(benches);

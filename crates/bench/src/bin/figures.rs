@@ -1,0 +1,110 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage: `figures [fig5|fig6|fig8|fig9|fig11a|fig11b|fig11c|fig11d|latencies|summary|all]`
+
+use gpstream_bench as fig;
+use gpstream_compiler::CompilerOptions;
+use gpstream_core::metrics::Comparison;
+use gpstream_machine::MachineConfig;
+
+fn print_comparisons(title: &str, rows: &[Comparison]) {
+    println!("== {title} ==");
+    println!("{:<28} {:>14} {:>14} {:>8}", "case", "regular (cyc)", "stream (cyc)", "speedup");
+    for c in rows {
+        println!(
+            "{:<28} {:>14} {:>14} {:>7.2}x",
+            c.name, c.regular_cycles, c.stream_cycles, c.speedup()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let cfg = MachineConfig::prescott();
+    let copts = CompilerOptions::paper();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+
+    if all || which == "fig5" {
+        println!("== Figure 5: gather/scatter bandwidth vs record size (GB/s) ==");
+        println!("record bytes:                              4       8      16      32      64     128");
+        for s in fig::figure5(&cfg) {
+            print!("{:<40}", s.name);
+            for p in &s.points {
+                print!(" {:7.3}", p.gbps);
+            }
+            println!();
+        }
+        println!();
+    }
+    if all || which == "fig6" {
+        println!("== Figure 6: computation/memory overlap (normalized, serial in ST mode = 100) ==");
+        for b in fig::figure6(&cfg) {
+            println!("{:<32} {:6.1}", b.name, b.normalized_time);
+        }
+        println!();
+    }
+    if all || which == "fig8" {
+        println!("== Figure 8: busy-waiting impact (normalized, task alone = 100) ==");
+        for b in fig::figure8(&cfg) {
+            println!("{:<32} {:6.1}", b.name, b.normalized_time);
+        }
+        println!();
+    }
+    if all || which == "latencies" {
+        println!("== Section III-B: work-queue dispatch latencies ==");
+        for (name, cycles) in fig::dispatch_latencies(&cfg) {
+            println!("{name:<24} {cycles:>6} cycles");
+        }
+        println!();
+    }
+    if all || which == "fig9" {
+        println!("== Figure 9: micro-benchmark speedups vs COMP (COMP=1 ~ 50 cycles) ==");
+        for s in fig::figure9(&cfg, &copts) {
+            print!("{:<16}", s.name);
+            for (c, v) in &s.points {
+                print!("  COMP={c}: {v:.2}x");
+            }
+            println!();
+        }
+        println!();
+    }
+    if all || which == "fig11a" {
+        print_comparisons("Figure 11(a): streamFEM (4816 cells)", &fig::figure11a(&cfg, &copts));
+    }
+    if all || which == "fig11b" {
+        print_comparisons("Figure 11(b): streamCDP", &fig::figure11b(&cfg, &copts));
+    }
+    if all || which == "fig11c" {
+        print_comparisons("Figure 11(c): neo-hookean", &fig::figure11c(&cfg, &copts));
+    }
+    if all || which == "fig11d" {
+        print_comparisons(
+            "Figure 11(d): streamSPAS (nnz/row ~ 46)",
+            &fig::figure11d(&cfg, &copts),
+        );
+    }
+    if all || which == "single" {
+        println!("== Section III-B-2: single-context mapping overhead (single / dual cycles) ==");
+        for (name, ratio) in fig::single_vs_dual_context(&cfg, &copts) {
+            println!("{name:<16} {ratio:5.2}x slower on one context");
+        }
+        println!();
+    }
+    if all || which == "enhanced" {
+        println!("== Section V-A/VI: proposed architectural enhancements ==");
+        for (name, base, enh) in fig::enhanced_machine(&copts) {
+            println!(
+                "{name:<18} prescott {base:>10} cyc -> enhanced {enh:>10} cyc ({:.2}x)",
+                base as f64 / enh as f64
+            );
+        }
+        println!();
+    }
+    if all || which == "summary" {
+        let s = fig::summary(&cfg, &copts);
+        println!("== Headline summary (paper Section I) ==");
+        println!("micro-benchmarks: best {:.2}x, worst {:.2}x", s.micro_best, s.micro_worst);
+        println!("scientific apps:  best {:.2}x, worst {:.2}x", s.sci_best, s.sci_worst);
+    }
+}

@@ -1,0 +1,215 @@
+//! # gpstream-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation. The library exposes one function per figure
+//! returning structured (serde-serializable) data; the `figures` binary
+//! prints them in the form the paper reports; the Criterion benches
+//! under `benches/` track the same workloads.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use gpstream_apps::cdp::{cdp_bench, CONFIGS as CDP_CONFIGS};
+use gpstream_apps::fem::{fem_bench, CONFIGS as FEM_CONFIGS, PAPER_CELLS};
+use gpstream_apps::neo::neo_bench;
+use gpstream_apps::spas::{spas_bench, PAPER_NNZ_PER_ROW};
+use gpstream_compiler::CompilerOptions;
+use gpstream_core::metrics::{BandwidthSeries, Comparison, NormalizedBar};
+use gpstream_machine::ops::WaitPolicy;
+use gpstream_machine::MachineConfig;
+use gpstream_microbench::{bwprobe, kernels, overlap, spinwait};
+use serde::Serialize;
+
+/// Default seed for every figure (results are fully deterministic).
+pub const SEED: u64 = 0x6a79_2005;
+
+/// Figure 5: bandwidth curves.
+#[must_use]
+pub fn figure5(cfg: &MachineConfig) -> Vec<BandwidthSeries> {
+    bwprobe::figure5(cfg)
+}
+
+/// Figure 6: overlap scenarios, serial = 100.
+#[must_use]
+pub fn figure6(cfg: &MachineConfig) -> Vec<NormalizedBar> {
+    overlap::figure6(cfg)
+}
+
+/// Figure 8: PAUSE vs MWAIT bars, solo = 100.
+#[must_use]
+pub fn figure8(cfg: &MachineConfig) -> Vec<NormalizedBar> {
+    spinwait::figure8(cfg)
+}
+
+/// Section III-B: dispatch latencies per wait policy, in cycles.
+#[must_use]
+pub fn dispatch_latencies(cfg: &MachineConfig) -> Vec<(String, u64)> {
+    [
+        ("PAUSE spin loop", WaitPolicy::SpinPause),
+        ("MONITOR/MWAIT", WaitPolicy::Mwait),
+        ("OS block/wake", WaitPolicy::OsBlock),
+    ]
+    .into_iter()
+    .map(|(n, p)| (n.to_string(), spinwait::dispatch_latency(p, cfg)))
+    .collect()
+}
+
+/// One Figure 9 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9Series {
+    /// Micro-benchmark name.
+    pub name: String,
+    /// (COMP, speedup) points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Figure 9: micro-benchmark speedups over the COMP sweep.
+#[must_use]
+pub fn figure9(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Fig9Series> {
+    ["LD-ST-COMP", "GAT-SCAT-COMP", "PROD-CON"]
+        .into_iter()
+        .map(|name| Fig9Series {
+            name: name.to_string(),
+            points: kernels::figure9_series(
+                name,
+                &kernels::FIG9_COMPS,
+                kernels::FIG9_N,
+                copts,
+                cfg,
+            ),
+        })
+        .collect()
+}
+
+/// Figure 11(a): streamFEM speedups for the four configurations.
+#[must_use]
+pub fn figure11a(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+    FEM_CONFIGS
+        .iter()
+        .map(|&c| fem_bench(c, PAPER_CELLS, SEED).compare(copts, cfg, WaitPolicy::Mwait))
+        .collect()
+}
+
+/// Figure 11(b): streamCDP speedups for 4n/6n x 4096/8192.
+#[must_use]
+pub fn figure11b(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+    CDP_CONFIGS
+        .iter()
+        .map(|&c| cdp_bench(c, SEED).compare(copts, cfg, WaitPolicy::Mwait))
+        .collect()
+}
+
+/// Element counts swept in Figure 11(c).
+pub const FIG11C_ELEMS: [usize; 3] = [4096, 16384, 65536];
+
+/// Figure 11(c): neo-hookean speedups over element counts.
+#[must_use]
+pub fn figure11c(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+    FIG11C_ELEMS
+        .iter()
+        .map(|&n| neo_bench(n, SEED).compare(copts, cfg, WaitPolicy::Mwait))
+        .collect()
+}
+
+/// Matrix sizes (rows) swept in Figure 11(d).
+pub const FIG11D_ROWS: [usize; 4] = [2_000, 8_000, 32_000, 131_072];
+
+/// Figure 11(d): streamSPAS speedups over matrix sizes (slowdown for
+/// small, cache-friendly meshes; crossover as the mesh grows).
+#[must_use]
+pub fn figure11d(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+    FIG11D_ROWS
+        .iter()
+        .map(|&rows| {
+            spas_bench(rows, PAPER_NNZ_PER_ROW, SEED).compare(copts, cfg, WaitPolicy::Mwait)
+        })
+        .collect()
+}
+
+/// Section III-B-2: one hardware context (software-pipelined
+/// gather/kernel/scatter on a single thread) vs. the two-context
+/// mapping, per micro-benchmark at a middling COMP.
+#[must_use]
+pub fn single_vs_dual_context(
+    cfg: &MachineConfig,
+    copts: &CompilerOptions,
+) -> Vec<(String, f64)> {
+    use gpstream_core::exec::sim::SimExecutor;
+    let mut out = Vec::new();
+    for (name, mb) in [
+        ("LD-ST-COMP", gpstream_microbench::kernels::ld_st_comp(8192, 4)),
+        ("GAT-SCAT-COMP", gpstream_microbench::kernels::gat_scat_comp(8192, 4)),
+        ("PROD-CON", gpstream_microbench::kernels::prod_con(8192, 4)),
+    ] {
+        let compiled = gpstream_compiler::compile(&mb.graph, copts).expect("compiles");
+        let run = |single: bool| {
+            let mut w = mb.stream_world.clone();
+            SimExecutor::new()
+                .with_machine(cfg.clone())
+                .with_srf(copts.srf)
+                .single_context(single)
+                .run(&compiled.schedule, &compiled.graph, &mut w)
+                .timing
+                .cycles
+        };
+        let (dual, single) = (run(false), run(true));
+        out.push((name.to_string(), single as f64 / dual as f64));
+    }
+    out
+}
+
+/// Section V-A / VI: the paper's proposed architectural enhancements
+/// (more issue bandwidth, bigger TLB, cheaper walks, deeper prefetch).
+/// Returns per-benchmark stream-code cycles on the Prescott vs. the
+/// enhanced machine.
+#[must_use]
+pub fn enhanced_machine(copts: &CompilerOptions) -> Vec<(String, u64, u64)> {
+    let base = MachineConfig::prescott();
+    let enh = MachineConfig::enhanced();
+    let mut out = Vec::new();
+    for (name, mb) in [
+        ("GAT-SCAT-COMP c4", gpstream_microbench::kernels::gat_scat_comp(8192, 4)),
+        ("PROD-CON c4", gpstream_microbench::kernels::prod_con(8192, 4)),
+    ] {
+        let b = mb.compare(copts, &base, WaitPolicy::Mwait).stream_cycles;
+        let e = mb.compare(copts, &enh, WaitPolicy::Mwait).stream_cycles;
+        out.push((name.to_string(), b, e));
+    }
+    out
+}
+
+/// Headline summary (paper Section I): best/worst micro-benchmark and
+/// best scientific-application speedups.
+#[derive(Debug, Clone, Serialize)]
+pub struct Summary {
+    /// Best micro-benchmark speedup.
+    pub micro_best: f64,
+    /// Worst micro-benchmark speedup.
+    pub micro_worst: f64,
+    /// Best scientific-application speedup.
+    pub sci_best: f64,
+    /// Worst scientific-application speedup.
+    pub sci_worst: f64,
+}
+
+/// Compute the headline summary over Figures 9 and 11.
+#[must_use]
+pub fn summary(cfg: &MachineConfig, copts: &CompilerOptions) -> Summary {
+    let micro: Vec<f64> = figure9(cfg, copts)
+        .into_iter()
+        .flat_map(|s| s.points.into_iter().map(|(_, v)| v))
+        .collect();
+    let mut sci: Vec<f64> = Vec::new();
+    sci.extend(figure11a(cfg, copts).iter().map(Comparison::speedup));
+    sci.extend(figure11b(cfg, copts).iter().map(Comparison::speedup));
+    sci.extend(figure11c(cfg, copts).iter().map(Comparison::speedup));
+    sci.extend(figure11d(cfg, copts).iter().map(Comparison::speedup));
+    let fold =
+        |v: &[f64], init: f64, f: fn(f64, f64) -> f64| v.iter().copied().fold(init, f);
+    Summary {
+        micro_best: fold(&micro, f64::MIN, f64::max),
+        micro_worst: fold(&micro, f64::MAX, f64::min),
+        sci_best: fold(&sci, f64::MIN, f64::max),
+        sci_worst: fold(&sci, f64::MAX, f64::min),
+    }
+}

@@ -1,0 +1,49 @@
+//! Compiler errors.
+
+use gpstream_core::GraphError;
+use std::fmt;
+
+/// Errors produced while compiling a stream graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The graph failed structural validation.
+    Graph(GraphError),
+    /// Even a one-item strip does not fit the SRF.
+    SrfTooSmall {
+        /// Bytes needed by the smallest possible strip.
+        needed: usize,
+        /// SRF capacity in bytes.
+        capacity: usize,
+    },
+    /// The graph contains no work (no streams).
+    Empty,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Graph(e) => write!(f, "invalid stream graph: {e}"),
+            CompileError::SrfTooSmall { needed, capacity } => write!(
+                f,
+                "SRF too small: a one-item strip needs {needed} bytes but only \
+                 {capacity} are available"
+            ),
+            CompileError::Empty => write!(f, "stream graph contains no streams"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CompileError {
+    fn from(e: GraphError) -> Self {
+        CompileError::Graph(e)
+    }
+}

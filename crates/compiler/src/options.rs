@@ -1,0 +1,70 @@
+//! Compiler options.
+
+use gpstream_core::SrfConfig;
+
+/// Options controlling the stream-compilation passes. The defaults enable
+/// everything the paper's hand-compilation did (Section IV-A): strip
+/// mining sized to the SRF, double buffering, kernel fusion on shared
+/// inputs, and non-temporal hints on gathers and scatters. Each knob can
+/// be disabled individually for the ablation benches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompilerOptions {
+    /// SRF placement and size the program must fit into.
+    pub srf: SrfConfig,
+    /// Force a strip size in items; `None` lets the strip-mining pass
+    /// choose the largest size whose working set fits the SRF.
+    pub strip_items: Option<usize>,
+    /// Double-buffer strips so gathers for strip `s+1` overlap kernels on
+    /// strip `s`.
+    pub double_buffer: bool,
+    /// Fuse adjacent kernels that share input streams.
+    pub fuse_kernels: bool,
+    /// Use non-temporal prefetch hints on gathers.
+    pub nt_gather: bool,
+    /// Use non-temporal store instructions on scatters.
+    pub nt_scatter: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions {
+            srf: SrfConfig::prescott(),
+            strip_items: None,
+            double_buffer: true,
+            fuse_kernels: true,
+            nt_gather: true,
+            nt_scatter: true,
+        }
+    }
+}
+
+impl CompilerOptions {
+    /// The paper's configuration (all optimizations on).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Buffers kept per stream under the current buffering mode.
+    #[must_use]
+    pub fn buffers_per_stream(&self) -> usize {
+        if self.double_buffer {
+            2
+        } else {
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = CompilerOptions::paper();
+        assert!(o.double_buffer && o.fuse_kernels && o.nt_gather && o.nt_scatter);
+        assert_eq!(o.buffers_per_stream(), 2);
+        assert_eq!(CompilerOptions { double_buffer: false, ..o }.buffers_per_stream(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Passes.
+pub mod fuse;
+pub mod schedule;
+pub mod strip;

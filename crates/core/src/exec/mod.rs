@@ -1,0 +1,127 @@
+//! Executors for scheduled stream programs.
+//!
+//! Three executors share the same functional semantics
+//! ([`execute_task`]) and differ in what else they do:
+//!
+//! * [`functional::FunctionalExecutor`] — single-threaded reference
+//!   execution, the golden result for tests.
+//! * [`sim::SimExecutor`] — functional execution **plus** a timing run on
+//!   the simulated machine: gathers/scatters become bulk ops on the memory
+//!   context, kernels run on the compute context, cross-queue dependencies
+//!   become signal/wait pairs paying the configured dispatch latency.
+//! * [`native::NativeExecutor`] — a real two-thread runtime using the
+//!   distributed work queue, for running stream programs on the host.
+
+pub mod functional;
+pub mod native;
+pub mod sim;
+
+use crate::graph::{AccessKind, KernelArgs, StreamGraph};
+use crate::srf::SrfBuffer;
+use crate::task::{PortBinding, TaskDesc, TaskKind};
+use crate::world::World;
+
+/// Copy a strip of a stream from its source array into the SRF.
+fn run_gather(binding: &PortBinding, graph: &StreamGraph, world: &World, srf: &mut SrfBuffer) {
+    let decl = graph.stream(binding.stream);
+    let src = decl.src.as_ref().expect("gather task for stream without source binding");
+    let arr = world.array(src.array);
+    let elem = decl.elem_bytes;
+    debug_assert_eq!(elem, src.field_bytes, "stream/field size mismatch");
+    let dst = srf.bytes_mut(binding.srf_offset, binding.len() * elem);
+    let data = arr.data.as_bytes();
+    for (k, i) in binding.elems.clone().enumerate() {
+        let rec = match &src.access {
+            AccessKind::Sequential => i,
+            AccessKind::Indexed(idx) => idx[i] as usize,
+        };
+        let off = rec * arr.record_bytes + src.field_offset;
+        dst[k * elem..(k + 1) * elem].copy_from_slice(&data[off..off + elem]);
+    }
+}
+
+/// Copy a strip of a stream from the SRF to its destination array.
+fn run_scatter(binding: &PortBinding, graph: &StreamGraph, world: &mut World, srf: &SrfBuffer) {
+    let decl = graph.stream(binding.stream);
+    let dst = decl.dst.as_ref().expect("scatter task for stream without destination binding");
+    let elem = decl.elem_bytes;
+    debug_assert_eq!(elem, dst.field_bytes, "stream/field size mismatch");
+    let src_bytes = srf.bytes(binding.srf_offset, binding.len() * elem).to_vec();
+    let arr = world.array_mut(dst.array);
+    let record = arr.record_bytes;
+    let data = arr.data.as_mut_bytes();
+    for (k, i) in binding.elems.clone().enumerate() {
+        let rec = match &dst.access {
+            AccessKind::Sequential => i,
+            AccessKind::Indexed(idx) => idx[i] as usize,
+        };
+        let off = rec * record + dst.field_offset;
+        data[off..off + elem].copy_from_slice(&src_bytes[k * elem..(k + 1) * elem]);
+    }
+}
+
+/// Run a kernel over one strip. Input strips are copied out of the SRF,
+/// the kernel writes into scratch buffers, and the results are copied back
+/// — mirroring the load/compute/store structure of a real kernel while
+/// keeping the borrows trivially disjoint.
+fn run_kernel(
+    kernel: crate::graph::KernelId,
+    items: &std::ops::Range<usize>,
+    inputs: &[PortBinding],
+    outputs: &[PortBinding],
+    graph: &StreamGraph,
+    srf: &mut SrfBuffer,
+) {
+    let decl = graph.kernel(kernel);
+    assert_eq!(decl.inputs.len(), inputs.len(), "kernel `{}` input arity", decl.name);
+    assert_eq!(decl.outputs.len(), outputs.len(), "kernel `{}` output arity", decl.name);
+
+    let in_bufs: Vec<Vec<u8>> = inputs
+        .iter()
+        .map(|b| {
+            let elem = graph.stream(b.stream).elem_bytes;
+            srf.bytes(b.srf_offset, b.len() * elem).to_vec()
+        })
+        .collect();
+    let mut out_bufs: Vec<Vec<u8>> = outputs
+        .iter()
+        .map(|b| {
+            let elem = graph.stream(b.stream).elem_bytes;
+            vec![0u8; b.len() * elem]
+        })
+        .collect();
+
+    {
+        let mut args = KernelArgs {
+            inputs: in_bufs.iter().map(Vec::as_slice).collect(),
+            outputs: out_bufs.iter_mut().map(Vec::as_mut_slice).collect(),
+            items: items.clone(),
+        };
+        (decl.func)(&mut args);
+    }
+
+    for (b, buf) in outputs.iter().zip(&out_bufs) {
+        srf.bytes_mut(b.srf_offset, buf.len()).copy_from_slice(buf);
+    }
+}
+
+/// Execute one task's functional semantics against `world` and `srf`.
+///
+/// # Panics
+///
+/// Panics if the task references streams, arrays or kernels inconsistent
+/// with `graph` (a compiler bug rather than a user error).
+pub fn execute_task(
+    task: &TaskDesc,
+    graph: &StreamGraph,
+    world: &mut World,
+    srf: &mut SrfBuffer,
+) {
+    match &task.kind {
+        TaskKind::Gather { binding, .. } => run_gather(binding, graph, world, srf),
+        TaskKind::Scatter { binding, .. } => run_scatter(binding, graph, world, srf),
+        TaskKind::Kernel { kernel, items, inputs, outputs } => {
+            run_kernel(*kernel, items, inputs, outputs, graph, srf);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Real two-thread executor using the distributed work queue.
+//!
+//! One OS thread plays the *memory thread* (gathers and scatters), another
+//! plays the *compute thread* (kernels), and the caller's thread is the
+//! control thread that enqueues tasks — exactly the division of labour the
+//! paper maps onto the two hyper-threading contexts. Dependencies use the
+//! bit-vector window of [`crate::workqueue`]; workers wait for readiness
+//! either by spinning with the PAUSE hint or by parking, the two policies
+//! whose trade-off Figure 8 measures.
+//!
+//! Functional effects (array contents) are identical to the reference
+//! executor; a single data mutex serializes task *bodies* (the simulator,
+//! not this runtime, is the timing vehicle — see DESIGN.md).
+
+use crate::exec::execute_task;
+use crate::graph::StreamGraph;
+use crate::srf::{SrfBuffer, SrfConfig};
+use crate::task::{ScheduledProgram, TaskId};
+use crate::workqueue::{DependencyWindow, QueuedTask};
+use crate::world::World;
+use crossbeam::queue::ArrayQueue;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+// NOTE on readiness: the bit-vector window (DependencyWindow) bounds the
+// number of in-flight tasks to 64 and is what the control thread uses for
+// admission, mirroring the paper. Worker *readiness* checks use per-task
+// completion flags rather than the mask snapshot: a mask snapshot can go
+// stale when a completed dependency's slot is recycled for a later task
+// (an ABA hazard that would deadlock a queue on itself).
+
+/// How a worker thread waits for its dependencies to clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NativeWaitPolicy {
+    /// Busy-wait with the PAUSE hint (`std::hint::spin_loop`): lowest
+    /// dispatch latency, burns a hardware context while idle.
+    Spin,
+    /// Park on a condition variable: frees the core, pays a wake-up.
+    #[default]
+    Park,
+}
+
+/// Report from a native run.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeReport {
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Tasks run by the memory thread.
+    pub memory_tasks: usize,
+    /// Tasks run by the compute thread.
+    pub compute_tasks: usize,
+}
+
+struct Shared<'a> {
+    graph: &'a StreamGraph,
+    data: Mutex<(World, SrfBuffer)>,
+    window: Mutex<DependencyWindow>,
+    pending: AtomicU64,
+    completed: Vec<AtomicBool>,
+    window_cv: Condvar,
+    done: AtomicBool,
+    program: &'a ScheduledProgram,
+}
+
+/// Two-thread work-queue executor.
+#[derive(Debug, Clone, Default)]
+pub struct NativeExecutor {
+    srf_cfg: SrfConfig,
+    policy: NativeWaitPolicy,
+}
+
+impl NativeExecutor {
+    /// Executor with the default SRF and the parking wait policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Choose the worker wait policy.
+    #[must_use]
+    pub fn with_wait_policy(mut self, policy: NativeWaitPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Use a custom SRF configuration.
+    #[must_use]
+    pub fn with_srf(mut self, cfg: SrfConfig) -> Self {
+        self.srf_cfg = cfg;
+        self
+    }
+
+    /// Execute `program` against `world` using two worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation, does not fit the SRF, or a
+    /// worker thread panics.
+    pub fn run(
+        &self,
+        program: &ScheduledProgram,
+        graph: &StreamGraph,
+        world: &mut World,
+    ) -> NativeReport {
+        program.validate().expect("scheduled program must be consistent");
+        assert!(
+            program.srf_bytes <= self.srf_cfg.capacity,
+            "program needs {} SRF bytes but only {} are configured",
+            program.srf_bytes,
+            self.srf_cfg.capacity
+        );
+
+        let shared = Shared {
+            graph,
+            data: Mutex::new((std::mem::take(world), SrfBuffer::new(self.srf_cfg))),
+            window: Mutex::new(DependencyWindow::new()),
+            pending: AtomicU64::new(0),
+            completed: (0..program.tasks.len()).map(|_| AtomicBool::new(false)).collect(),
+            window_cv: Condvar::new(),
+            done: AtomicBool::new(false),
+            program,
+        };
+        let mem_queue = ArrayQueue::<QueuedTask>::new(crate::workqueue::WINDOW);
+        let comp_queue = ArrayQueue::<QueuedTask>::new(crate::workqueue::WINDOW);
+        let policy = self.policy;
+
+        let (mem_count, comp_count) = std::thread::scope(|s| {
+            let mem_worker =
+                s.spawn(|| worker_loop(&shared, &mem_queue, policy));
+            let comp_worker =
+                s.spawn(|| worker_loop(&shared, &comp_queue, policy));
+
+            // Control thread: admit tasks into the window in order and
+            // push them to the right queue.
+            for task in &program.tasks {
+                let queued = loop {
+                    let mut w = shared.window.lock();
+                    if let Ok(slot) = w.admit(task.id) {
+                        let dep_mask = w.mask_for(&task.deps) & !(1u64 << slot);
+                        shared.pending.store(w.pending_mask(), Ordering::Release);
+                        break QueuedTask { task: task.id, slot, dep_mask };
+                    }
+                    // Window full: wait for a completion.
+                    shared.window_cv.wait(&mut w);
+                };
+                let queue = if task.kind.is_memory() { &mem_queue } else { &comp_queue };
+                let mut item = queued;
+                while let Err(back) = queue.push(item) {
+                    item = back;
+                    std::hint::spin_loop();
+                }
+            }
+            shared.done.store(true, Ordering::Release);
+            let m = mem_worker.join().expect("memory worker panicked");
+            let c = comp_worker.join().expect("compute worker panicked");
+            (m, c)
+        });
+
+        let (w, _srf) = shared.data.into_inner();
+        *world = w;
+        NativeReport {
+            tasks: program.tasks.len(),
+            memory_tasks: mem_count,
+            compute_tasks: comp_count,
+        }
+    }
+}
+
+fn worker_loop(
+    shared: &Shared<'_>,
+    queue: &ArrayQueue<QueuedTask>,
+    policy: NativeWaitPolicy,
+) -> usize {
+    let mut executed = 0usize;
+    loop {
+        let Some(item) = queue.pop() else {
+            if shared.done.load(Ordering::Acquire) && queue.is_empty() {
+                return executed;
+            }
+            // PAUSE-style spin; yield so single-core hosts make progress.
+            std::hint::spin_loop();
+            std::thread::yield_now();
+            continue;
+        };
+        let task = &shared.program.tasks[item.task.0 as usize];
+        wait_ready(shared, &task.deps, policy);
+        {
+            let mut data = shared.data.lock();
+            let (world, srf) = &mut *data;
+            execute_task(task, shared.graph, world, srf);
+        }
+        {
+            let mut w = shared.window.lock();
+            w.complete(item.task);
+            shared.completed[item.task.0 as usize].store(true, Ordering::Release);
+            shared.pending.store(w.pending_mask(), Ordering::Release);
+            shared.window_cv.notify_all();
+        }
+        executed += 1;
+    }
+}
+
+fn wait_ready(shared: &Shared<'_>, deps: &[TaskId], policy: NativeWaitPolicy) {
+    let ready = || {
+        deps.iter().all(|d| shared.completed[d.0 as usize].load(Ordering::Acquire))
+    };
+    if ready() {
+        return;
+    }
+    match policy {
+        NativeWaitPolicy::Spin => {
+            while !ready() {
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+        NativeWaitPolicy::Park => {
+            let mut w = shared.window.lock();
+            while !ready() {
+                shared.window_cv.wait(&mut w);
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Simulating executor: functional execution plus a timing run on the
+//! simulated machine.
+//!
+//! The mapping follows the paper's two-context scheme (Section III-B-2):
+//! one hardware context is dedicated to the bulk memory operations
+//! (gathers and scatters), the other runs the computation kernels (the
+//! control thread's enqueue work overlaps with the pipeline and is not
+//! separately modeled). In-queue ordering makes same-queue dependencies
+//! free; cross-queue dependencies become signal/wait pairs paying the
+//! PAUSE / MWAIT dispatch latency measured in the paper (175 / 680
+//! cycles).
+
+use crate::exec::execute_task;
+use crate::graph::{AccessKind, ArrayBinding, StreamGraph};
+use crate::srf::{SrfBuffer, SrfConfig};
+use crate::task::{PortBinding, ScheduledProgram, TaskKind};
+use crate::world::World;
+use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
+use gpstream_machine::{Machine, MachineConfig, RunResult};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Context index running computation kernels.
+pub const COMPUTE_CTX: usize = 0;
+/// Context index running bulk memory operations.
+pub const MEMORY_CTX: usize = 1;
+
+/// Report from a simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimReport {
+    /// Timing result from the machine model.
+    pub timing: RunResult,
+    /// Number of tasks executed.
+    pub tasks: usize,
+}
+
+/// Executor that runs the program functionally and on the timing model.
+#[derive(Debug, Clone)]
+pub struct SimExecutor {
+    machine_cfg: MachineConfig,
+    srf_cfg: SrfConfig,
+    wait_policy: WaitPolicy,
+    warmup: bool,
+    single_context: bool,
+}
+
+impl Default for SimExecutor {
+    fn default() -> Self {
+        SimExecutor {
+            machine_cfg: MachineConfig::prescott(),
+            srf_cfg: SrfConfig::prescott(),
+            wait_policy: WaitPolicy::Mwait,
+            warmup: false,
+            single_context: false,
+        }
+    }
+}
+
+impl SimExecutor {
+    /// An executor with the paper's machine and SRF configuration and the
+    /// MONITOR/MWAIT wait policy the paper adopted.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the machine configuration.
+    #[must_use]
+    pub fn with_machine(mut self, cfg: MachineConfig) -> Self {
+        self.machine_cfg = cfg;
+        self
+    }
+
+    /// Override the SRF configuration.
+    #[must_use]
+    pub fn with_srf(mut self, cfg: SrfConfig) -> Self {
+        self.srf_cfg = cfg;
+        self
+    }
+
+    /// Override the inter-context wait policy.
+    #[must_use]
+    pub fn with_wait_policy(mut self, policy: WaitPolicy) -> Self {
+        self.wait_policy = policy;
+        self
+    }
+
+    /// Measure a warm steady-state iteration: the timing pass runs once to
+    /// warm caches and TLBs, resets the clocks, and runs again — like the
+    /// paper's applications, which iterate for "several hundred time
+    /// steps".
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: bool) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Map everything onto a single hardware context — the paper's
+    /// fallback for processors without SMT (Section III-B-2): the gather,
+    /// kernel and scatter stages are software pipelined on one thread, so
+    /// no cross-context dispatch is paid but nothing overlaps either.
+    #[must_use]
+    pub fn single_context(mut self, single: bool) -> Self {
+        self.single_context = single;
+        self
+    }
+
+    /// The machine configuration in use.
+    #[must_use]
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.machine_cfg
+    }
+
+    /// Execute `program`: array results land in `world`, and the returned
+    /// report carries the cycle count of the two-context timing run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation or does not fit the SRF.
+    pub fn run(
+        &self,
+        program: &ScheduledProgram,
+        graph: &StreamGraph,
+        world: &mut World,
+    ) -> SimReport {
+        program.validate().expect("scheduled program must be consistent");
+        assert!(
+            program.srf_bytes <= self.srf_cfg.capacity,
+            "program needs {} SRF bytes but only {} are configured",
+            program.srf_bytes,
+            self.srf_cfg.capacity
+        );
+
+        // Functional pass (same semantics as the reference executor).
+        let mut srf = SrfBuffer::new(self.srf_cfg);
+        for task in &program.tasks {
+            execute_task(task, graph, world, &mut srf);
+        }
+
+        // Timing pass.
+        let mut machine = Machine::new(self.machine_cfg.clone());
+        machine.install_srf(self.srf_cfg.range());
+        let mut progs: [Vec<BulkOp>; 2] = [Vec::new(), Vec::new()];
+        if self.single_context {
+            progs[COMPUTE_CTX] = self.lower_single(program, graph, world);
+        } else {
+            let [compute_ops, memory_ops] = self.lower(program, graph, world);
+            progs[COMPUTE_CTX] = compute_ops;
+            progs[MEMORY_CTX] = memory_ops;
+        }
+        if self.warmup {
+            let _ = machine.run(progs.clone());
+            machine.reset_time();
+        }
+        let timing = machine.run(progs);
+        SimReport { timing, tasks: program.tasks.len() }
+    }
+
+    /// Lower the whole schedule onto one context in task order (the
+    /// single-hardware-context mapping). In-order execution subsumes all
+    /// dependencies, so no signal/wait pairs are needed.
+    fn lower_single(
+        &self,
+        program: &ScheduledProgram,
+        graph: &StreamGraph,
+        world: &World,
+    ) -> Vec<BulkOp> {
+        let [compute_ops, memory_ops] = self.lower(program, graph, world);
+        // Interleave back into task order without synchronization ops.
+        let mut ops = Vec::with_capacity(compute_ops.len() + memory_ops.len());
+        let (mut ci, mut mi) = (0usize, 0usize);
+        let strip = |v: &[BulkOp], i: &mut usize| -> Option<BulkOp> {
+            while *i < v.len() {
+                let op = v[*i].clone();
+                *i += 1;
+                match op {
+                    BulkOp::Wait { .. } | BulkOp::Signal { .. } => continue,
+                    other => return Some(other),
+                }
+            }
+            None
+        };
+        for t in &program.tasks {
+            let op = if t.kind.is_memory() {
+                strip(&memory_ops, &mut mi)
+            } else {
+                strip(&compute_ops, &mut ci)
+            };
+            if let Some(op) = op {
+                ops.push(op);
+            }
+        }
+        ops
+    }
+
+    /// Lower the schedule into per-context bulk-op streams.
+    fn lower(
+        &self,
+        program: &ScheduledProgram,
+        graph: &StreamGraph,
+        world: &World,
+    ) -> [Vec<BulkOp>; 2] {
+        // Which tasks need a completion signal (some cross-queue task
+        // depends on them)?
+        let mut signaled: HashSet<u32> = HashSet::new();
+        for t in &program.tasks {
+            for d in &t.deps {
+                let dep_is_mem = program.tasks[d.0 as usize].kind.is_memory();
+                if dep_is_mem != t.kind.is_memory() {
+                    signaled.insert(d.0);
+                }
+            }
+        }
+
+        let mut compute_ops: Vec<BulkOp> = Vec::new();
+        let mut memory_ops: Vec<BulkOp> = Vec::new();
+        for t in &program.tasks {
+            let my_mem = t.kind.is_memory();
+            let ops = if my_mem { &mut memory_ops } else { &mut compute_ops };
+            // Wait for cross-queue dependencies (same-queue order is free).
+            for d in &t.deps {
+                if program.tasks[d.0 as usize].kind.is_memory() != my_mem {
+                    ops.push(BulkOp::Wait { id: d.0, policy: self.wait_policy });
+                }
+            }
+            match &t.kind {
+                TaskKind::Gather { binding, nt } => {
+                    ops.push(BulkOp::Copy {
+                        mem: self.mem_pattern(binding, graph, world, true),
+                        srf_base: self.srf_cfg.base + binding.srf_offset as u64,
+                        dir: CopyDir::GatherToSrf,
+                        nt: *nt,
+                    });
+                }
+                TaskKind::Scatter { binding, nt } => {
+                    ops.push(BulkOp::Copy {
+                        mem: self.mem_pattern(binding, graph, world, false),
+                        srf_base: self.srf_cfg.base + binding.srf_offset as u64,
+                        dir: CopyDir::ScatterFromSrf,
+                        nt: *nt,
+                    });
+                }
+                TaskKind::Kernel { kernel, items, inputs, outputs } => {
+                    let decl = graph.kernel(*kernel);
+                    let n_items = (items.end - items.start).max(1);
+                    let mut patterns = Vec::new();
+                    for (b, rw) in inputs
+                        .iter()
+                        .map(|b| (b, Rw::Read))
+                        .chain(outputs.iter().map(|b| (b, Rw::Write)))
+                    {
+                        let total = b.len() * graph.stream(b.stream).elem_bytes;
+                        let per_item = total.div_ceil(n_items).max(1);
+                        patterns.push((
+                            AccessPattern::Seq {
+                                base: self.srf_cfg.base + b.srf_offset as u64,
+                                elem: per_item as u64,
+                                count: n_items as u64,
+                            },
+                            rw,
+                        ));
+                    }
+                    ops.push(BulkOp::Loop {
+                        patterns,
+                        uops_per_iter: decl.uops_per_item as u64,
+                        class: OpClass::Compute,
+                    });
+                }
+            }
+            if signaled.contains(&t.id.0) {
+                ops.push(BulkOp::Signal { id: t.id.0 });
+            }
+        }
+        [compute_ops, memory_ops]
+    }
+
+    /// Build the machine-level access pattern for a gather (`is_src`) or
+    /// scatter binding.
+    fn mem_pattern(
+        &self,
+        binding: &PortBinding,
+        graph: &StreamGraph,
+        world: &World,
+        is_src: bool,
+    ) -> AccessPattern {
+        let decl = graph.stream(binding.stream);
+        let ab: &ArrayBinding = if is_src {
+            decl.src.as_ref().expect("gather without source")
+        } else {
+            decl.dst.as_ref().expect("scatter without destination")
+        };
+        let arr = world.array(ab.array);
+        let record = arr.record_bytes as u64;
+        let start = binding.elems.start;
+        let count = binding.len() as u64;
+        match &ab.access {
+            AccessKind::Sequential => {
+                if ab.field_bytes == arr.record_bytes {
+                    AccessPattern::Seq {
+                        base: arr.base + start as u64 * record,
+                        elem: record,
+                        count,
+                    }
+                } else {
+                    AccessPattern::Strided {
+                        base: arr.base + start as u64 * record,
+                        record,
+                        field_offset: ab.field_offset as u64,
+                        field_bytes: ab.field_bytes as u64,
+                        count,
+                    }
+                }
+            }
+            AccessKind::Indexed(idx) => {
+                let slice: Arc<[u32]> = idx[binding.elems.clone()].to_vec().into();
+                AccessPattern::Indexed {
+                    base: arr.base,
+                    record,
+                    field_offset: ab.field_offset as u64,
+                    field_bytes: ab.field_bytes as u64,
+                    indices: slice,
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Report types for experiments (serde-serializable so the bench harness
+//! can emit JSON).
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison of a regular program against its streaming twin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Experiment label (e.g. "LD-ST-COMP COMP=4").
+    pub name: String,
+    /// Cycles of the regular (conventional) version.
+    pub regular_cycles: u64,
+    /// Cycles of the stream version.
+    pub stream_cycles: u64,
+}
+
+impl Comparison {
+    /// Speedup of the stream version (regular / stream), the paper's
+    /// headline metric.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.stream_cycles == 0 {
+            return 0.0;
+        }
+        self.regular_cycles as f64 / self.stream_cycles as f64
+    }
+}
+
+/// One point on a bandwidth curve (Figure 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthPoint {
+    /// Record size in bytes.
+    pub record_bytes: u64,
+    /// Achieved useful bandwidth in GB/s.
+    pub gbps: f64,
+}
+
+/// A named series of bandwidth points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthSeries {
+    /// Series label (e.g. "sequential load, non-temporal").
+    pub name: String,
+    /// The curve.
+    pub points: Vec<BandwidthPoint>,
+}
+
+/// One bar of a normalized-execution-time chart (Figures 6 and 8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedBar {
+    /// Bar label.
+    pub name: String,
+    /// Execution time normalized so that the baseline is 100.
+    pub normalized_time: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_math() {
+        let c = Comparison {
+            name: "x".into(),
+            regular_cycles: 150,
+            stream_cycles: 100,
+        };
+        assert!((c.speedup() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_stream_cycles_is_zero_speedup() {
+        let c = Comparison { name: "x".into(), regular_cycles: 1, stream_cycles: 0 };
+        assert_eq!(c.speedup(), 0.0);
+    }
+}

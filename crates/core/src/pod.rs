@@ -1,0 +1,211 @@
+//! Plain-old-data casting between byte buffers and typed slices.
+//!
+//! The SVM runtime moves stream data as raw bytes (exactly like a real
+//! Stream Register File); kernels view those bytes as typed slices. The
+//! [`Pod`] trait marks types for which that view is sound.
+
+/// Marker for plain-old-data types: any bit pattern is a valid value and
+/// the type has no padding.
+///
+/// # Safety
+///
+/// Implementors must guarantee the type is `#[repr(C)]` (or a primitive),
+/// contains no padding bytes, and that every bit pattern is a valid value.
+pub unsafe trait Pod: Copy + 'static {}
+
+// SAFETY: primitive numeric types satisfy all Pod requirements.
+unsafe impl Pod for u8 {}
+// SAFETY: see above.
+unsafe impl Pod for u16 {}
+// SAFETY: see above.
+unsafe impl Pod for u32 {}
+// SAFETY: see above.
+unsafe impl Pod for u64 {}
+// SAFETY: see above.
+unsafe impl Pod for i8 {}
+// SAFETY: see above.
+unsafe impl Pod for i16 {}
+// SAFETY: see above.
+unsafe impl Pod for i32 {}
+// SAFETY: see above.
+unsafe impl Pod for i64 {}
+// SAFETY: see above.
+unsafe impl Pod for f32 {}
+// SAFETY: see above.
+unsafe impl Pod for f64 {}
+
+// SAFETY: arrays of Pod are Pod (no padding between elements).
+unsafe impl<T: Pod, const N: usize> Pod for [T; N] {}
+
+/// View a byte slice as a slice of `T`.
+///
+/// # Panics
+///
+/// Panics if the slice length is not a multiple of `size_of::<T>()` or the
+/// pointer is misaligned for `T`.
+#[must_use]
+pub fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
+    let size = std::mem::size_of::<T>();
+    assert!(size > 0, "zero-sized Pod types are not supported");
+    assert_eq!(bytes.len() % size, 0, "byte length {} not a multiple of {size}", bytes.len());
+    let ptr = bytes.as_ptr();
+    assert_eq!(ptr.align_offset(std::mem::align_of::<T>()), 0, "misaligned cast");
+    // SAFETY: length and alignment checked above; T: Pod means any bytes
+    // form valid values.
+    unsafe { std::slice::from_raw_parts(ptr.cast::<T>(), bytes.len() / size) }
+}
+
+/// View a mutable byte slice as a mutable slice of `T`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`cast_slice`].
+#[must_use]
+pub fn cast_slice_mut<T: Pod>(bytes: &mut [u8]) -> &mut [T] {
+    let size = std::mem::size_of::<T>();
+    assert!(size > 0, "zero-sized Pod types are not supported");
+    assert_eq!(bytes.len() % size, 0, "byte length {} not a multiple of {size}", bytes.len());
+    let ptr = bytes.as_mut_ptr();
+    assert_eq!(ptr.align_offset(std::mem::align_of::<T>()), 0, "misaligned cast");
+    // SAFETY: length and alignment checked above; T: Pod means any bytes
+    // form valid values.
+    unsafe { std::slice::from_raw_parts_mut(ptr.cast::<T>(), bytes.len() / size) }
+}
+
+/// Copy a typed slice into a freshly allocated byte vector.
+#[must_use]
+pub fn to_bytes<T: Pod>(values: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; std::mem::size_of_val(values)];
+    // SAFETY: T: Pod has no padding; out is exactly the right length.
+    unsafe {
+        std::ptr::copy_nonoverlapping(
+            values.as_ptr().cast::<u8>(),
+            out.as_mut_ptr(),
+            out.len(),
+        );
+    }
+    out
+}
+
+/// A byte buffer guaranteed to be 16-byte aligned, so [`cast_slice`] on it
+/// is always sound for the primitive types kernels use.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AlignedBytes {
+    storage: Vec<u128>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    /// A zero-filled buffer of `len` bytes.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        AlignedBytes { storage: vec![0u128; len.div_ceil(16)], len }
+    }
+
+    /// Build from a typed slice.
+    #[must_use]
+    pub fn from_slice<T: Pod>(values: &[T]) -> Self {
+        let len = std::mem::size_of_val(values);
+        let mut buf = Self::zeroed(len);
+        // SAFETY: buf has exactly `len` writable bytes; T: Pod has no padding.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                values.as_ptr().cast::<u8>(),
+                buf.as_mut_bytes().as_mut_ptr(),
+                len,
+            );
+        }
+        buf
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: storage holds at least `len` initialized bytes.
+        unsafe { std::slice::from_raw_parts(self.storage.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// The bytes, mutably.
+    pub fn as_mut_bytes(&mut self) -> &mut [u8] {
+        // SAFETY: storage holds at least `len` initialized bytes.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.storage.as_mut_ptr().cast::<u8>(), self.len)
+        }
+    }
+
+    /// View as a typed slice.
+    #[must_use]
+    pub fn as_slice<T: Pod>(&self) -> &[T] {
+        cast_slice(self.as_bytes())
+    }
+
+    /// View as a mutable typed slice.
+    pub fn as_mut_slice<T: Pod>(&mut self) -> &mut [T] {
+        cast_slice_mut(self.as_mut_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f32() {
+        let v = [1.0f32, -2.5, 3.25];
+        let bytes = to_bytes(&v);
+        assert_eq!(bytes.len(), 12);
+        let back: &[f32] = cast_slice(&bytes);
+        assert_eq!(back, &v);
+    }
+
+    #[test]
+    fn mutate_through_cast() {
+        let mut bytes = to_bytes(&[0u32, 0, 0]);
+        cast_slice_mut::<u32>(&mut bytes)[1] = 42;
+        assert_eq!(cast_slice::<u32>(&bytes)[1], 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_length_panics() {
+        let bytes = [0u8; 7];
+        let _ = cast_slice::<u32>(&bytes);
+    }
+
+    #[test]
+    fn arrays_are_pod() {
+        let v = [[1.0f64, 2.0], [3.0, 4.0]];
+        let buf = AlignedBytes::from_slice(&v);
+        let back: &[[f64; 2]] = buf.as_slice();
+        assert_eq!(back, &v);
+    }
+
+    #[test]
+    fn aligned_bytes_basic() {
+        let mut b = AlignedBytes::zeroed(10);
+        assert_eq!(b.len(), 10);
+        assert!(!b.is_empty());
+        b.as_mut_bytes()[9] = 7;
+        assert_eq!(b.as_bytes()[9], 7);
+        assert!(AlignedBytes::zeroed(0).is_empty());
+    }
+
+    #[test]
+    fn aligned_bytes_typed_views() {
+        let mut b = AlignedBytes::from_slice(&[1u64, 2, 3]);
+        b.as_mut_slice::<u64>()[0] = 99;
+        assert_eq!(b.as_slice::<u64>(), &[99, 2, 3]);
+    }
+}

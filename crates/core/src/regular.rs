@@ -1,0 +1,247 @@
+//! The "regular code" execution model — the paper's baseline.
+//!
+//! A [`RegularProgram`] is the conventional (non-streaming) twin of a
+//! stream program: a sequence of loop nests in which loads, computation
+//! and stores are *intermixed* per iteration, exactly like the C code of
+//! the paper's Figure 1 compiled with `icc -O3`. Each phase carries
+//!
+//! * a functional body (a closure over the [`World`]) that computes the
+//!   real results, and
+//! * a timing specification (the per-iteration array accesses and compute
+//!   micro-ops) that is lowered to a [`BulkOp::Loop`] and run on a single
+//!   simulated hardware context.
+
+use crate::graph::{AccessKind, ArrayId};
+use crate::world::World;
+use gpstream_machine::ops::{AccessPattern, BulkOp, OpClass, Rw};
+use gpstream_machine::{Machine, MachineConfig, RunResult};
+use std::fmt;
+use std::sync::Arc;
+
+/// One per-iteration array access of a regular loop.
+#[derive(Debug, Clone)]
+pub struct RegularAccess {
+    /// The array touched.
+    pub array: ArrayId,
+    /// Visit order of records (iteration `i` touches record `i` or
+    /// `indices[i]`).
+    pub access: AccessKind,
+    /// Byte offset of the touched field within the record.
+    pub field_offset: usize,
+    /// Bytes touched per iteration.
+    pub field_bytes: usize,
+    /// Load or store.
+    pub rw: Rw,
+}
+
+impl RegularAccess {
+    /// Sequential whole-record access helper.
+    #[must_use]
+    pub fn seq(array: ArrayId, field_bytes: usize, rw: Rw) -> Self {
+        RegularAccess {
+            array,
+            access: AccessKind::Sequential,
+            field_offset: 0,
+            field_bytes,
+            rw,
+        }
+    }
+
+    /// Indexed whole-record access helper.
+    #[must_use]
+    pub fn indexed(array: ArrayId, indices: Arc<Vec<u32>>, field_bytes: usize, rw: Rw) -> Self {
+        RegularAccess {
+            array,
+            access: AccessKind::Indexed(indices),
+            field_offset: 0,
+            field_bytes,
+            rw,
+        }
+    }
+}
+
+/// One loop nest of a regular program.
+#[derive(Clone)]
+pub struct RegularPhase {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of iterations.
+    pub iters: usize,
+    /// Array accesses per iteration.
+    pub accesses: Vec<RegularAccess>,
+    /// Compute micro-ops per iteration.
+    pub uops_per_iter: usize,
+    /// Functional body: computes this loop nest's results in `world`.
+    pub body: Arc<dyn Fn(&mut World) + Send + Sync>,
+}
+
+impl fmt::Debug for RegularPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegularPhase")
+            .field("name", &self.name)
+            .field("iters", &self.iters)
+            .field("accesses", &self.accesses.len())
+            .field("uops_per_iter", &self.uops_per_iter)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A conventional program: loop nests executed in order on one context.
+#[derive(Debug, Clone, Default)]
+pub struct RegularProgram {
+    /// The loop nests, in program order.
+    pub phases: Vec<RegularPhase>,
+}
+
+impl RegularProgram {
+    /// An empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a phase.
+    pub fn phase(
+        &mut self,
+        name: &str,
+        iters: usize,
+        accesses: Vec<RegularAccess>,
+        uops_per_iter: usize,
+        body: impl Fn(&mut World) + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.phases.push(RegularPhase {
+            name: name.to_string(),
+            iters,
+            accesses,
+            uops_per_iter,
+            body: Arc::new(body),
+        });
+        self
+    }
+
+    /// Run all phase bodies against `world` (the functional result).
+    pub fn run_functional(&self, world: &mut World) {
+        for p in &self.phases {
+            (p.body)(world);
+        }
+    }
+
+    /// Lower the timing specification to machine ops.
+    #[must_use]
+    pub fn lower(&self, world: &World) -> Vec<BulkOp> {
+        let mut ops = Vec::with_capacity(self.phases.len());
+        for p in &self.phases {
+            let patterns = p
+                .accesses
+                .iter()
+                .map(|a| {
+                    let arr = world.array(a.array);
+                    let record = arr.record_bytes as u64;
+                    let pat = match &a.access {
+                        AccessKind::Sequential => {
+                            if a.field_bytes == arr.record_bytes {
+                                AccessPattern::Seq {
+                                    base: arr.base,
+                                    elem: record,
+                                    count: p.iters as u64,
+                                }
+                            } else {
+                                AccessPattern::Strided {
+                                    base: arr.base,
+                                    record,
+                                    field_offset: a.field_offset as u64,
+                                    field_bytes: a.field_bytes as u64,
+                                    count: p.iters as u64,
+                                }
+                            }
+                        }
+                        AccessKind::Indexed(idx) => {
+                            assert!(
+                                idx.len() >= p.iters,
+                                "phase `{}` index array shorter than iteration count",
+                                p.name
+                            );
+                            AccessPattern::Indexed {
+                                base: arr.base,
+                                record,
+                                field_offset: a.field_offset as u64,
+                                field_bytes: a.field_bytes as u64,
+                                indices: idx[..p.iters].to_vec().into(),
+                            }
+                        }
+                    };
+                    (pat, a.rw)
+                })
+                .collect();
+            ops.push(BulkOp::Loop {
+                patterns,
+                uops_per_iter: p.uops_per_iter as u64,
+                class: if p.uops_per_iter >= 32 { OpClass::Compute } else { OpClass::Memory },
+            });
+        }
+        ops
+    }
+
+    /// Run functionally and time on a single simulated context.
+    pub fn simulate(&self, world: &mut World, cfg: &MachineConfig) -> RunResult {
+        self.run_functional(world);
+        let ops = self.lower(world);
+        let mut machine = Machine::new(cfg.clone());
+        machine.run_single(ops)
+    }
+
+    /// Like [`RegularProgram::simulate`], but measure a warm steady-state
+    /// iteration (run once to warm caches/TLBs, reset clocks, run again).
+    pub fn simulate_warm(&self, world: &mut World, cfg: &MachineConfig) -> RunResult {
+        self.run_functional(world);
+        let ops = self.lower(world);
+        let mut machine = Machine::new(cfg.clone());
+        let _ = machine.run_single(ops.clone());
+        machine.reset_time();
+        machine.run_single(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functional_and_timing_agree_on_shape() {
+        let mut world = World::new();
+        let a = world.add_array("a", &vec![1.0f32; 1024]);
+        let y = world.add_array_zeroed::<f32>("y", 1024);
+        let mut prog = RegularProgram::new();
+        prog.phase(
+            "scale",
+            1024,
+            vec![RegularAccess::seq(a, 4, Rw::Read), RegularAccess::seq(y, 4, Rw::Write)],
+            8,
+            move |w| {
+                let src: Vec<f32> = w.slice::<f32>(a).to_vec();
+                for (o, v) in w.slice_mut::<f32>(y).iter_mut().zip(src) {
+                    *o = v * 3.0;
+                }
+            },
+        );
+        let r = prog.simulate(&mut world, &MachineConfig::prescott());
+        assert!(r.cycles > 1024, "at least one cycle per iteration");
+        assert_eq!(world.slice::<f32>(y)[7], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index array shorter")]
+    fn indexed_access_requires_enough_indices() {
+        let mut world = World::new();
+        let a = world.add_array("a", &vec![0u32; 16]);
+        let mut prog = RegularProgram::new();
+        prog.phase(
+            "bad",
+            16,
+            vec![RegularAccess::indexed(a, Arc::new(vec![0, 1]), 4, Rw::Read)],
+            1,
+            |_| {},
+        );
+        let _ = prog.lower(&world);
+    }
+}

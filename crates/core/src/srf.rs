@@ -1,0 +1,238 @@
+//! The Stream Register File mapped onto the cache.
+//!
+//! The paper pins a contiguous, cache-sized address range in the L2 and
+//! uses it as the SRF. [`SrfConfig`] describes that range (for the
+//! Prescott preset: the 1 MB L2 minus the two ways per set left for
+//! non-temporal data, i.e. 768 KB), [`SrfAllocator`] hands out strip
+//! buffers inside it, and [`SrfBuffer`] is the runtime byte storage the
+//! executors copy stream data through.
+
+use crate::pod::AlignedBytes;
+use std::fmt;
+
+/// Simulated base address of the SRF region. Kept well away from the
+/// array space (see [`crate::world::ARRAY_SPACE_BASE`]).
+pub const SRF_BASE: u64 = 0x0100_0000;
+
+/// Placement and size of the SRF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrfConfig {
+    /// Simulated base address.
+    pub base: u64,
+    /// Capacity in bytes.
+    pub capacity: usize,
+}
+
+impl SrfConfig {
+    /// The paper's configuration: the SRF fills the L2 except the ways
+    /// reserved for non-temporal data. For a 1 MB 8-way L2 with 2 reserved
+    /// ways this is 768 KB.
+    #[must_use]
+    pub fn prescott() -> Self {
+        SrfConfig { base: SRF_BASE, capacity: 768 * 1024 }
+    }
+
+    /// The simulated address range of the SRF.
+    #[must_use]
+    pub fn range(&self) -> std::ops::Range<u64> {
+        self.base..self.base + self.capacity as u64
+    }
+}
+
+impl Default for SrfConfig {
+    fn default() -> Self {
+        Self::prescott()
+    }
+}
+
+/// Error returned when the SRF cannot hold the requested buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrfOverflow {
+    /// Bytes requested by the failing allocation.
+    pub requested: usize,
+    /// Bytes still available.
+    pub available: usize,
+}
+
+impl fmt::Display for SrfOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SRF overflow: requested {} bytes with only {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for SrfOverflow {}
+
+/// Bump allocator for strip buffers inside the SRF.
+#[derive(Debug, Clone)]
+pub struct SrfAllocator {
+    cfg: SrfConfig,
+    next: usize,
+}
+
+impl SrfAllocator {
+    /// A fresh allocator over `cfg`.
+    #[must_use]
+    pub fn new(cfg: SrfConfig) -> Self {
+        SrfAllocator { cfg, next: 0 }
+    }
+
+    /// Allocate `bytes` aligned to `align`, returning the byte offset
+    /// within the SRF.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SrfOverflow`] if the SRF is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> Result<usize, SrfOverflow> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let start = self.next.div_ceil(align) * align;
+        let end = start + bytes;
+        if end > self.cfg.capacity {
+            return Err(SrfOverflow {
+                requested: bytes,
+                available: self.cfg.capacity.saturating_sub(start),
+            });
+        }
+        self.next = end;
+        Ok(start)
+    }
+
+    /// Bytes allocated so far (including alignment padding).
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.next
+    }
+
+    /// The configuration being allocated from.
+    #[must_use]
+    pub fn config(&self) -> SrfConfig {
+        self.cfg
+    }
+}
+
+/// Runtime byte storage backing the SRF.
+#[derive(Debug, Clone)]
+pub struct SrfBuffer {
+    cfg: SrfConfig,
+    data: AlignedBytes,
+}
+
+impl SrfBuffer {
+    /// Allocate zeroed storage for the whole SRF.
+    #[must_use]
+    pub fn new(cfg: SrfConfig) -> Self {
+        SrfBuffer { cfg, data: AlignedBytes::zeroed(cfg.capacity) }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> SrfConfig {
+        self.cfg
+    }
+
+    /// Bytes `[offset, offset + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the SRF capacity.
+    #[must_use]
+    pub fn bytes(&self, offset: usize, len: usize) -> &[u8] {
+        &self.data.as_bytes()[offset..offset + len]
+    }
+
+    /// Mutable bytes `[offset, offset + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the SRF capacity.
+    pub fn bytes_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
+        &mut self.data.as_mut_bytes()[offset..offset + len]
+    }
+
+    /// Two disjoint mutable ranges (for kernels reading one strip buffer
+    /// while writing another).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges overlap or exceed the capacity.
+    pub fn disjoint_mut(
+        &mut self,
+        a: (usize, usize),
+        b: (usize, usize),
+    ) -> (&mut [u8], &mut [u8]) {
+        let (a_off, a_len) = a;
+        let (b_off, b_len) = b;
+        assert!(
+            a_off + a_len <= b_off || b_off + b_len <= a_off,
+            "SRF ranges overlap: {a:?} vs {b:?}"
+        );
+        let bytes = self.data.as_mut_bytes();
+        if a_off < b_off {
+            let (lo, hi) = bytes.split_at_mut(b_off);
+            (&mut lo[a_off..a_off + a_len], &mut hi[..b_len])
+        } else {
+            let (lo, hi) = bytes.split_at_mut(a_off);
+            let (bslice, aslice) = (&mut lo[b_off..b_off + b_len], &mut hi[..a_len]);
+            (aslice, bslice)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_capacity() {
+        let mut a = SrfAllocator::new(SrfConfig { base: SRF_BASE, capacity: 1024 });
+        let x = a.alloc(100, 64).unwrap();
+        assert_eq!(x, 0);
+        let y = a.alloc(100, 64).unwrap();
+        assert_eq!(y, 128, "second buffer aligned to 64");
+        let err = a.alloc(1000, 64).unwrap_err();
+        assert!(err.available < 1000);
+    }
+
+    #[test]
+    fn prescott_srf_fits_l2_minus_nt_ways() {
+        let cfg = SrfConfig::prescott();
+        assert_eq!(cfg.capacity, 768 * 1024);
+        assert_eq!(cfg.range().end - cfg.range().start, 768 * 1024);
+    }
+
+    #[test]
+    fn buffer_round_trip() {
+        let mut buf = SrfBuffer::new(SrfConfig { base: SRF_BASE, capacity: 256 });
+        buf.bytes_mut(10, 4).copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(buf.bytes(10, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disjoint_mut_both_orders() {
+        let mut buf = SrfBuffer::new(SrfConfig { base: SRF_BASE, capacity: 64 });
+        {
+            let (a, b) = buf.disjoint_mut((0, 8), (8, 8));
+            a[0] = 1;
+            b[0] = 2;
+        }
+        {
+            let (a, b) = buf.disjoint_mut((8, 8), (0, 8));
+            assert_eq!(a[0], 2);
+            assert_eq!(b[0], 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_ranges_panic() {
+        let mut buf = SrfBuffer::new(SrfConfig { base: SRF_BASE, capacity: 64 });
+        let _ = buf.disjoint_mut((0, 10), (5, 10));
+    }
+}

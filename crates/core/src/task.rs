@@ -1,0 +1,201 @@
+//! The scheduled task list produced by the stream compiler.
+//!
+//! A [`ScheduledProgram`] is the executable form of a stream program: a
+//! software-pipelined sequence of gather / kernel / scatter tasks over
+//! strips, each carrying its SRF buffer assignment and its dependencies.
+//! It corresponds to the output of the paper's hand-compilation step
+//! (Section IV-A) and is what the control thread feeds into the
+//! distributed work queue.
+
+use crate::graph::{KernelId, StreamId};
+use std::ops::Range;
+
+/// Identifies a task within a scheduled program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// Binding of one kernel port (or copy endpoint) to an SRF strip buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortBinding {
+    /// The stream being accessed.
+    pub stream: StreamId,
+    /// Byte offset of the strip buffer within the SRF.
+    pub srf_offset: usize,
+    /// Element index range of the stream covered by this strip.
+    pub elems: Range<usize>,
+}
+
+impl PortBinding {
+    /// Number of elements in the strip.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.elems.end - self.elems.start
+    }
+
+    /// Whether the strip is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+}
+
+/// What a task does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Bulk-load a strip of a stream from global memory into the SRF.
+    Gather {
+        /// Stream strip and SRF destination.
+        binding: PortBinding,
+        /// Use non-temporal prefetch hints.
+        nt: bool,
+    },
+    /// Bulk-store a strip of a stream from the SRF to global memory.
+    Scatter {
+        /// Stream strip and SRF source.
+        binding: PortBinding,
+        /// Use non-temporal store instructions.
+        nt: bool,
+    },
+    /// Run a kernel over one strip.
+    Kernel {
+        /// Which kernel.
+        kernel: KernelId,
+        /// Logical item range of the strip.
+        items: Range<usize>,
+        /// Input port bindings (one per kernel input).
+        inputs: Vec<PortBinding>,
+        /// Output port bindings (one per kernel output).
+        outputs: Vec<PortBinding>,
+    },
+}
+
+impl TaskKind {
+    /// Whether this task belongs in the memory queue (as opposed to the
+    /// compute queue).
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(self, TaskKind::Gather { .. } | TaskKind::Scatter { .. })
+    }
+}
+
+/// One scheduled task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDesc {
+    /// Task id (position in the schedule).
+    pub id: TaskId,
+    /// What to do.
+    pub kind: TaskKind,
+    /// Tasks that must complete first.
+    pub deps: Vec<TaskId>,
+    /// Which strip this task belongs to (for diagnostics).
+    pub strip: u32,
+}
+
+/// A fully scheduled stream program.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduledProgram {
+    /// Tasks in control-thread enqueue order.
+    pub tasks: Vec<TaskDesc>,
+    /// Total SRF bytes used by the buffer assignment.
+    pub srf_bytes: usize,
+    /// Number of strips the streams were broken into.
+    pub n_strips: u32,
+    /// The strip size in items that the compiler chose.
+    pub strip_items: usize,
+}
+
+impl ScheduledProgram {
+    /// Check internal consistency: dependency ids precede their dependents
+    /// and all ids are dense.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.id.0 as usize != i {
+                return Err(format!("task {} has id {:?}", i, t.id));
+            }
+            for d in &t.deps {
+                if d.0 >= t.id.0 {
+                    return Err(format!(
+                        "task {:?} depends on later or same task {:?}",
+                        t.id, d
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of kernel tasks.
+    #[must_use]
+    pub fn kernel_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| !t.kind.is_memory()).count()
+    }
+
+    /// Number of memory (gather/scatter) tasks.
+    #[must_use]
+    pub fn memory_tasks(&self) -> usize {
+        self.tasks.iter().filter(|t| t.kind.is_memory()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gather(id: u32, deps: Vec<TaskId>) -> TaskDesc {
+        TaskDesc {
+            id: TaskId(id),
+            kind: TaskKind::Gather {
+                binding: PortBinding { stream: StreamId(0), srf_offset: 0, elems: 0..4 },
+                nt: true,
+            },
+            deps,
+            strip: 0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_forward_deps() {
+        let p = ScheduledProgram {
+            tasks: vec![gather(0, vec![]), gather(1, vec![TaskId(0)])],
+            srf_bytes: 0,
+            n_strips: 1,
+            strip_items: 4,
+        };
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_backward_deps() {
+        let p = ScheduledProgram {
+            tasks: vec![gather(0, vec![TaskId(1)]), gather(1, vec![])],
+            srf_bytes: 0,
+            n_strips: 1,
+            strip_items: 4,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn task_classification() {
+        let g = gather(0, vec![]);
+        assert!(g.kind.is_memory());
+        let k = TaskKind::Kernel {
+            kernel: KernelId(0),
+            items: 0..4,
+            inputs: vec![],
+            outputs: vec![],
+        };
+        assert!(!k.is_memory());
+    }
+
+    #[test]
+    fn port_binding_len() {
+        let b = PortBinding { stream: StreamId(0), srf_offset: 0, elems: 4..10 };
+        assert_eq!(b.len(), 6);
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The distributed work queue of Section III-B and Figure 7.
+//!
+//! Two bounded queues — one for memory tasks (gathers/scatters), one for
+//! compute tasks (kernels) — are fed by the control thread. Dependencies
+//! between in-flight tasks are encoded as *bit-vectors* over a window of
+//! at most [`WINDOW`] concurrently-enqueued tasks: each enqueued task holds
+//! a mask of the window slots it depends on, and finishing a task clears
+//! its slot bit everywhere ("setting and clearing dependence information
+//! could be performed rapidly using simple or/and instructions").
+//!
+//! [`DependencyWindow`] is the single-threaded core of that scheme; the
+//! native executor wraps it in a lock and an atomic pending mask so worker
+//! threads can test readiness without taking the lock.
+
+use crate::task::TaskId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when the 64-entry window has no free slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowFull;
+
+impl fmt::Display for WindowFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dependency window is full ({WINDOW} tasks in flight)")
+    }
+}
+
+impl std::error::Error for WindowFull {}
+
+/// Maximum number of tasks in flight, as in the paper ("we handle this
+/// problem by enqueuing at most a fixed maximum number (e.g. 64) of
+/// elements in the queue at any given time").
+pub const WINDOW: usize = 64;
+
+/// Slot-allocation and dependency-mask bookkeeping for the in-flight
+/// window.
+#[derive(Debug, Default)]
+pub struct DependencyWindow {
+    /// Bit `s` set: slot `s` holds a task that has not completed.
+    pending: u64,
+    /// Which task occupies each pending slot.
+    slot_of: HashMap<TaskId, u8>,
+}
+
+impl DependencyWindow {
+    /// An empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bitmask of in-flight (incomplete) slots.
+    #[must_use]
+    pub fn pending_mask(&self) -> u64 {
+        self.pending
+    }
+
+    /// Whether a new task can be admitted.
+    #[must_use]
+    pub fn has_room(&self) -> bool {
+        self.pending != u64::MAX
+    }
+
+    /// Admit `task` into the window, returning its slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WindowFull`] if the window is full (the control thread
+    /// must wait for a completion first).
+    pub fn admit(&mut self, task: TaskId) -> Result<u8, WindowFull> {
+        let free = (!self.pending).trailing_zeros();
+        if free >= WINDOW as u32 {
+            return Err(WindowFull);
+        }
+        let slot = free as u8;
+        self.pending |= 1u64 << slot;
+        self.slot_of.insert(task, slot);
+        Ok(slot)
+    }
+
+    /// Dependency mask for `deps`: bits of the slots still occupied by
+    /// incomplete dependencies. Dependencies that already completed (and
+    /// left the window) contribute nothing.
+    #[must_use]
+    pub fn mask_for(&self, deps: &[TaskId]) -> u64 {
+        let mut mask = 0u64;
+        for d in deps {
+            if let Some(&slot) = self.slot_of.get(d) {
+                mask |= 1u64 << slot;
+            }
+        }
+        mask
+    }
+
+    /// Mark `task` complete, freeing its slot. Returns the freed slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task was never admitted (a scheduling bug).
+    pub fn complete(&mut self, task: TaskId) -> u8 {
+        let slot = self.slot_of.remove(&task).expect("completing unknown task");
+        self.pending &= !(1u64 << slot);
+        slot
+    }
+
+    /// Is a task with dependency mask `mask` ready, given the current
+    /// pending set?
+    #[must_use]
+    pub fn is_ready(&self, mask: u64) -> bool {
+        self.pending & mask == 0
+    }
+}
+
+/// A task queued for one worker, with its resolved dependency mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedTask {
+    /// Which task to run.
+    pub task: TaskId,
+    /// Window slot the task occupies.
+    pub slot: u8,
+    /// Window slots that must clear before the task may run.
+    pub dep_mask: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_complete_cycle() {
+        let mut w = DependencyWindow::new();
+        let s0 = w.admit(TaskId(0)).unwrap();
+        let s1 = w.admit(TaskId(1)).unwrap();
+        assert_ne!(s0, s1);
+        assert_eq!(w.pending_mask().count_ones(), 2);
+        let freed = w.complete(TaskId(0));
+        assert_eq!(freed, s0);
+        assert_eq!(w.pending_mask().count_ones(), 1);
+    }
+
+    #[test]
+    fn mask_ignores_completed_deps() {
+        let mut w = DependencyWindow::new();
+        w.admit(TaskId(0)).unwrap();
+        w.admit(TaskId(1)).unwrap();
+        w.complete(TaskId(0));
+        let mask = w.mask_for(&[TaskId(0), TaskId(1)]);
+        assert_eq!(mask.count_ones(), 1, "only the still-pending dep contributes");
+        assert!(!w.is_ready(mask));
+        w.complete(TaskId(1));
+        // The mask snapshot is stale now, but the pending set cleared.
+        assert!(w.is_ready(mask));
+    }
+
+    #[test]
+    fn window_fills_at_64() {
+        let mut w = DependencyWindow::new();
+        for i in 0..WINDOW as u32 {
+            w.admit(TaskId(i)).unwrap();
+        }
+        assert!(!w.has_room());
+        assert!(w.admit(TaskId(999)).is_err());
+        w.complete(TaskId(7));
+        assert!(w.has_room());
+        let slot = w.admit(TaskId(999)).unwrap();
+        assert_eq!(slot, 7, "freed slot is reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn completing_unknown_task_panics() {
+        let mut w = DependencyWindow::new();
+        w.complete(TaskId(3));
+    }
+
+    #[test]
+    fn readiness_tracks_pending() {
+        let mut w = DependencyWindow::new();
+        w.admit(TaskId(0)).unwrap();
+        let mask = w.mask_for(&[TaskId(0)]);
+        assert!(!w.is_ready(mask));
+        w.complete(TaskId(0));
+        assert!(w.is_ready(mask));
+    }
+}

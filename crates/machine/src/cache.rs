@@ -1,0 +1,337 @@
+//! Set-associative cache model with LRU replacement, dirty lines and a
+//! non-temporal fill policy.
+//!
+//! The cache is trace-driven: [`Cache::access`] is called per line-granular
+//! reference and reports hit/miss plus any victim writeback. The paper's
+//! SRF-pinning scheme is modeled mechanically: an optional *SRF range* of
+//! physical addresses is registered, fills of SRF lines avoid the ways
+//! reserved for non-temporal data, and non-temporal fills are confined to
+//! those reserved ways so they can never evict SRF lines. Plain (non-NT)
+//! fills use ordinary LRU over all ways and therefore *can* evict the SRF —
+//! which is exactly the behaviour the paper's non-temporal hints exist to
+//! prevent.
+
+use crate::config::CacheGeometry;
+use std::ops::Range;
+
+/// Outcome of a single cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// The referenced line was present.
+    pub hit: bool,
+    /// A dirty victim line had to be written back (its base address).
+    pub writeback: Option<u64>,
+    /// The fill evicted a line belonging to the registered SRF range.
+    pub evicted_srf: bool,
+}
+
+/// Fill policy for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillPolicy {
+    /// Ordinary LRU fill over all ways.
+    Normal,
+    /// Non-temporal: fill only into the reserved NT ways, never evicting
+    /// lines outside them.
+    NonTemporal,
+    /// Do not allocate at all (non-temporal store streaming to memory).
+    NoAllocate,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU timestamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// A single cache level.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    sets: u64,
+    nt_ways: u64,
+    lines: Vec<Line>,
+    clock: u64,
+    srf: Option<Range<u64>>,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// Create a cache with `nt_ways` ways (taken from the high way indices)
+    /// reserved for non-temporal fills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nt_ways >= geom.ways` or the geometry is degenerate.
+    #[must_use]
+    pub fn new(geom: CacheGeometry, nt_ways: u64) -> Self {
+        let sets = geom.sets();
+        assert!(nt_ways < geom.ways, "must leave at least one normal way");
+        Cache {
+            geom,
+            sets,
+            nt_ways,
+            lines: vec![Line::default(); (sets * geom.ways) as usize],
+            clock: 0,
+            srf: None,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Register the address range treated as the Stream Register File.
+    /// Fills of addresses inside the range avoid the NT ways.
+    pub fn set_srf_range(&mut self, range: Option<Range<u64>>) {
+        self.srf = range;
+    }
+
+    /// The registered SRF range, if any.
+    #[must_use]
+    pub fn srf_range(&self) -> Option<&Range<u64>> {
+        self.srf.as_ref()
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    fn index_of(&self, addr: u64) -> (u64, u64) {
+        let line_addr = addr / self.geom.line;
+        let set = line_addr % self.sets;
+        let tag = line_addr / self.sets;
+        (set, tag)
+    }
+
+    fn line_base(&self, set: u64, tag: u64) -> u64 {
+        (tag * self.sets + set) * self.geom.line
+    }
+
+    fn in_srf(&self, addr: u64) -> bool {
+        self.srf.as_ref().is_some_and(|r| r.contains(&addr))
+    }
+
+    /// Reference the line containing `addr`. `write` marks the line dirty on
+    /// hit or after fill. `policy` governs allocation on a miss.
+    pub fn access(&mut self, addr: u64, write: bool, policy: FillPolicy) -> AccessOutcome {
+        self.clock += 1;
+        let (set, tag) = self.index_of(addr);
+        let base = (set * self.geom.ways) as usize;
+        let ways = self.geom.ways as usize;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.clock;
+            line.dirty |= write;
+            self.hits += 1;
+            return AccessOutcome { hit: true, writeback: None, evicted_srf: false };
+        }
+
+        self.misses += 1;
+        if policy == FillPolicy::NoAllocate {
+            return AccessOutcome { hit: false, writeback: None, evicted_srf: false };
+        }
+
+        // Choose a victim way according to the fill policy.
+        let nt_start = (self.geom.ways - self.nt_ways) as usize;
+        let candidate_range = match policy {
+            FillPolicy::NonTemporal if self.nt_ways > 0 => nt_start..ways,
+            _ => {
+                if self.in_srf(addr) && self.nt_ways > 0 {
+                    // SRF fills keep out of the ways reserved for NT data so
+                    // NT traffic and the SRF do not collide.
+                    0..nt_start
+                } else {
+                    0..ways
+                }
+            }
+        };
+        let victim_rel = {
+            let slice = &self.lines[base..base + ways];
+            let mut best = candidate_range.start;
+            let mut best_stamp = u64::MAX;
+            for w in candidate_range.clone() {
+                let l = &slice[w];
+                if !l.valid {
+                    best = w;
+                    break;
+                }
+                if l.stamp < best_stamp {
+                    best_stamp = l.stamp;
+                    best = w;
+                }
+            }
+            best
+        };
+
+        let victim = self.lines[base + victim_rel];
+        let mut writeback = None;
+        let mut evicted_srf = false;
+        if victim.valid {
+            let victim_addr = self.line_base(set, victim.tag);
+            if victim.dirty {
+                writeback = Some(victim_addr);
+            }
+            evicted_srf = self.srf.as_ref().is_some_and(|r| r.contains(&victim_addr));
+        }
+        if writeback.is_some() {
+            self.writebacks += 1;
+        }
+        let clock = self.clock;
+        let victim = &mut self.lines[base + victim_rel];
+        victim.tag = tag;
+        victim.valid = true;
+        victim.dirty = write;
+        victim.stamp = clock;
+
+        AccessOutcome { hit: false, writeback, evicted_srf }
+    }
+
+    /// Probe without updating state: is the line containing `addr` present?
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let (set, tag) = self.index_of(addr);
+        let base = (set * self.geom.ways) as usize;
+        self.lines[base..base + self.geom.ways as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidate everything (e.g. between experiments).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+    }
+
+    /// Pre-load an address range (e.g. warm the SRF into the cache),
+    /// marking lines clean.
+    pub fn warm(&mut self, range: Range<u64>) {
+        let mut addr = range.start - range.start % self.geom.line;
+        while addr < range.end {
+            let _ = self.access(addr, false, FillPolicy::Normal);
+            addr += self.geom.line;
+        }
+        // Warming should not count toward experiment statistics.
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// (hits, misses, writebacks) since construction or the last `warm`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.writebacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 4 ways x 64B lines = 1 KiB.
+        Cache::new(CacheGeometry { capacity: 1024, line: 64, ways: 4 }, 1)
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = small();
+        assert!(!c.access(0x100, false, FillPolicy::Normal).hit);
+        assert!(c.access(0x100, false, FillPolicy::Normal).hit);
+        assert!(c.access(0x13f, false, FillPolicy::Normal).hit, "same line");
+        assert!(!c.access(0x140, false, FillPolicy::Normal).hit, "next line");
+    }
+
+    #[test]
+    fn lru_eviction_and_writeback() {
+        let mut c = small();
+        // Fill all 4 ways of set 0 (addresses stride = sets*line = 256).
+        for i in 0..4u64 {
+            c.access(i * 256, true, FillPolicy::Normal);
+        }
+        // Touch line 0 so line 1 (addr 256) becomes LRU.
+        c.access(0, false, FillPolicy::Normal);
+        let out = c.access(4 * 256, false, FillPolicy::Normal);
+        assert!(!out.hit);
+        assert_eq!(out.writeback, Some(256), "dirty LRU victim written back");
+        assert!(c.contains(0));
+        assert!(!c.contains(256));
+    }
+
+    #[test]
+    fn nt_fill_confined_to_reserved_way() {
+        let mut c = small();
+        // Fill ways 0..3 of set 0 normally.
+        for i in 0..4u64 {
+            c.access(i * 256, false, FillPolicy::Normal);
+        }
+        // Two NT fills to the same set may only replace each other (and the
+        // line that happened to occupy the NT way), never the other 3 ways.
+        c.access(10 * 256, false, FillPolicy::NonTemporal);
+        c.access(11 * 256, false, FillPolicy::NonTemporal);
+        assert!(!c.contains(10 * 256), "first NT line displaced by second");
+        assert!(c.contains(11 * 256));
+        // At most one of the original lines was displaced.
+        let survivors = (0..4u64).filter(|i| c.contains(i * 256)).count();
+        assert_eq!(survivors, 3);
+    }
+
+    #[test]
+    fn srf_fills_avoid_nt_ways_and_nt_never_evicts_srf() {
+        let mut c = small();
+        c.set_srf_range(Some(0..1024));
+        // 4 SRF lines mapping to set 0: only 3 normal ways available, so one
+        // of them evicts another SRF line but the NT way stays free.
+        for i in 0..4u64 {
+            c.access(i * 256, true, FillPolicy::Normal);
+        }
+        let resident: Vec<bool> = (0..4u64).map(|i| c.contains(i * 256)).collect();
+        assert_eq!(resident.iter().filter(|r| **r).count(), 3);
+        // NT fill from outside the SRF must not evict any resident SRF line.
+        let out = c.access(100 * 256, false, FillPolicy::NonTemporal);
+        assert!(!out.evicted_srf);
+        let after: Vec<bool> = (0..4u64).map(|i| c.contains(i * 256)).collect();
+        assert_eq!(resident, after);
+    }
+
+    #[test]
+    fn normal_fill_can_evict_srf() {
+        let mut c = small();
+        c.set_srf_range(Some(0..768)); // 3 lines' worth per set at most
+        for i in 0..3u64 {
+            c.access(i * 256, true, FillPolicy::Normal);
+        }
+        // Non-NT misses from a big sweep eventually evict SRF lines.
+        let mut evicted = false;
+        for i in 10..30u64 {
+            let out = c.access(i * 256, false, FillPolicy::Normal);
+            evicted |= out.evicted_srf;
+        }
+        assert!(evicted, "plain fills must be able to evict the SRF");
+    }
+
+    #[test]
+    fn no_allocate_leaves_cache_untouched() {
+        let mut c = small();
+        c.access(0, false, FillPolicy::Normal);
+        let out = c.access(4096, true, FillPolicy::NoAllocate);
+        assert!(!out.hit);
+        assert!(!c.contains(4096));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn warm_resets_stats() {
+        let mut c = small();
+        c.warm(0..512);
+        assert_eq!(c.stats(), (0, 0, 0));
+        assert!(c.contains(0) && c.contains(448));
+    }
+}

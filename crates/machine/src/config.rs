@@ -1,0 +1,287 @@
+//! Machine configuration.
+//!
+//! All timing parameters of the simulated processor live here. The
+//! [`MachineConfig::prescott`] preset encodes the machine evaluated in the
+//! paper: a 3.4 GHz hyper-threaded Pentium 4 (Prescott core) with a 1 MB
+//! 8-way L2 cache (128-byte lines), a 6.4 GB/s front-side bus and the
+//! PAUSE / MONITOR+MWAIT inter-context communication primitives.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Associativity (ways per set).
+    pub ways: u64,
+}
+
+impl CacheGeometry {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero line size or ways, or a
+    /// capacity that is not a multiple of `line * ways`).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        assert!(self.line > 0 && self.ways > 0, "degenerate cache geometry");
+        let sets = self.capacity / (self.line * self.ways);
+        assert!(
+            sets > 0 && sets * self.line * self.ways == self.capacity,
+            "capacity must be a multiple of line * ways"
+        );
+        sets
+    }
+}
+
+/// How the two SMT contexts degrade each other, expressed as relative
+/// execution-rate factors (1.0 = no interference).
+///
+/// The paper's Figure 6 measures these directly on the Prescott core:
+/// two compute threads each run at ~0.63x of their single-thread rate,
+/// a compute thread co-running with the memory thread keeps ~0.71x, and
+/// bulk memory streams are limited by the shared bus rather than by
+/// issue slots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmtFactors {
+    /// Compute rate while the other context also computes.
+    pub comp_vs_comp: f64,
+    /// Compute rate while the other context performs bulk memory work.
+    pub comp_vs_mem: f64,
+    /// Compute rate while the other context busy-waits with PAUSE.
+    pub comp_vs_pause: f64,
+    /// Memory-side issue rate while the other context computes.
+    pub mem_vs_comp: f64,
+    /// Memory-side issue rate while the other context does memory work
+    /// (bus contention is modeled separately; this covers issue slots).
+    pub mem_vs_mem: f64,
+    /// Memory-side issue rate while the other context busy-waits with PAUSE.
+    pub mem_vs_pause: f64,
+}
+
+/// Inter-context communication (work-queue dispatch) costs, from the
+/// paper's Section III-B measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WaitCosts {
+    /// Cycles to dispatch a task to a context spinning with PAUSE.
+    pub pause_dispatch: u64,
+    /// Cycles to dispatch a task to a context sleeping in MWAIT
+    /// (includes the wake-up of the halted context).
+    pub mwait_dispatch: u64,
+    /// Cycles to dispatch via an OS-level block/wake (tens of thousands).
+    pub os_dispatch: u64,
+}
+
+/// Full configuration of the simulated machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Core clock frequency in GHz (used only to convert cycles to seconds).
+    pub freq_ghz: f64,
+    /// Sustained single-context issue rate for straight-line compute,
+    /// in micro-ops per cycle.
+    pub base_ipc: f64,
+    /// Per-element micro-op cost of a bulk copy loop iteration
+    /// (address generation + load + store + loop overhead).
+    pub copy_uops_per_elem: u64,
+    /// Extra micro-ops charged for each software prefetch instruction.
+    pub sw_prefetch_uops: u64,
+
+    /// L1 data cache geometry (loads only; stores are modeled at L2).
+    pub l1: CacheGeometry,
+    /// L1 hit latency in cycles (absorbed in issue cost for bulk ops).
+    pub l1_lat: u64,
+    /// Unified L2 cache geometry.
+    pub l2: CacheGeometry,
+    /// L2 hit latency in cycles.
+    pub l2_lat: u64,
+    /// Number of L2 ways reserved for non-temporal fills (the paper leaves
+    /// "one or two cache lines in each set" for non-SRF data).
+    pub nt_ways: u64,
+
+    /// Data TLB entries (fully associative, LRU, per context).
+    pub dtlb_entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Cycles for a hardware page-table walk (walks serialize on the
+    /// single shared walker).
+    pub walk_cycles: u64,
+
+    /// Lead latency of a memory access: cycles from bus grant to first
+    /// critical word, excluding bus occupancy.
+    pub mem_lat: u64,
+    /// Front-side-bus throughput in bytes per core cycle.
+    pub bus_bytes_per_cycle: f64,
+    /// Arbitration cycles when bus ownership switches between the two
+    /// contexts.
+    pub bus_turnaround: u64,
+
+    /// Hardware prefetcher: number of concurrently tracked streams.
+    pub hw_pf_streams: usize,
+    /// Hardware prefetcher lookahead depth in cache lines. Misses on a
+    /// detected stream are hidden up to this depth of bus pipelining.
+    pub hw_pf_depth: u64,
+    /// Software (non-temporal) prefetch lookahead depth in cache lines —
+    /// the prefetch distance the gather/scatter copy loops run ahead by.
+    pub sw_pf_depth: u64,
+    /// Maximum overlapped outstanding misses per context (miss buffers)
+    /// for accesses not covered by a prefetcher. The effective per-thread
+    /// window of a hyper-threaded Prescott is small. Bulk copy loops get
+    /// this full depth; loops with interleaved computation are limited to
+    /// one outstanding miss (the reorder window is consumed by the
+    /// computation between the loads).
+    pub mshrs: u64,
+    /// Cycles of an uncovered *store* (read-for-ownership) miss exposed to
+    /// the pipeline: store-buffer stalls hide most but not all of the fill
+    /// latency.
+    pub store_miss_exposed: u64,
+    /// Reorder-window depth in cycles: how much of an uncovered load miss
+    /// an interleaved loop can hide behind independent work.
+    pub ooo_window_cycles: u64,
+    /// Exposed cycles of a *dependent* (indexed) load that hits the L2:
+    /// pointer-chasing through the cache is not free even on a hit.
+    pub l2_dep_exposed: u64,
+
+    /// SMT interference factors.
+    pub smt: SmtFactors,
+    /// Work-queue dispatch costs per wait policy.
+    pub wait: WaitCosts,
+}
+
+impl MachineConfig {
+    /// The machine of the paper: 3.4 GHz Prescott-core Pentium 4,
+    /// hyper-threaded, 1 MB 8-way L2 with 128 B lines, 16 KB L1D,
+    /// 6.4 GB/s front side bus, 64-entry DTLB.
+    #[must_use]
+    pub fn prescott() -> Self {
+        MachineConfig {
+            freq_ghz: 3.4,
+            base_ipc: 1.0,
+            copy_uops_per_elem: 3,
+            sw_prefetch_uops: 1,
+            l1: CacheGeometry { capacity: 16 * 1024, line: 128, ways: 8 },
+            l1_lat: 4,
+            l2: CacheGeometry { capacity: 1024 * 1024, line: 128, ways: 8 },
+            l2_lat: 25,
+            nt_ways: 2,
+            dtlb_entries: 64,
+            page_bytes: 4096,
+            walk_cycles: 145,
+            mem_lat: 220,
+            // 6.4 GB/s at 3.4 GHz core clock.
+            bus_bytes_per_cycle: 6.4 / 3.4,
+            bus_turnaround: 10,
+            // The Prescott prefetcher tracks few streams effectively: the
+            // paper observes it "couldn't improve the performance of the
+            // regular code even though the data accesses for individual
+            // arrays were sequential because the data accesses were
+            // intermixed".
+            hw_pf_streams: 1,
+            hw_pf_depth: 8,
+            sw_pf_depth: 6,
+            mshrs: 2,
+            store_miss_exposed: 70,
+            ooo_window_cycles: 100,
+            l2_dep_exposed: 10,
+            smt: SmtFactors {
+                comp_vs_comp: 0.63,
+                comp_vs_mem: 0.85,
+                comp_vs_pause: 0.74,
+                mem_vs_comp: 0.90,
+                mem_vs_mem: 0.94,
+                mem_vs_pause: 0.97,
+            },
+            wait: WaitCosts { pause_dispatch: 175, mwait_dispatch: 680, os_dispatch: 30_000 },
+        }
+    }
+
+    /// The paper's proposed architectural enhancements (Section V-A /
+    /// VI): "changes to the micro-architecture like adding more
+    /// functional units and increasing TLB mapping could substantially
+    /// improve the performance of stream programs". This preset doubles
+    /// the issue rate, quadruples the DTLB reach, halves the page-walk
+    /// cost and deepens the prefetcher — the machine the authors hoped
+    /// for.
+    #[must_use]
+    pub fn enhanced() -> Self {
+        let mut cfg = Self::prescott();
+        cfg.base_ipc = 2.0;
+        cfg.dtlb_entries = 256;
+        cfg.walk_cycles = 80;
+        cfg.hw_pf_streams = 8;
+        cfg.mshrs = 8;
+        cfg
+    }
+
+    /// Cycles the bus is occupied transferring `bytes`.
+    #[must_use]
+    pub fn bus_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.bus_bytes_per_cycle).ceil() as u64
+    }
+
+    /// Convert a cycle count to seconds at the configured clock.
+    #[must_use]
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// Bandwidth in GB/s implied by moving `bytes` in `cycles`.
+    #[must_use]
+    pub fn bandwidth_gbps(&self, bytes: u64, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        bytes as f64 / self.cycles_to_secs(cycles) / 1e9
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::prescott()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prescott_geometry() {
+        let c = MachineConfig::prescott();
+        assert_eq!(c.l2.sets(), 1024);
+        assert_eq!(c.l1.sets(), 16);
+    }
+
+    #[test]
+    fn bus_cycles_rounds_up() {
+        let c = MachineConfig::prescott();
+        // One 128-byte line takes ceil(128 / 1.882) = 68 cycles.
+        assert_eq!(c.bus_cycles(128), 68);
+        assert_eq!(c.bus_cycles(0), 0);
+        assert_eq!(c.bus_cycles(1), 1);
+    }
+
+    #[test]
+    fn bandwidth_conversion() {
+        let c = MachineConfig::prescott();
+        // Moving bus_bytes_per_cycle bytes per cycle equals 6.4 GB/s.
+        let cycles = 1_000_000;
+        let bytes = (c.bus_bytes_per_cycle * cycles as f64) as u64;
+        let bw = c.bandwidth_gbps(bytes, cycles);
+        assert!((bw - 6.4).abs() < 0.01, "bw = {bw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn bad_geometry_panics() {
+        CacheGeometry { capacity: 1000, line: 128, ways: 8 }.sets();
+    }
+
+    #[test]
+    fn default_is_prescott() {
+        assert_eq!(MachineConfig::default(), MachineConfig::prescott());
+    }
+}

@@ -1,0 +1,84 @@
+//! Aggregate statistics reported by a simulation run.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory-system counters accumulated over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1 data-cache hits (loads only; stores are modeled at L2).
+    pub l1_hits: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses (lines filled from memory).
+    pub l2_misses: u64,
+    /// DTLB hits.
+    pub tlb_hits: u64,
+    /// DTLB misses (hardware page walks).
+    pub tlb_misses: u64,
+    /// Total cycles spent walking page tables (serialized on one walker).
+    pub walk_cycles: u64,
+    /// Dirty lines written back to memory.
+    pub writebacks: u64,
+    /// Fills that evicted a line belonging to the SRF range.
+    pub srf_evictions: u64,
+    /// L2 misses whose latency was hidden by the hardware prefetcher.
+    pub hw_prefetch_covered: u64,
+    /// L2 misses whose latency was hidden by software (non-temporal)
+    /// prefetching.
+    pub sw_prefetch_covered: u64,
+    /// Write-combining buffer flushes (non-temporal stores).
+    pub wc_flushes: u64,
+    /// Bytes moved over the front-side bus (fills + writebacks + NT stores).
+    pub bus_bytes: u64,
+    /// Cycles the front-side bus was occupied.
+    pub bus_busy_cycles: u64,
+}
+
+/// Result of running one or two op streams to completion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Cycle at which each context retired its last op.
+    pub ctx_cycles: [u64; 2],
+    /// Wall-clock cycles for the whole run (max over contexts).
+    pub cycles: u64,
+    /// Memory-system counters.
+    pub mem: MemStats,
+}
+
+impl RunResult {
+    /// Seconds at the given clock frequency.
+    #[must_use]
+    pub fn secs(&self, freq_ghz: f64) -> f64 {
+        self.cycles as f64 / (freq_ghz * 1e9)
+    }
+
+    /// Achieved bandwidth in GB/s for `useful_bytes` of payload.
+    #[must_use]
+    pub fn bandwidth_gbps(&self, useful_bytes: u64, freq_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        useful_bytes as f64 / self.secs(freq_ghz) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_math() {
+        let r = RunResult { ctx_cycles: [3_400_000, 0], cycles: 3_400_000, mem: MemStats::default() };
+        // 3.4M cycles at 3.4GHz = 1 ms; 1 MB in 1 ms = 1 GB/s.
+        let bw = r.bandwidth_gbps(1_000_000, 3.4);
+        assert!((bw - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_zero_bandwidth() {
+        let r = RunResult::default();
+        assert_eq!(r.bandwidth_gbps(100, 3.4), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Data TLB model.
+//!
+//! A fully-associative, LRU TLB of virtual pages. On the Pentium 4 a DTLB
+//! miss triggers a hardware page-table walk; walks serialize on the single
+//! walker, which the paper identifies as the dominant cost of random
+//! gathers/scatters ("more than missing in the cache, missing in the TLB is
+//! the dominant factor").
+
+/// A fully associative TLB with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: usize,
+    page_bytes: u64,
+    /// (page number, LRU stamp)
+    slots: Vec<(u64, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Create a TLB with `entries` slots for pages of `page_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `page_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize, page_bytes: u64) -> Self {
+        assert!(entries > 0, "TLB must have at least one entry");
+        assert!(page_bytes.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries,
+            page_bytes,
+            slots: Vec::with_capacity(entries),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translate the page containing `addr`. Returns `true` on a hit;
+    /// a miss installs the translation (the caller charges the walk).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let page = addr / self.page_bytes;
+        if let Some(slot) = self.slots.iter_mut().find(|(p, _)| *p == page) {
+            slot.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.slots.len() < self.entries {
+            self.slots.push((page, self.clock));
+        } else if let Some(lru) = self.slots.iter_mut().min_by_key(|(_, s)| *s) {
+            *lru = (page, self.clock);
+        }
+        false
+    }
+
+    /// Reach of the TLB in bytes (entries x page size).
+    #[must_use]
+    pub fn reach(&self) -> u64 {
+        self.entries as u64 * self.page_bytes
+    }
+
+    /// Drop all translations.
+    pub fn flush(&mut self) {
+        self.slots.clear();
+    }
+
+    /// (hits, misses) since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_within_page() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(0));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn lru_replacement() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // page 0 now MRU
+        t.access(2 * 4096); // evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(4096), "page 1 was the LRU victim");
+    }
+
+    #[test]
+    fn reach_and_stats() {
+        let mut t = Tlb::new(64, 4096);
+        assert_eq!(t.reach(), 256 * 1024);
+        for i in 0..128u64 {
+            t.access(i * 4096);
+        }
+        let (h, m) = t.stats();
+        assert_eq!(h, 0);
+        assert_eq!(m, 128);
+    }
+
+    #[test]
+    fn flush_forgets() {
+        let mut t = Tlb::new(4, 4096);
+        t.access(0);
+        t.flush();
+        assert!(!t.access(0));
+    }
+}

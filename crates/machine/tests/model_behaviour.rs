@@ -1,0 +1,170 @@
+//! Behavioural tests of the machine model: the microarchitectural effects
+//! the paper's evaluation depends on must emerge from the mechanisms.
+
+use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
+use gpstream_machine::{Machine, MachineConfig};
+use std::sync::Arc;
+
+fn gather(base: u64, elem: u64, count: u64, nt: bool) -> BulkOp {
+    BulkOp::Copy {
+        mem: AccessPattern::Seq { base, elem, count },
+        srf_base: 0x0100_0000,
+        dir: CopyDir::GatherToSrf,
+        nt,
+    }
+}
+
+fn random_gather(n: usize, record: u64, nt: bool) -> BulkOp {
+    let idx: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761) % n as u32).collect();
+    BulkOp::Copy {
+        mem: AccessPattern::Indexed {
+            base: 0x4000_0000,
+            record,
+            field_offset: 0,
+            field_bytes: 4,
+            indices: Arc::from(idx),
+        },
+        srf_base: 0x0100_0000,
+        dir: CopyDir::GatherToSrf,
+        nt,
+    }
+}
+
+#[test]
+fn enhanced_machine_speeds_up_random_gathers() {
+    // Paper Section V-A: "increasing TLB mapping could substantially
+    // improve the performance of stream programs."
+    let run = |cfg: MachineConfig| {
+        let mut m = Machine::new(cfg);
+        m.install_srf(0x0100_0000..0x0100_0000 + 768 * 1024);
+        m.run_single(vec![random_gather(32768, 2048, true)]).cycles
+    };
+    let base = run(MachineConfig::prescott());
+    let enh = run(MachineConfig::enhanced());
+    assert!(
+        enh * 3 < base * 2,
+        "enhanced machine must be >1.5x faster on TLB-bound gathers: {base} vs {enh}"
+    );
+}
+
+#[test]
+fn reset_time_keeps_cache_state() {
+    let mut m = Machine::new(MachineConfig::prescott());
+    let cold = m.run_single(vec![gather(0x4000_0000, 128, 4096, false)]).cycles;
+    m.reset_time();
+    // Same gather again: everything resident (512 KB fits the 1 MB L2).
+    let warm = m.run_single(vec![gather(0x4000_0000, 128, 4096, false)]).cycles;
+    assert!(warm * 2 < cold, "warm rerun must be much faster: {cold} -> {warm}");
+    let stats = m.stats();
+    assert_eq!(stats.l2_misses, 0, "no misses on the warm pass");
+}
+
+#[test]
+fn loop_misses_cost_more_than_bulk_copies() {
+    // The core claim of the paper: the same bytes cost more when the
+    // accesses to several arrays are *intermixed* in one loop (the
+    // hardware prefetcher cannot follow them) than when each array is
+    // moved in a bulk copy.
+    let n = 16 * 1024u64;
+    let bases = [0x4000_0000u64, 0x5000_0000, 0x6000_0000];
+    let copy_cycles = {
+        let mut m = Machine::new(MachineConfig::prescott());
+        m.install_srf(0x0100_0000..0x0100_0000 + 768 * 1024);
+        // Strip-sized bulk copies alternating two SRF buffers, as the
+        // compiler emits them.
+        let strip = 1024u64;
+        let mut ops = Vec::new();
+        for &b in &bases {
+            for (k, start) in (0..n).step_by(strip as usize).enumerate() {
+                let count = strip.min(n - start);
+                ops.push(BulkOp::Copy {
+                    mem: AccessPattern::Seq { base: b + start * 128, elem: 128, count },
+                    srf_base: 0x0100_0000 + (k as u64 % 2) * 128 * 1024,
+                    dir: CopyDir::GatherToSrf,
+                    nt: true,
+                });
+            }
+        }
+        m.run_single(ops).cycles
+    };
+    let loop_cycles = {
+        let mut m = Machine::new(MachineConfig::prescott());
+        let patterns = bases
+            .iter()
+            .map(|&b| (AccessPattern::Seq { base: b, elem: 128, count: n }, Rw::Read))
+            .collect();
+        m.run_single(vec![BulkOp::Loop { patterns, uops_per_iter: 4, class: OpClass::Memory }])
+            .cycles
+    };
+    assert!(
+        loop_cycles > copy_cycles,
+        "interleaved loop ({loop_cycles}) must cost more than bulk copies ({copy_cycles})"
+    );
+}
+
+#[test]
+fn nt_gather_preserves_srf_baseline_does_not() {
+    let srf = 0x0100_0000u64..0x0100_0000 + 768 * 1024;
+    let run = |nt: bool| {
+        let mut m = Machine::new(MachineConfig::prescott());
+        m.install_srf(srf.clone());
+        // Gather a strip that fits the SRF (6000 x 128 B = 750 KB).
+        let _ = m.run_single(vec![gather(0x4000_0000, 128, 6000, nt)]);
+        m.stats().srf_evictions
+    };
+    assert_eq!(run(true), 0, "non-temporal fills must never evict the SRF");
+    assert!(run(false) > 100, "plain fills must thrash the SRF");
+}
+
+#[test]
+fn os_dispatch_far_slower_than_mwait() {
+    let cfg = MachineConfig::prescott();
+    let run = |policy| {
+        let mut m = Machine::new(cfg.clone());
+        m.run([
+            vec![BulkOp::Delay { cycles: 1000 }, BulkOp::Signal { id: 1 }],
+            vec![BulkOp::Wait { id: 1, policy }],
+        ])
+        .ctx_cycles[1]
+    };
+    let mwait = run(WaitPolicy::Mwait);
+    let os = run(WaitPolicy::OsBlock);
+    assert!(os > mwait + 10_000, "OS wakeup is tens of thousands of cycles: {mwait} vs {os}");
+}
+
+#[test]
+fn write_combining_coalesces_within_lines() {
+    // Dense NT stores: one flush per 128-byte line, not per element.
+    let mut m = Machine::new(MachineConfig::prescott());
+    let _ = m.run_single(vec![BulkOp::Copy {
+        mem: AccessPattern::Seq { base: 0x4000_0000, elem: 4, count: 4096 },
+        srf_base: 0x0100_0000,
+        dir: CopyDir::ScatterFromSrf,
+        nt: true,
+    }]);
+    let flushes = m.stats().wc_flushes;
+    let lines = 4096 * 4 / 128;
+    assert!(
+        (lines..lines + 8).contains(&(flushes as usize)),
+        "expected ~{lines} write-combining flushes, got {flushes}"
+    );
+}
+
+#[test]
+fn determinism_across_runs() {
+    let mk = || {
+        let mut m = Machine::new(MachineConfig::prescott());
+        m.install_srf(0x0100_0000..0x0100_0000 + 768 * 1024);
+        m.run([
+            vec![gather(0x4000_0000, 64, 8192, true), BulkOp::Signal { id: 3 }],
+            vec![
+                BulkOp::Wait { id: 3, policy: WaitPolicy::SpinPause },
+                BulkOp::Compute { uops: 50_000 },
+            ],
+        ])
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.mem, b.mem);
+}

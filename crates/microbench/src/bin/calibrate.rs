@@ -1,0 +1,84 @@
+//! Prints all figure datasets for calibration against the paper.
+use gpstream_compiler::CompilerOptions;
+use gpstream_machine::{MachineConfig, WaitPolicy};
+use gpstream_microbench::{bwprobe, kernels, overlap, spinwait};
+
+fn main() {
+    let cfg = MachineConfig::prescott();
+    let copts = CompilerOptions::paper();
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+
+    if which == "all" || which == "fig5" {
+        println!("== Figure 5 (GB/s; rows = record size) ==");
+        for kind in bwprobe::ProbeKind::ALL {
+            print!("{:28}", kind.label());
+            for nt in [false, true] {
+                print!("  {}:", if nt { "NT" } else { "  " });
+                for r in bwprobe::RECORD_SIZES {
+                    print!(" {:7.3}", bwprobe::bandwidth(kind, r, nt, &cfg));
+                }
+            }
+            println!();
+        }
+    }
+    if which == "all" || which == "fig6" {
+        println!("== Figure 6 (normalized, serial=100) ==");
+        for bar in overlap::figure6(&cfg) {
+            println!("  {:30} {:6.1}", bar.name, bar.normalized_time);
+        }
+    }
+    if which == "all" || which == "fig8" {
+        println!("== Figure 8 (normalized, solo=100) ==");
+        for bar in spinwait::figure8(&cfg) {
+            println!("  {:30} {:6.1}", bar.name, bar.normalized_time);
+        }
+        println!("  dispatch pause={} mwait={}",
+            spinwait::dispatch_latency(WaitPolicy::SpinPause, &cfg),
+            spinwait::dispatch_latency(WaitPolicy::Mwait, &cfg));
+    }
+    if which == "detail" {
+        use gpstream_compiler::compile;
+        use gpstream_core::exec::sim::SimExecutor;
+        use gpstream_microbench::kernels::{gat_scat_comp, ld_st_comp};
+        for (nm, mb) in [("ldst", ld_st_comp(8192, 1)), ("gatscat", gat_scat_comp(8192, 1)), ("gatscat8", gat_scat_comp(8192, 8))] {
+            let cmp = mb.compare(&copts, &cfg, WaitPolicy::Mwait);
+            println!(
+                "{nm}: regular={} stream={} speedup={:.3} (per-item reg={:.1} str={:.1})",
+                cmp.regular_cycles,
+                cmp.stream_cycles,
+                cmp.speedup(),
+                cmp.regular_cycles as f64 / 8192.0,
+                cmp.stream_cycles as f64 / 8192.0
+            );
+            let compiled = compile(&mb.graph, &copts).unwrap();
+            let mut sw = mb.stream_world.clone();
+            let rep = SimExecutor::new().run(&compiled.schedule, &compiled.graph, &mut sw);
+            println!(
+                "  stream ctx=[{} {}] strips={} strip_items={} tasks={} mem={:?}",
+                rep.timing.ctx_cycles[0],
+                rep.timing.ctx_cycles[1],
+                compiled.schedule.n_strips,
+                compiled.schedule.strip_items,
+                compiled.schedule.tasks.len(),
+                rep.timing.mem
+            );
+            let mut rw = mb.regular_world.clone();
+            let rr = mb.regular.simulate(&mut rw, &cfg);
+            println!("  regular mem={:?}", rr.mem);
+        }
+    }
+    if which == "all" || which == "fig9" {
+        println!("== Figure 9 (speedup vs COMP) ==");
+        for name in ["LD-ST-COMP", "GAT-SCAT-COMP", "PROD-CON"] {
+            let series = kernels::figure9_series(name, &kernels::FIG9_COMPS, 8192, &copts, &cfg);
+            print!("  {:14}", name);
+            for (c, s) in series {
+                print!(" c{c}:{s:.2}");
+            }
+            println!();
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn detail() {}

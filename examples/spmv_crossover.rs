@@ -1,0 +1,35 @@
+//! streamSPAS: the paper's negative result. Sparse matrix-vector multiply
+//! duplicates the input vector in the SRF (one copy per non-zero), which
+//! loses to cache-friendly regular code on small matrices and crosses
+//! over as the matrix outgrows the cache and TLB.
+//!
+//! Run with: `cargo run --release --example spmv_crossover`
+
+use gpstream::apps::spas::{copy_amplification, spas_bench, PAPER_NNZ_PER_ROW};
+use gpstream::compiler::CompilerOptions;
+use gpstream::machine::{MachineConfig, WaitPolicy};
+
+fn main() {
+    let copts = CompilerOptions::paper();
+    let mcfg = MachineConfig::prescott();
+    println!(
+        "streamSPAS, nnz/row ~ {PAPER_NNZ_PER_ROW} (x is copied {:.0}x into the SRF)\n",
+        copy_amplification(8000, PAPER_NNZ_PER_ROW, 7)
+    );
+    println!("{:<10} {:>14} {:>14} {:>8}", "rows", "regular (cyc)", "stream (cyc)", "speedup");
+    for rows in [2_000usize, 8_000, 32_000, 131_072] {
+        let cmp = spas_bench(rows, PAPER_NNZ_PER_ROW, 7).compare(
+            &copts,
+            &mcfg,
+            WaitPolicy::Mwait,
+        );
+        println!(
+            "{:<10} {:>14} {:>14} {:>7.2}x{}",
+            rows,
+            cmp.regular_cycles,
+            cmp.stream_cycles,
+            cmp.speedup(),
+            if cmp.speedup() < 1.0 { "   <- streaming loses" } else { "  <- crossover" }
+        );
+    }
+}

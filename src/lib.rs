@@ -1,0 +1,23 @@
+//! # gpstream
+//!
+//! Facade crate for the reproduction of *Stream Programming on
+//! General-Purpose Processors* (Gummaraju & Rosenblum, MICRO 2005): a
+//! Stream Virtual Machine runtime mapped onto a general-purpose CPU —
+//! SRF-in-cache, non-temporal bulk gathers/scatters, a distributed work
+//! queue across two SMT contexts — plus the cycle-approximate machine
+//! model used to reproduce the paper's evaluation.
+//!
+//! Start with [`core::GraphBuilder`] to author a stream program,
+//! [`compiler::compile`] to schedule it, and the executors in
+//! [`core::exec`] to run it. See the `examples/` directory:
+//!
+//! * `quickstart` — author/compile/run a small stream program;
+//! * `fem_blast_wave` — the paper's streamFEM application end to end;
+//! * `spmv_crossover` — streamSPAS and the paper's negative result;
+//! * `native_pipeline` — the real two-thread work-queue runtime.
+
+pub use gpstream_apps as apps;
+pub use gpstream_compiler as compiler;
+pub use gpstream_core as core;
+pub use gpstream_machine as machine;
+pub use gpstream_microbench as microbench;

@@ -1,0 +1,191 @@
+//! Property-based tests on the core data structures and invariants.
+
+use gpstream::compiler::{compile, CompilerOptions};
+use gpstream::core::exec::functional::FunctionalExecutor;
+use gpstream::core::pod::{cast_slice, AlignedBytes};
+use gpstream::core::srf::{SrfAllocator, SrfConfig};
+use gpstream::core::task::TaskId;
+use gpstream::core::workqueue::{DependencyWindow, WINDOW};
+use gpstream::core::GraphBuilder;
+use gpstream::machine::cache::{Cache, FillPolicy};
+use gpstream::machine::tlb::Tlb;
+use gpstream::machine::CacheGeometry;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+proptest! {
+    /// AlignedBytes round-trips arbitrary f32 data through byte views.
+    #[test]
+    fn aligned_bytes_roundtrip(values in proptest::collection::vec(any::<f32>(), 0..200)) {
+        let buf = AlignedBytes::from_slice(&values);
+        let back: &[f32] = buf.as_slice();
+        // Compare bit patterns (NaN-safe).
+        let a: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// cast_slice never reads past the buffer and preserves length math.
+    #[test]
+    fn cast_slice_length(len in 0usize..64) {
+        let buf = AlignedBytes::zeroed(len * 8);
+        let s: &[u64] = cast_slice(buf.as_bytes());
+        prop_assert_eq!(s.len(), len);
+    }
+
+    /// The cache always reports a line as present immediately after a
+    /// caching fill, and never caches under NoAllocate.
+    #[test]
+    fn cache_fill_visibility(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..200)) {
+        let mut c = Cache::new(CacheGeometry { capacity: 8192, line: 64, ways: 4 }, 1);
+        for (i, &a) in addrs.iter().enumerate() {
+            let policy = if i % 3 == 0 { FillPolicy::NonTemporal } else { FillPolicy::Normal };
+            c.access(a, i % 2 == 0, policy);
+            prop_assert!(c.contains(a), "line must be resident right after a fill");
+        }
+        let mut c2 = Cache::new(CacheGeometry { capacity: 8192, line: 64, ways: 4 }, 1);
+        for &a in &addrs {
+            c2.access(a, false, FillPolicy::NoAllocate);
+            prop_assert!(!c2.contains(a), "NoAllocate must never cache");
+        }
+    }
+
+    /// Non-temporal fills never evict lines of the registered SRF range.
+    #[test]
+    fn nt_fills_never_evict_srf(addrs in proptest::collection::vec(1u64 << 20..1u64 << 24, 1..300)) {
+        let geom = CacheGeometry { capacity: 16384, line: 64, ways: 4 };
+        let mut c = Cache::new(geom, 1);
+        c.set_srf_range(Some(0..12288));
+        c.warm(0..12288);
+        for &a in &addrs {
+            let out = c.access(a, false, FillPolicy::NonTemporal);
+            prop_assert!(!out.evicted_srf, "NT fill evicted SRF at {a:#x}");
+        }
+    }
+
+    /// The TLB holds at most `entries` distinct pages: after touching
+    /// `entries` fresh pages, the oldest untouched page is gone.
+    #[test]
+    fn tlb_capacity_bound(pages in proptest::collection::vec(0u64..512, 1..100), entries in 1usize..32) {
+        let mut t = Tlb::new(entries, 4096);
+        for &p in &pages {
+            t.access(p * 4096);
+        }
+        // Count resident pages by probing without insertion side effects
+        // being observable: re-access each distinct page and count hits
+        // before any new insertions can evict more than `entries`.
+        let distinct: HashSet<u64> = pages.iter().copied().collect();
+        let resident = distinct
+            .iter()
+            .filter(|&&p| {
+                let mut probe = t.clone();
+                probe.access(p * 4096)
+            })
+            .count();
+        prop_assert!(resident <= entries, "{resident} pages resident in {entries}-entry TLB");
+    }
+
+    /// The dependency window never admits more than 64 tasks, reuses
+    /// freed slots, and clears masks on completion.
+    #[test]
+    fn window_invariants(ops in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let mut w = DependencyWindow::new();
+        let mut inflight: Vec<TaskId> = Vec::new();
+        let mut next = 0u32;
+        for admit in ops {
+            if admit || inflight.is_empty() {
+                if w.has_room() {
+                    let id = TaskId(next);
+                    next += 1;
+                    let slot = w.admit(id).unwrap();
+                    prop_assert!(slot < WINDOW as u8);
+                    inflight.push(id);
+                } else {
+                    prop_assert_eq!(inflight.len(), WINDOW);
+                }
+            } else {
+                let id = inflight.swap_remove(0);
+                w.complete(id);
+                prop_assert!(w.is_ready(w.mask_for(&[id])), "completed dep must clear");
+            }
+            prop_assert_eq!(w.pending_mask().count_ones() as usize, inflight.len());
+        }
+    }
+
+    /// The SRF allocator never hands out overlapping or out-of-bounds
+    /// buffers.
+    #[test]
+    fn srf_allocator_disjoint(sizes in proptest::collection::vec(1usize..5000, 1..40)) {
+        let cfg = SrfConfig { base: 0x0100_0000, capacity: 64 * 1024 };
+        let mut alloc = SrfAllocator::new(cfg);
+        let mut taken: Vec<(usize, usize)> = Vec::new();
+        for s in sizes {
+            match alloc.alloc(s, 128) {
+                Ok(off) => {
+                    prop_assert_eq!(off % 128, 0);
+                    prop_assert!(off + s <= cfg.capacity);
+                    for &(o2, s2) in &taken {
+                        prop_assert!(off + s <= o2 || o2 + s2 <= off, "overlap");
+                    }
+                    taken.push((off, s));
+                }
+                Err(e) => prop_assert!(e.requested == s),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any (n, strip, fuse, double-buffer) combination of the canonical
+    /// two-kernel pipeline compiles and computes the right answer.
+    #[test]
+    fn compiled_pipeline_always_correct(
+        n in 64usize..5000,
+        strip in prop::option::of(16usize..512),
+        fuse in any::<bool>(),
+        double in any::<bool>(),
+    ) {
+        let data: Vec<f32> = (0..n).map(|i| (i % 11) as f32).collect();
+        let idx: Vec<u32> = (0..n as u32).rev().collect();
+        let expected: Vec<f32> = (0..n)
+            .map(|i| (data[i] + 1.0) * data[idx[i] as usize])
+            .collect();
+
+        let mut b = GraphBuilder::new();
+        let a = b.array("a", &data);
+        let y = b.array_zeroed::<f32>("y", n);
+        let xs = b.gather_seq("xs", a);
+        let gs = b.gather_indexed("gs", a, Arc::new(idx));
+        let mid = b.stream::<f32>("mid", n);
+        let out = b.stream::<f32>("out", n);
+        b.kernel("inc", &[xs.id()], &[mid.id()], 2, |args| {
+            let x: Vec<f32> = args.input::<f32>(0).to_vec();
+            for (o, v) in args.output::<f32>(0).iter_mut().zip(x) {
+                *o = v + 1.0;
+            }
+        });
+        b.kernel("mul", &[mid.id(), gs.id()], &[out.id()], 2, |args| {
+            let xm: Vec<f32> = args.input::<f32>(0).to_vec();
+            let xg: Vec<f32> = args.input::<f32>(1).to_vec();
+            for (o, (vm, vg)) in args.output::<f32>(0).iter_mut().zip(xm.iter().zip(&xg)) {
+                *o = vm * vg;
+            }
+        });
+        b.scatter_seq(out, y);
+        let (graph, mut world) = b.build().unwrap();
+
+        let opts = CompilerOptions {
+            strip_items: strip,
+            fuse_kernels: fuse,
+            double_buffer: double,
+            ..CompilerOptions::paper()
+        };
+        let compiled = compile(&graph, &opts).unwrap();
+        compiled.schedule.validate().unwrap();
+        FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut world);
+        prop_assert_eq!(world.slice::<f32>(y.id()), expected.as_slice());
+    }
+}

@@ -98,9 +98,8 @@ pub fn cdp_bench(cfg: CdpConfig, seed: u64) -> AppBench {
     let fl = grid.face_left();
     let fr = grid.face_right();
     let cf = grid.cell_face_indices();
-    let cf_slots: Vec<Arc<Vec<u32>>> = (0..k)
-        .map(|s| Arc::new((0..n).map(|c| cf[k * c + s]).collect()))
-        .collect();
+    let cf_slots: Vec<Arc<Vec<u32>>> =
+        (0..k).map(|s| Arc::new((0..n).map(|c| cf[k * c + s]).collect())).collect();
 
     // ---- Stream version ----
     let mut b = GraphBuilder::new();
@@ -117,36 +116,24 @@ pub fn cdp_bench(cfg: CdpConfig, seed: u64) -> AppBench {
     let s_cells = b.gather_seq("cells", a_cells);
     let s_phi1 = b.gather_seq("phi1", a_phi);
     let s_coeff = b.stream::<f32>("coeff", n);
-    b.kernel(
-        "ComputeCell",
-        &[s_cells.id(), s_phi1.id()],
-        &[s_coeff.id()],
-        CELL_UOPS,
-        |args| {
-            let xc: Vec<Cell> = args.input::<Cell>(0).to_vec();
-            let xp: Vec<f32> = args.input::<f32>(1).to_vec();
-            for (i, o) in args.output::<f32>(0).iter_mut().enumerate() {
-                *o = cell_coeff(&xc[i], xp[i]);
-            }
-        },
-    );
+    b.kernel("ComputeCell", &[s_cells.id(), s_phi1.id()], &[s_coeff.id()], CELL_UOPS, |args| {
+        let xc: Vec<Cell> = args.input::<Cell>(0).to_vec();
+        let xp: Vec<f32> = args.input::<f32>(1).to_vec();
+        for (i, o) in args.output::<f32>(0).iter_mut().enumerate() {
+            *o = cell_coeff(&xc[i], xp[i]);
+        }
+    });
     b.scatter_seq(s_coeff, a_coeff);
     let s_cells2 = b.gather_seq("cells2", a_cells);
     let s_phi2 = b.gather_seq("phi2", a_phi);
     let s_grad = b.stream::<f32>("grad", n);
-    b.kernel(
-        "ComputePhiGrad",
-        &[s_phi2.id(), s_cells2.id()],
-        &[s_grad.id()],
-        GRAD_UOPS,
-        |args| {
-            let xp: Vec<f32> = args.input::<f32>(0).to_vec();
-            let xc: Vec<Cell> = args.input::<Cell>(1).to_vec();
-            for (i, o) in args.output::<f32>(0).iter_mut().enumerate() {
-                *o = grad_of(xp[i], &xc[i]);
-            }
-        },
-    );
+    b.kernel("ComputePhiGrad", &[s_phi2.id(), s_cells2.id()], &[s_grad.id()], GRAD_UOPS, |args| {
+        let xp: Vec<f32> = args.input::<f32>(0).to_vec();
+        let xc: Vec<Cell> = args.input::<Cell>(1).to_vec();
+        for (i, o) in args.output::<f32>(0).iter_mut().enumerate() {
+            *o = grad_of(xp[i], &xc[i]);
+        }
+    });
     b.scatter_seq(s_grad, a_grad);
 
     // Phase 2: faces (upwind flux with data-dependent conditional).
@@ -176,9 +163,7 @@ pub fn cdp_bench(cfg: CdpConfig, seed: u64) -> AppBench {
 
     // Phase 3: per-cell update + residual magnitude for the max reduction.
     let s_f: Vec<_> = (0..k)
-        .map(|slot| {
-            b.gather_indexed(&format!("fres{slot}"), a_fres, Arc::clone(&cf_slots[slot]))
-        })
+        .map(|slot| b.gather_indexed(&format!("fres{slot}"), a_fres, Arc::clone(&cf_slots[slot])))
         .collect();
     let s_phi3 = b.gather_seq("phi3", a_phi);
     let s_coeff3 = b.gather_seq("coeff3", a_coeff);
@@ -194,8 +179,7 @@ pub fn cdp_bench(cfg: CdpConfig, seed: u64) -> AppBench {
         &[s_phinew.id(), s_resmag.id()],
         fmu_uops(k),
         move |args| {
-            let faces: Vec<Vec<f32>> =
-                (0..kk).map(|s| args.input::<f32>(s).to_vec()).collect();
+            let faces: Vec<Vec<f32>> = (0..kk).map(|s| args.input::<f32>(s).to_vec()).collect();
             let phi: Vec<f32> = args.input::<f32>(kk).to_vec();
             let coeff: Vec<f32> = args.input::<f32>(kk + 1).to_vec();
             let n_items = phi.len();
@@ -281,23 +265,17 @@ pub fn cdp_bench(cfg: CdpConfig, seed: u64) -> AppBench {
         accesses.push(RegularAccess::seq(r_coeff, 4, Rw::Read));
         accesses.push(RegularAccess::seq(r_phinew, 4, Rw::Write));
         accesses.push(RegularAccess::seq(r_resmag, 4, Rw::Write));
-        regular.phase(
-            "update loop",
-            n,
-            accesses,
-            fmu_uops(k),
-            move |w| {
-                let phi: Vec<f32> = w.slice::<f32>(r_phi).to_vec();
-                let coeff: Vec<f32> = w.slice::<f32>(r_coeff).to_vec();
-                let fres: Vec<f32> = w.slice::<f32>(r_fres).to_vec();
-                for i in 0..phi.len() {
-                    let sum: f32 = slots.iter().map(|s| fres[s[i] as usize]).sum();
-                    let (p, m) = update_phi(phi[i], coeff[i], sum);
-                    w.slice_mut::<f32>(r_phinew)[i] = p;
-                    w.slice_mut::<f32>(r_resmag)[i] = m;
-                }
-            },
-        );
+        regular.phase("update loop", n, accesses, fmu_uops(k), move |w| {
+            let phi: Vec<f32> = w.slice::<f32>(r_phi).to_vec();
+            let coeff: Vec<f32> = w.slice::<f32>(r_coeff).to_vec();
+            let fres: Vec<f32> = w.slice::<f32>(r_fres).to_vec();
+            for i in 0..phi.len() {
+                let sum: f32 = slots.iter().map(|s| fres[s[i] as usize]).sum();
+                let (p, m) = update_phi(phi[i], coeff[i], sum);
+                w.slice_mut::<f32>(r_phinew)[i] = p;
+                w.slice_mut::<f32>(r_resmag)[i] = m;
+            }
+        });
     }
 
     AppBench {
@@ -339,8 +317,7 @@ mod tests {
         // The paper "decided against fusing the kernels"; with scattered
         // outputs the fusion pass must not fire.
         let bench = cdp_bench(CdpConfig { name: "t", k: 4, n: 400 }, 29);
-        let compiled =
-            gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
+        let compiled = gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
         assert!(compiled.fused.is_empty(), "{:?}", compiled.fused);
     }
 

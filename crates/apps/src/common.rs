@@ -76,6 +76,7 @@ impl AppBench {
             name: self.name.clone(),
             regular_cycles: regular_timing.cycles,
             stream_cycles: report.timing.cycles,
+            phases: Some(report.timing.phases),
         }
     }
 

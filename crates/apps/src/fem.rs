@@ -67,10 +67,7 @@ fn edge_flux<const K: usize>(ul: &[f32; K], ur: &[f32; K], ed: &[f32; 4]) -> [f3
 
 /// Residual accumulation + state advance for one cell (the fused
 /// GatherCell/AdvanceCell math).
-fn cell_advance<const K: usize>(
-    f: [&[f32; K]; 3],
-    u: &[f32; K],
-) -> [f32; K] {
+fn cell_advance<const K: usize>(f: [&[f32; K]; 3], u: &[f32; K]) -> [f32; K] {
     let mut out = [0.0f32; K];
     for c in 0..K {
         let res = f[0][c] + f[1][c] + f[2][c] - 0.1 * u[c];
@@ -127,20 +124,14 @@ fn build<const K: usize>(cfg: FemConfig, n_cells: usize, seed: u64) -> AppBench 
     let ur = b.gather_indexed("uR", a_cells, Arc::clone(&right));
     let ed = b.gather_seq("edata", a_edata);
     let fs = b.stream::<[f32; K]>("flux", n_edges);
-    b.kernel(
-        "GatherFlux",
-        &[ul.id(), ur.id(), ed.id()],
-        &[fs.id()],
-        flux_uops(cfg),
-        move |args| {
-            let xl: Vec<[f32; K]> = args.input::<[f32; K]>(0).to_vec();
-            let xr: Vec<[f32; K]> = args.input::<[f32; K]>(1).to_vec();
-            let xe: Vec<[f32; 4]> = args.input::<[f32; 4]>(2).to_vec();
-            for (i, o) in args.output::<[f32; K]>(0).iter_mut().enumerate() {
-                *o = edge_flux(&xl[i], &xr[i], &xe[i]);
-            }
-        },
-    );
+    b.kernel("GatherFlux", &[ul.id(), ur.id(), ed.id()], &[fs.id()], flux_uops(cfg), move |args| {
+        let xl: Vec<[f32; K]> = args.input::<[f32; K]>(0).to_vec();
+        let xr: Vec<[f32; K]> = args.input::<[f32; K]>(1).to_vec();
+        let xe: Vec<[f32; 4]> = args.input::<[f32; 4]>(2).to_vec();
+        for (i, o) in args.output::<[f32; K]>(0).iter_mut().enumerate() {
+            *o = edge_flux(&xl[i], &xr[i], &xe[i]);
+        }
+    });
     b.scatter_seq(fs, a_flux);
 
     let f0 = b.gather_indexed("f0", a_flux, Arc::clone(&ce_slot[0]));
@@ -168,21 +159,15 @@ fn build<const K: usize>(cfg: FemConfig, n_cells: usize, seed: u64) -> AppBench 
     );
     // AdvanceCell shares the cell-state input stream `us` with GatherCell:
     // the compiler fuses them.
-    b.kernel(
-        "AdvanceCell",
-        &[rs.id(), us.id()],
-        &[outs.id()],
-        advance_uops(cfg),
-        move |args| {
-            let xr: Vec<[f32; K]> = args.input::<[f32; K]>(0).to_vec();
-            let xu: Vec<[f32; K]> = args.input::<[f32; K]>(1).to_vec();
-            for (i, o) in args.output::<[f32; K]>(0).iter_mut().enumerate() {
-                for c in 0..K {
-                    o[c] = xu[i][c] - DT * xr[i][c];
-                }
+    b.kernel("AdvanceCell", &[rs.id(), us.id()], &[outs.id()], advance_uops(cfg), move |args| {
+        let xr: Vec<[f32; K]> = args.input::<[f32; K]>(0).to_vec();
+        let xu: Vec<[f32; K]> = args.input::<[f32; K]>(1).to_vec();
+        for (i, o) in args.output::<[f32; K]>(0).iter_mut().enumerate() {
+            for c in 0..K {
+                o[c] = xu[i][c] - DT * xr[i][c];
             }
-        },
-    );
+        }
+    });
     b.scatter_seq(outs, a_out);
     let (graph, stream_world) = b.build().expect("valid streamFEM graph");
 
@@ -211,8 +196,7 @@ fn build<const K: usize>(cfg: FemConfig, n_cells: usize, seed: u64) -> AppBench 
                 let ed: Vec<[f32; 4]> = w.slice::<[f32; 4]>(r_edata).to_vec();
                 let flux = w.slice_mut::<[f32; K]>(r_flux);
                 for e in 0..flux.len() {
-                    flux[e] =
-                        edge_flux(&cells[l[e] as usize], &cells[r[e] as usize], &ed[e]);
+                    flux[e] = edge_flux(&cells[l[e] as usize], &cells[r[e] as usize], &ed[e]);
                 }
             },
         );
@@ -291,13 +275,9 @@ mod tests {
     #[test]
     fn gathercell_advancecell_fuse() {
         let bench = fem_bench(CONFIGS[0], 600, 11);
-        let compiled =
-            gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
+        let compiled = gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
         assert!(
-            compiled
-                .fused
-                .iter()
-                .any(|(a, b)| a == "GatherCell" && b == "AdvanceCell"),
+            compiled.fused.iter().any(|(a, b)| a == "GatherCell" && b == "AdvanceCell"),
             "fusion pass must fire: {:?}",
             compiled.fused
         );

@@ -6,9 +6,7 @@
 //! access randomness and nnz/row ratios) with fixed seeds so every run is
 //! reproducible. See DESIGN.md ("Substitutions").
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use gpstream_util::Rng64;
 use std::sync::Arc;
 
 /// A triangulated rectangular mesh: `2 * nx * ny` triangular cells (each
@@ -56,8 +54,8 @@ impl TriMesh {
         }
         // Unstructured ordering: shuffle edges like a mesh generator's
         // output, so edge->cell gathers are effectively random.
-        let mut rng = StdRng::seed_from_u64(seed);
-        edges.shuffle(&mut rng);
+        let mut rng = Rng64::seed_from_u64(seed);
+        rng.shuffle(&mut edges);
 
         let mut cell_edges = vec![[u32::MAX; 3]; n_cells];
         let mut fill = vec![0usize; n_cells];
@@ -174,8 +172,8 @@ impl Grid {
                 break;
             }
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        faces.shuffle(&mut rng);
+        let mut rng = Rng64::seed_from_u64(seed);
+        rng.shuffle(&mut faces);
 
         let mut cell_faces = vec![Vec::with_capacity(k); n_cells];
         for (f, &(l, r)) in faces.iter().enumerate() {
@@ -235,7 +233,7 @@ impl CsrMatrix {
     #[must_use]
     pub fn fem_like(rows: usize, nnz_per_row: usize, seed: u64) -> Self {
         assert!(rows > 0 && nnz_per_row > 0);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut row_ptr = Vec::with_capacity(rows + 1);
         let mut cols = Vec::new();
         let mut vals = Vec::new();
@@ -244,21 +242,21 @@ impl CsrMatrix {
         // around the diagonal, plus a few long-range couplings.
         let band = (nnz_per_row * 8).max(64) as i64;
         for r in 0..rows {
-            let n = nnz_per_row + (rng.gen_range(0..=2)) - 1;
+            let n = nnz_per_row + rng.range_usize_inclusive(0, 2) - 1;
             let mut row_cols = std::collections::BTreeSet::new();
             row_cols.insert(r as u32);
             while row_cols.len() < n.max(1) {
-                let c = if rng.gen_bool(0.9) {
-                    let off = rng.gen_range(-band..=band);
+                let c = if rng.bool_with(0.9) {
+                    let off = rng.range_i64_inclusive(-band, band);
                     (r as i64 + off).clamp(0, rows as i64 - 1) as u32
                 } else {
-                    rng.gen_range(0..rows as u32)
+                    rng.range_u64(0, rows as u64) as u32
                 };
                 row_cols.insert(c);
             }
             for c in row_cols {
                 cols.push(c);
-                vals.push(rng.gen_range(-1.0..1.0));
+                vals.push(rng.f32_range(-1.0, 1.0));
             }
             row_ptr.push(cols.len() as u32);
         }
@@ -295,8 +293,8 @@ impl CsrMatrix {
 /// Seeded vector of `n` floats in `[-1, 1)`.
 #[must_use]
 pub fn random_f32(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..n).map(|_| rng.f32_range(-1.0, 1.0)).collect()
 }
 
 #[cfg(test)]

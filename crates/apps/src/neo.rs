@@ -101,28 +101,22 @@ pub fn neo_bench(n: usize, seed: u64) -> AppBench {
     let s_pk = b.stream::<Pk>("pk", n);
     let s_cgt = b.stream::<CgtInv>("cgt_inv", n);
     let s_dg = b.stream::<Dg>("dg", n);
-    b.kernel(
-        "ComputePK",
-        &[s_e.id()],
-        &[s_pk.id(), s_cgt.id(), s_dg.id()],
-        PK_UOPS,
-        |args| {
-            let xe: Vec<Elem> = args.input::<Elem>(0).to_vec();
-            let n_items = xe.len();
-            let mut pks = vec![[0.0f32; 9]; n_items];
-            let mut cgts = vec![[0.0f32; 27]; n_items];
-            let mut dgs = vec![[0.0f32; 9]; n_items];
-            for (i, e) in xe.iter().enumerate() {
-                let (p, c, d) = compute_pk(e);
-                pks[i] = p;
-                cgts[i] = c;
-                dgs[i] = d;
-            }
-            args.output::<Pk>(0).copy_from_slice(&pks);
-            args.output::<CgtInv>(1).copy_from_slice(&cgts);
-            args.output::<Dg>(2).copy_from_slice(&dgs);
-        },
-    );
+    b.kernel("ComputePK", &[s_e.id()], &[s_pk.id(), s_cgt.id(), s_dg.id()], PK_UOPS, |args| {
+        let xe: Vec<Elem> = args.input::<Elem>(0).to_vec();
+        let n_items = xe.len();
+        let mut pks = vec![[0.0f32; 9]; n_items];
+        let mut cgts = vec![[0.0f32; 27]; n_items];
+        let mut dgs = vec![[0.0f32; 9]; n_items];
+        for (i, e) in xe.iter().enumerate() {
+            let (p, c, d) = compute_pk(e);
+            pks[i] = p;
+            cgts[i] = c;
+            dgs[i] = d;
+        }
+        args.output::<Pk>(0).copy_from_slice(&pks);
+        args.output::<CgtInv>(1).copy_from_slice(&cgts);
+        args.output::<Dg>(2).copy_from_slice(&dgs);
+    });
     b.scatter_seq(s_pk, a_pk);
     let s_tan = b.stream::<Tangent>("tangent", n);
     b.kernel("ComputeTangent", &[s_cgt.id(), s_dg.id()], &[s_tan.id()], TAN_UOPS, |args| {
@@ -215,8 +209,7 @@ mod tests {
     #[test]
     fn intermediates_never_scattered() {
         let bench = neo_bench(500, 31);
-        let compiled =
-            gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
+        let compiled = gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
         for s in compiled.graph.streams() {
             if s.name.contains("cgt") || s.name == "dg" {
                 assert!(s.dst.is_none(), "intermediate `{}` must stay in the SRF", s.name);

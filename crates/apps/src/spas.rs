@@ -35,9 +35,7 @@ pub fn spas_bench(rows: usize, nnz_per_row: usize, seed: u64) -> AppBench {
     let nnz = m.nnz();
     let row_ptr = Arc::new(m.row_ptr.clone());
     let cols = Arc::new(m.cols.clone());
-    let rowlen: Vec<u32> = (0..rows)
-        .map(|r| m.row_ptr[r + 1] - m.row_ptr[r])
-        .collect();
+    let rowlen: Vec<u32> = (0..rows).map(|r| m.row_ptr[r + 1] - m.row_ptr[r]).collect();
 
     // ---- Stream version ----
     let mut b = GraphBuilder::new();
@@ -103,13 +101,7 @@ pub fn spas_bench(rows: usize, nnz_per_row: usize, seed: u64) -> AppBench {
             },
         );
     }
-    regular.phase(
-        "row store loop",
-        rows,
-        vec![RegularAccess::seq(r_y, 4, Rw::Write)],
-        2,
-        |_| {},
-    );
+    regular.phase("row store loop", rows, vec![RegularAccess::seq(r_y, 4, Rw::Write)], 2, |_| {});
 
     AppBench {
         name: format!("streamSPAS rows={rows}"),
@@ -144,8 +136,7 @@ mod tests {
     fn stream_matches_reference_spmv() {
         let rows = 800;
         let bench = spas_bench(rows, 15, 43);
-        let compiled =
-            gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
+        let compiled = gpstream_compiler::compile(&bench.graph, &CompilerOptions::paper()).unwrap();
         let mut sw = bench.stream_world.clone();
         gpstream_core::exec::functional::FunctionalExecutor::new().run(
             &compiled.schedule,

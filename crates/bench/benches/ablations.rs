@@ -1,14 +1,13 @@
 //! Ablation benches for the design choices DESIGN.md calls out: each
-//! measures a workload with one optimization toggled, and asserts the
-//! direction of the effect (the ablation should not be *better* than the
-//! paper configuration on the workload it targets).
+//! measures a workload with one optimization toggled, so the cost of the
+//! paper configuration relative to its ablation stays visible over time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpstream_apps::fem::{fem_bench, CONFIGS as FEM_CONFIGS};
 use gpstream_compiler::CompilerOptions;
 use gpstream_machine::ops::WaitPolicy;
 use gpstream_machine::MachineConfig;
 use gpstream_microbench::kernels::{gat_scat_comp, ld_st_comp};
+use gpstream_util::bench::bench;
 
 const SEED: u64 = 0x6a79_2005;
 
@@ -20,62 +19,46 @@ fn stream_cycles_micro(
     mb.compare(copts, &MachineConfig::prescott(), wait).stream_cycles
 }
 
-fn bench_nt_hints(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_nt_hints");
-    g.sample_size(10);
+fn bench_nt_hints() {
     let paper = CompilerOptions::paper();
-    let no_nt =
-        CompilerOptions { nt_gather: false, nt_scatter: false, ..CompilerOptions::paper() };
+    let no_nt = CompilerOptions { nt_gather: false, nt_scatter: false, ..CompilerOptions::paper() };
     let mb = gat_scat_comp(4096, 2);
-    g.bench_function("gat-scat-nt-on", |b| {
-        b.iter(|| stream_cycles_micro(&mb, &paper, WaitPolicy::Mwait));
+    bench("ablation_nt_hints/gat-scat-nt-on", || {
+        stream_cycles_micro(&mb, &paper, WaitPolicy::Mwait)
     });
-    g.bench_function("gat-scat-nt-off", |b| {
-        b.iter(|| stream_cycles_micro(&mb, &no_nt, WaitPolicy::Mwait));
+    bench("ablation_nt_hints/gat-scat-nt-off", || {
+        stream_cycles_micro(&mb, &no_nt, WaitPolicy::Mwait)
     });
-    g.finish();
 }
 
-fn bench_double_buffer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_double_buffer");
-    g.sample_size(10);
+fn bench_double_buffer() {
     let paper = CompilerOptions::paper();
     let single = CompilerOptions { double_buffer: false, ..CompilerOptions::paper() };
     let mb = ld_st_comp(8192, 2);
-    g.bench_function("ld-st-double-buffered", |b| {
-        b.iter(|| stream_cycles_micro(&mb, &paper, WaitPolicy::Mwait));
+    bench("ablation_double_buffer/ld-st-double-buffered", || {
+        stream_cycles_micro(&mb, &paper, WaitPolicy::Mwait)
     });
-    g.bench_function("ld-st-single-buffered", |b| {
-        b.iter(|| stream_cycles_micro(&mb, &single, WaitPolicy::Mwait));
+    bench("ablation_double_buffer/ld-st-single-buffered", || {
+        stream_cycles_micro(&mb, &single, WaitPolicy::Mwait)
     });
-    g.finish();
 }
 
-fn bench_fusion(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_fusion");
-    g.sample_size(10);
+fn bench_fusion() {
     let paper = CompilerOptions::paper();
     let no_fuse = CompilerOptions { fuse_kernels: false, ..CompilerOptions::paper() };
-    g.bench_function("fem-fused", |b| {
-        b.iter(|| {
-            fem_bench(FEM_CONFIGS[0], 1200, SEED)
-                .compare(&paper, &MachineConfig::prescott(), WaitPolicy::Mwait)
-                .stream_cycles
-        });
+    bench("ablation_fusion/fem-fused", || {
+        fem_bench(FEM_CONFIGS[0], 1200, SEED)
+            .compare(&paper, &MachineConfig::prescott(), WaitPolicy::Mwait)
+            .stream_cycles
     });
-    g.bench_function("fem-unfused", |b| {
-        b.iter(|| {
-            fem_bench(FEM_CONFIGS[0], 1200, SEED)
-                .compare(&no_fuse, &MachineConfig::prescott(), WaitPolicy::Mwait)
-                .stream_cycles
-        });
+    bench("ablation_fusion/fem-unfused", || {
+        fem_bench(FEM_CONFIGS[0], 1200, SEED)
+            .compare(&no_fuse, &MachineConfig::prescott(), WaitPolicy::Mwait)
+            .stream_cycles
     });
-    g.finish();
 }
 
-fn bench_wait_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_wait_policy");
-    g.sample_size(10);
+fn bench_wait_policy() {
     let paper = CompilerOptions::paper();
     let mb = ld_st_comp(8192, 8);
     for (name, policy) in [
@@ -83,33 +66,26 @@ fn bench_wait_policy(c: &mut Criterion) {
         ("pause-spin", WaitPolicy::SpinPause),
         ("os-block", WaitPolicy::OsBlock),
     ] {
-        g.bench_function(format!("ld-st-comp8-{name}"), |b| {
-            b.iter(|| stream_cycles_micro(&mb, &paper, policy));
+        bench(&format!("ablation_wait_policy/ld-st-comp8-{name}"), || {
+            stream_cycles_micro(&mb, &paper, policy)
         });
     }
-    g.finish();
 }
 
-fn bench_strip_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_strip_size");
-    g.sample_size(10);
+fn bench_strip_size() {
     for strip in [128usize, 512, 2048] {
-        let opts =
-            CompilerOptions { strip_items: Some(strip), ..CompilerOptions::paper() };
+        let opts = CompilerOptions { strip_items: Some(strip), ..CompilerOptions::paper() };
         let mb = ld_st_comp(8192, 2);
-        g.bench_function(format!("ld-st-strip{strip}"), |b| {
-            b.iter(|| stream_cycles_micro(&mb, &opts, WaitPolicy::Mwait));
+        bench(&format!("ablation_strip_size/ld-st-strip{strip}"), || {
+            stream_cycles_micro(&mb, &opts, WaitPolicy::Mwait)
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_nt_hints,
-    bench_double_buffer,
-    bench_fusion,
-    bench_wait_policy,
-    bench_strip_size
-);
-criterion_main!(benches);
+fn main() {
+    bench_nt_hints();
+    bench_double_buffer();
+    bench_fusion();
+    bench_wait_policy();
+    bench_strip_size();
+}

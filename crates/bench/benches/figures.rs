@@ -1,94 +1,66 @@
-//! Criterion benches tracking every figure's workload.
+//! Wall-clock benches tracking every figure's workload.
 //!
 //! Each bench measures the simulator run that regenerates a figure point,
 //! so regressions in either the model or the stream stack show up as
-//! timing changes. Sample sizes are small: the measured code is itself a
-//! deterministic simulation.
+//! timing changes. The measured code is itself a deterministic
+//! simulation, so a handful of samples suffices (see
+//! `gpstream_util::bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpstream_bench as fig;
 use gpstream_compiler::CompilerOptions;
 use gpstream_machine::ops::WaitPolicy;
 use gpstream_machine::MachineConfig;
 use gpstream_microbench::{bwprobe, kernels, overlap, spinwait};
+use gpstream_util::bench::bench;
 
-fn bench_fig5(c: &mut Criterion) {
-    let cfg = MachineConfig::prescott();
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
+fn bench_fig5(cfg: &MachineConfig) {
     for kind in bwprobe::ProbeKind::ALL {
-        g.bench_function(format!("{:?}-record64-nt", kind), |b| {
-            b.iter(|| bwprobe::bandwidth(kind, 64, true, &cfg));
-        });
+        bench(&format!("fig5/{kind:?}-record64-nt"), || bwprobe::bandwidth(kind, 64, true, cfg));
     }
-    g.finish();
 }
 
-fn bench_fig6_fig8(c: &mut Criterion) {
-    let cfg = MachineConfig::prescott();
-    let mut g = c.benchmark_group("fig6_fig8");
-    g.sample_size(10);
-    g.bench_function("fig6-overlap-scenarios", |b| b.iter(|| overlap::figure6(&cfg)));
-    g.bench_function("fig8-spinwait-bars", |b| b.iter(|| spinwait::figure8(&cfg)));
-    g.bench_function("fig8-dispatch-latency", |b| {
-        b.iter(|| spinwait::dispatch_latency(WaitPolicy::Mwait, &cfg));
-    });
-    g.finish();
+fn bench_fig6_fig8(cfg: &MachineConfig) {
+    bench("fig6_fig8/fig6-overlap-scenarios", || overlap::figure6(cfg));
+    bench("fig6_fig8/fig8-spinwait-bars", || spinwait::figure8(cfg));
+    bench("fig6_fig8/fig8-dispatch-latency", || spinwait::dispatch_latency(WaitPolicy::Mwait, cfg));
 }
 
-fn bench_fig9(c: &mut Criterion) {
-    let cfg = MachineConfig::prescott();
-    let copts = CompilerOptions::paper();
-    let mut g = c.benchmark_group("fig9");
-    g.sample_size(10);
+fn bench_fig9(cfg: &MachineConfig, copts: &CompilerOptions) {
     for name in ["LD-ST-COMP", "GAT-SCAT-COMP", "PROD-CON"] {
-        g.bench_function(format!("{name}-comp4"), |b| {
-            b.iter(|| kernels::figure9_series(name, &[4], 4096, &copts, &cfg));
+        bench(&format!("fig9/{name}-comp4"), || {
+            kernels::figure9_series(name, &[4], 4096, copts, cfg)
         });
     }
-    g.finish();
 }
 
-fn bench_fig11(c: &mut Criterion) {
+fn bench_fig11(cfg: &MachineConfig, copts: &CompilerOptions) {
+    bench("fig11/fig11a-fem-euler-lin", || {
+        gpstream_apps::fem::fem_bench(gpstream_apps::fem::CONFIGS[0], 1200, fig::SEED).compare(
+            copts,
+            cfg,
+            WaitPolicy::Mwait,
+        )
+    });
+    bench("fig11/fig11b-cdp-4n", || {
+        gpstream_apps::cdp::cdp_bench(
+            gpstream_apps::cdp::CdpConfig { name: "4n-1024", k: 4, n: 1024 },
+            fig::SEED,
+        )
+        .compare(copts, cfg, WaitPolicy::Mwait)
+    });
+    bench("fig11/fig11c-neo", || {
+        gpstream_apps::neo::neo_bench(2048, fig::SEED).compare(copts, cfg, WaitPolicy::Mwait)
+    });
+    bench("fig11/fig11d-spas", || {
+        gpstream_apps::spas::spas_bench(1500, 46, fig::SEED).compare(copts, cfg, WaitPolicy::Mwait)
+    });
+}
+
+fn main() {
     let cfg = MachineConfig::prescott();
     let copts = CompilerOptions::paper();
-    let mut g = c.benchmark_group("fig11");
-    g.sample_size(10);
-    g.bench_function("fig11a-fem-euler-lin", |b| {
-        b.iter(|| {
-            gpstream_apps::fem::fem_bench(gpstream_apps::fem::CONFIGS[0], 1200, fig::SEED)
-                .compare(&copts, &cfg, WaitPolicy::Mwait)
-        });
-    });
-    g.bench_function("fig11b-cdp-4n", |b| {
-        b.iter(|| {
-            gpstream_apps::cdp::cdp_bench(
-                gpstream_apps::cdp::CdpConfig { name: "4n-1024", k: 4, n: 1024 },
-                fig::SEED,
-            )
-            .compare(&copts, &cfg, WaitPolicy::Mwait)
-        });
-    });
-    g.bench_function("fig11c-neo", |b| {
-        b.iter(|| {
-            gpstream_apps::neo::neo_bench(2048, fig::SEED).compare(
-                &copts,
-                &cfg,
-                WaitPolicy::Mwait,
-            )
-        });
-    });
-    g.bench_function("fig11d-spas", |b| {
-        b.iter(|| {
-            gpstream_apps::spas::spas_bench(1500, 46, fig::SEED).compare(
-                &copts,
-                &cfg,
-                WaitPolicy::Mwait,
-            )
-        });
-    });
-    g.finish();
+    bench_fig5(&cfg);
+    bench_fig6_fig8(&cfg);
+    bench_fig9(&cfg, &copts);
+    bench_fig11(&cfg, &copts);
 }
-
-criterion_group!(benches, bench_fig5, bench_fig6_fig8, bench_fig9, bench_fig11);
-criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! threads, real copies) — the part of the system that runs on the host
 //! rather than the simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpstream_compiler::{compile, CompilerOptions};
 use gpstream_core::exec::functional::FunctionalExecutor;
 use gpstream_core::exec::native::{NativeExecutor, NativeWaitPolicy};
 use gpstream_core::GraphBuilder;
+use gpstream_util::bench::bench;
 
 fn pipeline(n: usize) -> (gpstream_core::StreamGraph, gpstream_core::World) {
     let mut b = GraphBuilder::new();
@@ -25,35 +25,25 @@ fn pipeline(n: usize) -> (gpstream_core::StreamGraph, gpstream_core::World) {
     b.build().unwrap()
 }
 
-fn bench_executors(c: &mut Criterion) {
+fn main() {
     let n = 1 << 18;
     let (graph, world) = pipeline(n);
     let compiled = compile(&graph, &CompilerOptions::paper()).unwrap();
-    let mut g = c.benchmark_group("native_runtime");
-    g.sample_size(10);
-    g.throughput(Throughput::Bytes((n * 4) as u64));
-    g.bench_function("functional-reference", |b| {
-        b.iter(|| {
-            let mut w = world.clone();
-            FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut w)
-        });
+    println!("native_runtime over {} MB of f32s", n * 4 / (1024 * 1024));
+    bench("native_runtime/functional-reference", || {
+        let mut w = world.clone();
+        FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut w)
     });
     for (name, policy) in
         [("native-spin", NativeWaitPolicy::Spin), ("native-park", NativeWaitPolicy::Park)]
     {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut w = world.clone();
-                NativeExecutor::new().with_wait_policy(policy).run(
-                    &compiled.schedule,
-                    &compiled.graph,
-                    &mut w,
-                )
-            });
+        bench(&format!("native_runtime/{name}"), || {
+            let mut w = world.clone();
+            NativeExecutor::new().with_wait_policy(policy).run(
+                &compiled.schedule,
+                &compiled.graph,
+                &mut w,
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_executors);
-criterion_main!(benches);

@@ -1,11 +1,50 @@
 //! Regenerates every table and figure of the paper.
 //!
-//! Usage: `figures [fig5|fig6|fig8|fig9|fig11a|fig11b|fig11c|fig11d|latencies|summary|all]`
+//! Usage:
+//!
+//! ```text
+//! figures [SELECTOR] [--json PATH] [--trace PATH]
+//! ```
+//!
+//! `SELECTOR` is one of `fig5|fig6|fig8|fig9|fig11a|fig11b|fig11c|fig11d|
+//! latencies|single|enhanced|summary|all` (default `all`).
+//!
+//! `--json PATH` additionally writes the comparison figures as JSON,
+//! including the per-context phase breakdown (compute / memory / wait /
+//! dispatch cycles) of every stream run.
+//!
+//! `--trace PATH` records one micro-benchmark and one application run
+//! under the simulating executor and writes a Chrome `trace_event` file
+//! that loads directly into `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
 
+use gpstream_apps::fem;
 use gpstream_bench as fig;
-use gpstream_compiler::CompilerOptions;
+use gpstream_compiler::{compile, CompilerOptions};
+use gpstream_core::exec::sim::SimExecutor;
 use gpstream_core::metrics::Comparison;
-use gpstream_machine::MachineConfig;
+use gpstream_core::{chrome_trace, StreamGraph, TraceRun, World};
+use gpstream_machine::{MachineConfig, PhaseCycles, WaitPolicy};
+use gpstream_util::Json;
+
+struct Cli {
+    which: String,
+    json: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cli = Cli { which: "all".to_string(), json: None, trace: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => cli.json = Some(args.next().expect("--json needs a path")),
+            "--trace" => cli.trace = Some(args.next().expect("--trace needs a path")),
+            other => cli.which = other.to_string(),
+        }
+    }
+    cli
+}
 
 fn print_comparisons(title: &str, rows: &[Comparison]) {
     println!("== {title} ==");
@@ -13,21 +52,121 @@ fn print_comparisons(title: &str, rows: &[Comparison]) {
     for c in rows {
         println!(
             "{:<28} {:>14} {:>14} {:>7.2}x",
-            c.name, c.regular_cycles, c.stream_cycles, c.speedup()
+            c.name,
+            c.regular_cycles,
+            c.stream_cycles,
+            c.speedup()
         );
+        if let Some(ph) = &c.phases {
+            for (lane, p) in ["compute ctx", "memory ctx"].iter().zip(ph) {
+                println!(
+                    "  {lane:<12} compute {:>10}  memory {:>10}  wait {:>10}  dispatch {:>8}",
+                    p.compute, p.memory, p.idle_wait, p.dispatch
+                );
+            }
+        }
     }
     println!();
 }
 
+fn phases_json(p: &PhaseCycles) -> Json {
+    Json::obj([
+        ("compute", Json::U64(p.compute)),
+        ("memory", Json::U64(p.memory)),
+        ("idle_wait", Json::U64(p.idle_wait)),
+        ("dispatch", Json::U64(p.dispatch)),
+        ("total", Json::U64(p.total())),
+    ])
+}
+
+fn comparison_json(c: &Comparison) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::Str(c.name.clone())),
+        ("regular_cycles".to_string(), Json::U64(c.regular_cycles)),
+        ("stream_cycles".to_string(), Json::U64(c.stream_cycles)),
+        ("speedup".to_string(), Json::F64(c.speedup())),
+    ];
+    if let Some(ph) = &c.phases {
+        pairs.push((
+            "phases".to_string(),
+            Json::obj([("compute_ctx", phases_json(&ph[0])), ("memory_ctx", phases_json(&ph[1]))]),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// Run `graph` once on the simulated machine with event tracing on and
+/// package the result for the Chrome exporter.
+fn traced_sim_run(
+    name: &str,
+    graph: &StreamGraph,
+    world: &World,
+    cfg: &MachineConfig,
+    copts: &CompilerOptions,
+) -> TraceRun {
+    let compiled = compile(graph, copts).expect("traced program compiles");
+    let mut w = world.clone();
+    let report = SimExecutor::new()
+        .with_machine(cfg.clone())
+        .with_srf(copts.srf)
+        .with_wait_policy(WaitPolicy::Mwait)
+        .with_trace(true)
+        .run(&compiled.schedule, &compiled.graph, &mut w);
+    let ticks_per_us = cfg.freq_ghz * 1000.0;
+    TraceRun::new(
+        name,
+        ticks_per_us,
+        &["compute ctx", "memory ctx"],
+        &compiled.schedule,
+        report.trace.expect("tracing was enabled"),
+    )
+}
+
+fn write_trace(path: &str, cfg: &MachineConfig, copts: &CompilerOptions) {
+    let mb = gpstream_microbench::kernels::gat_scat_comp(2048, 2);
+    let app = fem::fem_bench(fem::CONFIGS[0], 600, 0x6a79_2005);
+    let runs = vec![
+        traced_sim_run("GAT-SCAT-COMP comp=2 (sim)", &mb.graph, &mb.stream_world, cfg, copts),
+        traced_sim_run(&format!("{} (sim)", app.name), &app.graph, &app.stream_world, cfg, copts),
+    ];
+    std::fs::write(path, chrome_trace(&runs)).expect("write trace file");
+    println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+}
+
+const SELECTORS: [&str; 13] = [
+    "all",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "fig11a",
+    "fig11b",
+    "fig11c",
+    "fig11d",
+    "latencies",
+    "single",
+    "enhanced",
+    "summary",
+];
+
 fn main() {
+    let cli = parse_args();
     let cfg = MachineConfig::prescott();
     let copts = CompilerOptions::paper();
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let which = cli.which.as_str();
+    if !SELECTORS.contains(&which) {
+        eprintln!("unknown selector `{which}`; expected one of: {}", SELECTORS.join("|"));
+        std::process::exit(2);
+    }
     let all = which == "all";
+    // (figure id, comparison rows) pairs accumulated for --json.
+    let mut json_figures: Vec<(String, Vec<Comparison>)> = Vec::new();
 
     if all || which == "fig5" {
         println!("== Figure 5: gather/scatter bandwidth vs record size (GB/s) ==");
-        println!("record bytes:                              4       8      16      32      64     128");
+        println!(
+            "record bytes:                              4       8      16      32      64     128"
+        );
         for s in fig::figure5(&cfg) {
             print!("{:<40}", s.name);
             for p in &s.points {
@@ -38,7 +177,9 @@ fn main() {
         println!();
     }
     if all || which == "fig6" {
-        println!("== Figure 6: computation/memory overlap (normalized, serial in ST mode = 100) ==");
+        println!(
+            "== Figure 6: computation/memory overlap (normalized, serial in ST mode = 100) =="
+        );
         for b in fig::figure6(&cfg) {
             println!("{:<32} {:6.1}", b.name, b.normalized_time);
         }
@@ -69,20 +210,21 @@ fn main() {
         }
         println!();
     }
-    if all || which == "fig11a" {
-        print_comparisons("Figure 11(a): streamFEM (4816 cells)", &fig::figure11a(&cfg, &copts));
-    }
-    if all || which == "fig11b" {
-        print_comparisons("Figure 11(b): streamCDP", &fig::figure11b(&cfg, &copts));
-    }
-    if all || which == "fig11c" {
-        print_comparisons("Figure 11(c): neo-hookean", &fig::figure11c(&cfg, &copts));
-    }
-    if all || which == "fig11d" {
-        print_comparisons(
-            "Figure 11(d): streamSPAS (nnz/row ~ 46)",
-            &fig::figure11d(&cfg, &copts),
-        );
+    for (id, title, f) in [
+        (
+            "fig11a",
+            "Figure 11(a): streamFEM (4816 cells)",
+            fig::figure11a as fn(&MachineConfig, &CompilerOptions) -> Vec<Comparison>,
+        ),
+        ("fig11b", "Figure 11(b): streamCDP", fig::figure11b),
+        ("fig11c", "Figure 11(c): neo-hookean", fig::figure11c),
+        ("fig11d", "Figure 11(d): streamSPAS (nnz/row ~ 46)", fig::figure11d),
+    ] {
+        if all || which == id {
+            let rows = f(&cfg, &copts);
+            print_comparisons(title, &rows);
+            json_figures.push((id.to_string(), rows));
+        }
     }
     if all || which == "single" {
         println!("== Section III-B-2: single-context mapping overhead (single / dual cycles) ==");
@@ -106,5 +248,22 @@ fn main() {
         println!("== Headline summary (paper Section I) ==");
         println!("micro-benchmarks: best {:.2}x, worst {:.2}x", s.micro_best, s.micro_worst);
         println!("scientific apps:  best {:.2}x, worst {:.2}x", s.sci_best, s.sci_worst);
+    }
+
+    if let Some(path) = &cli.json {
+        let doc = Json::obj([(
+            "figures",
+            Json::arr(json_figures.iter().map(|(id, rows)| {
+                Json::obj([
+                    ("figure", Json::Str(id.clone())),
+                    ("rows", Json::arr(rows.iter().map(comparison_json))),
+                ])
+            })),
+        )]);
+        std::fs::write(path, doc.to_string()).expect("write json file");
+        println!("wrote figure JSON to {path}");
+    }
+    if let Some(path) = &cli.trace {
+        write_trace(path, &cfg, &copts);
     }
 }

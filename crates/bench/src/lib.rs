@@ -2,9 +2,9 @@
 //!
 //! The benchmark harness that regenerates every table and figure of the
 //! paper's evaluation. The library exposes one function per figure
-//! returning structured (serde-serializable) data; the `figures` binary
-//! prints them in the form the paper reports; the Criterion benches
-//! under `benches/` track the same workloads.
+//! returning structured data; the `figures` binary prints them in the
+//! form the paper reports (and as JSON / Chrome traces on request); the
+//! harness-free benches under `benches/` track the same workloads.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -18,7 +18,6 @@ use gpstream_core::metrics::{BandwidthSeries, Comparison, NormalizedBar};
 use gpstream_machine::ops::WaitPolicy;
 use gpstream_machine::MachineConfig;
 use gpstream_microbench::{bwprobe, kernels, overlap, spinwait};
-use serde::Serialize;
 
 /// Default seed for every figure (results are fully deterministic).
 pub const SEED: u64 = 0x6a79_2005;
@@ -55,7 +54,7 @@ pub fn dispatch_latencies(cfg: &MachineConfig) -> Vec<(String, u64)> {
 }
 
 /// One Figure 9 series.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9Series {
     /// Micro-benchmark name.
     pub name: String,
@@ -93,10 +92,7 @@ pub fn figure11a(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison
 /// Figure 11(b): streamCDP speedups for 4n/6n x 4096/8192.
 #[must_use]
 pub fn figure11b(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
-    CDP_CONFIGS
-        .iter()
-        .map(|&c| cdp_bench(c, SEED).compare(copts, cfg, WaitPolicy::Mwait))
-        .collect()
+    CDP_CONFIGS.iter().map(|&c| cdp_bench(c, SEED).compare(copts, cfg, WaitPolicy::Mwait)).collect()
 }
 
 /// Element counts swept in Figure 11(c).
@@ -130,10 +126,7 @@ pub fn figure11d(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison
 /// gather/kernel/scatter on a single thread) vs. the two-context
 /// mapping, per micro-benchmark at a middling COMP.
 #[must_use]
-pub fn single_vs_dual_context(
-    cfg: &MachineConfig,
-    copts: &CompilerOptions,
-) -> Vec<(String, f64)> {
+pub fn single_vs_dual_context(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<(String, f64)> {
     use gpstream_core::exec::sim::SimExecutor;
     let mut out = Vec::new();
     for (name, mb) in [
@@ -180,7 +173,7 @@ pub fn enhanced_machine(copts: &CompilerOptions) -> Vec<(String, u64, u64)> {
 
 /// Headline summary (paper Section I): best/worst micro-benchmark and
 /// best scientific-application speedups.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     /// Best micro-benchmark speedup.
     pub micro_best: f64,
@@ -204,8 +197,7 @@ pub fn summary(cfg: &MachineConfig, copts: &CompilerOptions) -> Summary {
     sci.extend(figure11b(cfg, copts).iter().map(Comparison::speedup));
     sci.extend(figure11c(cfg, copts).iter().map(Comparison::speedup));
     sci.extend(figure11d(cfg, copts).iter().map(Comparison::speedup));
-    let fold =
-        |v: &[f64], init: f64, f: fn(f64, f64) -> f64| v.iter().copied().fold(init, f);
+    let fold = |v: &[f64], init: f64, f: fn(f64, f64) -> f64| v.iter().copied().fold(init, f);
     Summary {
         micro_best: fold(&micro, f64::MIN, f64::max),
         micro_worst: fold(&micro, f64::MAX, f64::min),

@@ -99,9 +99,8 @@ mod tests {
         let b_data: Vec<f32> = (0..n).map(|i| 1.0 + (i % 7) as f32).collect();
         let idx: Vec<u32> =
             (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761) % n as u32).collect();
-        let expected: Vec<f32> = (0..n)
-            .map(|i| (a_data[idx[i] as usize] + b_data[i]) * b_data[i])
-            .collect();
+        let expected: Vec<f32> =
+            (0..n).map(|i| (a_data[idx[i] as usize] + b_data[i]) * b_data[i]).collect();
 
         let mut bld = GraphBuilder::new();
         let a = bld.array("a", &a_data);
@@ -185,14 +184,13 @@ mod tests {
         for policy in [NativeWaitPolicy::Spin, NativeWaitPolicy::Park] {
             let (graph, mut world, y, expected) = pipeline(20_000);
             let compiled = compile(&graph, &CompilerOptions::paper()).unwrap();
-            let report = NativeExecutor::new()
-                .with_wait_policy(policy)
-                .run(&compiled.schedule, &compiled.graph, &mut world);
-            assert_eq!(world.slice::<f32>(y), expected.as_slice(), "{policy:?}");
-            assert_eq!(
-                report.memory_tasks + report.compute_tasks,
-                compiled.schedule.tasks.len()
+            let report = NativeExecutor::new().with_wait_policy(policy).run(
+                &compiled.schedule,
+                &compiled.graph,
+                &mut world,
             );
+            assert_eq!(world.slice::<f32>(y), expected.as_slice(), "{policy:?}");
+            assert_eq!(report.memory_tasks + report.compute_tasks, compiled.schedule.tasks.len());
         }
     }
 

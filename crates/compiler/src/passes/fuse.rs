@@ -38,8 +38,7 @@ pub fn fuse_shared_input_kernels(
     graph: &StreamGraph,
 ) -> Result<FusionOutcome, gpstream_core::GraphError> {
     let mut streams: Vec<StreamDecl> = graph.streams().to_vec();
-    let mut kernels: Vec<Option<KernelDecl>> =
-        graph.kernels().iter().cloned().map(Some).collect();
+    let mut kernels: Vec<Option<KernelDecl>> = graph.kernels().iter().cloned().map(Some).collect();
     let mut fused_names = Vec::new();
 
     // Greedy single pass in topological order: try to fuse each kernel
@@ -144,8 +143,7 @@ pub fn fuse_shared_input_kernels(
                         s
                     })
                     .collect();
-                let outs: Vec<&mut [u8]> =
-                    temps.iter_mut().map(Vec::as_mut_slice).collect();
+                let outs: Vec<&mut [u8]> = temps.iter_mut().map(Vec::as_mut_slice).collect();
                 let mut sub = KernelArgs::new(ins, outs, items.clone());
                 f1(&mut sub);
             }
@@ -153,9 +151,8 @@ pub fn fuse_shared_input_kernels(
             // buffers, then copy into the real outputs (avoids aliasing
             // the `args` borrows).
             let n_out = args.num_outputs();
-            let mut scratch: Vec<Vec<u8>> = (0..n_out)
-                .map(|i| vec![0u8; args.output::<u8>(i).len()])
-                .collect();
+            let mut scratch: Vec<Vec<u8>> =
+                (0..n_out).map(|i| vec![0u8; args.output::<u8>(i).len()]).collect();
             {
                 let ins: Vec<&[u8]> = k2_in_map
                     .iter()
@@ -167,8 +164,7 @@ pub fn fuse_shared_input_kernels(
                         K2In::Temp(t) => temps[t].as_slice(),
                     })
                     .collect();
-                let outs: Vec<&mut [u8]> =
-                    scratch.iter_mut().map(Vec::as_mut_slice).collect();
+                let outs: Vec<&mut [u8]> = scratch.iter_mut().map(Vec::as_mut_slice).collect();
                 let mut sub = KernelArgs::new(ins, outs, items.clone());
                 f2(&mut sub);
             }
@@ -197,19 +193,16 @@ pub fn fuse_shared_input_kernels(
     let live_streams: Vec<usize> = (0..streams.len())
         .filter(|&si| {
             let sid = StreamId(si as u32);
-            let used = kernels.iter().flatten().any(|k| {
-                k.inputs.contains(&sid) || k.outputs.contains(&sid)
-            });
+            let used = kernels
+                .iter()
+                .flatten()
+                .any(|k| k.inputs.contains(&sid) || k.outputs.contains(&sid));
             used || streams[si].src.is_some() || streams[si].dst.is_some()
         })
         .collect();
-    let remap: HashMap<u32, u32> = live_streams
-        .iter()
-        .enumerate()
-        .map(|(new, &old)| (old as u32, new as u32))
-        .collect();
-    let new_streams: Vec<StreamDecl> =
-        live_streams.iter().map(|&si| streams[si].clone()).collect();
+    let remap: HashMap<u32, u32> =
+        live_streams.iter().enumerate().map(|(new, &old)| (old as u32, new as u32)).collect();
+    let new_streams: Vec<StreamDecl> = live_streams.iter().map(|&si| streams[si].clone()).collect();
     let new_kernels: Vec<KernelDecl> = kernels
         .into_iter()
         .flatten()

@@ -131,9 +131,7 @@ fn partition_phases(graph: &StreamGraph) -> Vec<Phase> {
         let sid = StreamId(si as u32);
         let reader_comp = {
             let consumers = graph.consumers_of(sid);
-            let node = consumers
-                .first()
-                .map_or(nk + si, |k| k.0 as usize);
+            let node = consumers.first().map_or(nk + si, |k| k.0 as usize);
             find(&mut parent, node)
         };
         let Some(&reader) = comp_index.get(&reader_comp) else { continue };
@@ -281,8 +279,7 @@ pub fn schedule(
         let mut m = HashMap::new();
         for phase in &phases {
             let streams = streams_of_phase(graph, phase);
-            let pace =
-                streams.iter().map(|&s| graph.stream(s).items).max().unwrap_or(1).max(1);
+            let pace = streams.iter().map(|&s| graph.stream(s).items).max().unwrap_or(1).max(1);
             let n_strips = pace.div_ceil(strip_items).max(1);
             for &sid in &streams {
                 let items = graph.stream(sid).items;
@@ -357,8 +354,7 @@ pub fn schedule(
         let phase_kernels: Vec<KernelId> =
             topo.iter().copied().filter(|k| phase.kernels.contains(k)).collect();
         let phase_streams = streams_of_phase(graph, phase);
-        let pace =
-            phase_streams.iter().map(|&s| graph.stream(s).items).max().unwrap_or(1).max(1);
+        let pace = phase_streams.iter().map(|&s| graph.stream(s).items).max().unwrap_or(1).max(1);
         let n_strips = (pace.div_ceil(strip_items).max(1)) as u32;
         total_strips += n_strips;
 
@@ -424,8 +420,7 @@ pub fn schedule(
                             &em.scatter_task,
                         ));
                     }
-                    let id =
-                        em.push(TaskKind::Gather { binding: b, nt: opts.nt_gather }, deps, s);
+                    let id = em.push(TaskKind::Gather { binding: b, nt: opts.nt_gather }, deps, s);
                     em.gather_task.insert((sid.0, s), id);
                 }
             }
@@ -509,14 +504,10 @@ pub fn schedule(
                         &em.scatter_task,
                     ));
                 }
-                let g = em.push(
-                    TaskKind::Gather { binding: b.clone(), nt: opts.nt_gather },
-                    deps,
-                    s,
-                );
+                let g =
+                    em.push(TaskKind::Gather { binding: b.clone(), nt: opts.nt_gather }, deps, s);
                 em.gather_task.insert((sid.0, s), g);
-                let sc =
-                    em.push(TaskKind::Scatter { binding: b, nt: opts.nt_scatter }, vec![g], s);
+                let sc = em.push(TaskKind::Scatter { binding: b, nt: opts.nt_scatter }, vec![g], s);
                 em.scatter_task.insert((sid.0, s), sc);
             }
         }

@@ -163,9 +163,7 @@ fn variable_rate_streams_schedule_with_worst_case_buffers() {
     }
     let vals: Vec<f32> = (0..nnz).map(|i| (i % 5) as f32).collect();
     let expected: Vec<f32> = (0..rows)
-        .map(|r| {
-            vals[bounds[r] as usize..bounds[r + 1] as usize].iter().sum::<f32>()
-        })
+        .map(|r| vals[bounds[r] as usize..bounds[r + 1] as usize].iter().sum::<f32>())
         .collect();
 
     let mut b = GraphBuilder::new();

@@ -33,12 +33,7 @@ impl FunctionalExecutor {
     /// # Panics
     ///
     /// Panics if the program fails validation or does not fit the SRF.
-    pub fn run(
-        &self,
-        program: &ScheduledProgram,
-        graph: &StreamGraph,
-        world: &mut World,
-    ) -> usize {
+    pub fn run(&self, program: &ScheduledProgram, graph: &StreamGraph, world: &mut World) -> usize {
         program.validate().expect("scheduled program must be consistent");
         assert!(
             program.srf_bytes <= self.srf_cfg.capacity,

@@ -111,12 +111,7 @@ fn run_kernel(
 ///
 /// Panics if the task references streams, arrays or kernels inconsistent
 /// with `graph` (a compiler bug rather than a user error).
-pub fn execute_task(
-    task: &TaskDesc,
-    graph: &StreamGraph,
-    world: &mut World,
-    srf: &mut SrfBuffer,
-) {
+pub fn execute_task(task: &TaskDesc, graph: &StreamGraph, world: &mut World, srf: &mut SrfBuffer) {
     match &task.kind {
         TaskKind::Gather { binding, .. } => run_gather(binding, graph, world, srf),
         TaskKind::Scatter { binding, .. } => run_scatter(binding, graph, world, srf),

@@ -3,24 +3,33 @@
 //! One OS thread plays the *memory thread* (gathers and scatters), another
 //! plays the *compute thread* (kernels), and the caller's thread is the
 //! control thread that enqueues tasks — exactly the division of labour the
-//! paper maps onto the two hyper-threading contexts. Dependencies use the
-//! bit-vector window of [`crate::workqueue`]; workers wait for readiness
-//! either by spinning with the PAUSE hint or by parking, the two policies
-//! whose trade-off Figure 8 measures.
+//! paper maps onto the two hyper-threading contexts. Tasks flow to workers
+//! through single-producer/single-consumer rings ([`crate::spsc`], the
+//! in-process analogue of the paper's memory-mapped queues); dependencies
+//! use the bit-vector window of [`crate::workqueue`]; workers wait for
+//! readiness either by spinning with the PAUSE hint or by parking, the two
+//! policies whose trade-off Figure 8 measures.
 //!
 //! Functional effects (array contents) are identical to the reference
 //! executor; a single data mutex serializes task *bodies* (the simulator,
 //! not this runtime, is the timing vehicle — see DESIGN.md).
+//!
+//! With [`NativeExecutor::with_trace`], the control thread and both
+//! workers stamp nanosecond-resolution [`ExecEventKind`] events
+//! (enqueue / ready / start / finish, window slot admit / clear,
+//! dependency waits) into a shared [`TraceBuffer`] for the Chrome
+//! exporter in [`crate::trace`].
 
 use crate::exec::execute_task;
 use crate::graph::StreamGraph;
+use crate::spsc::SpscRing;
 use crate::srf::{SrfBuffer, SrfConfig};
 use crate::task::{ScheduledProgram, TaskId};
+use crate::trace::{ExecEventKind, TraceBuffer};
 use crate::workqueue::{DependencyWindow, QueuedTask};
 use crate::world::World;
-use crossbeam::queue::ArrayQueue;
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 
 // NOTE on readiness: the bit-vector window (DependencyWindow) bounds the
 // number of in-flight tasks to 64 and is what the control thread uses for
@@ -28,6 +37,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 // completion flags rather than the mask snapshot: a mask snapshot can go
 // stale when a completed dependency's slot is recycled for a later task
 // (an ABA hazard that would deadlock a queue on itself).
+
+/// Trace lane of the control thread.
+pub const LANE_CONTROL: u8 = 0;
+/// Trace lane of the memory worker thread.
+pub const LANE_MEMORY: u8 = 1;
+/// Trace lane of the compute worker thread.
+pub const LANE_COMPUTE: u8 = 2;
 
 /// How a worker thread waits for its dependencies to clear.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +76,7 @@ struct Shared<'a> {
     window_cv: Condvar,
     done: AtomicBool,
     program: &'a ScheduledProgram,
+    trace: Option<TraceBuffer>,
 }
 
 /// Two-thread work-queue executor.
@@ -67,6 +84,7 @@ struct Shared<'a> {
 pub struct NativeExecutor {
     srf_cfg: SrfConfig,
     policy: NativeWaitPolicy,
+    trace: Option<TraceBuffer>,
 }
 
 impl NativeExecutor {
@@ -90,6 +108,13 @@ impl NativeExecutor {
         self
     }
 
+    /// Record executor events (nanosecond timestamps) into `buf`.
+    #[must_use]
+    pub fn with_trace(mut self, buf: TraceBuffer) -> Self {
+        self.trace = Some(buf);
+        self
+    }
+
     /// Execute `program` against `world` using two worker threads.
     ///
     /// # Panics
@@ -110,44 +135,51 @@ impl NativeExecutor {
             self.srf_cfg.capacity
         );
 
+        let mut window = DependencyWindow::new();
+        if let Some(buf) = &self.trace {
+            window.set_trace(buf.clone(), LANE_CONTROL);
+        }
         let shared = Shared {
             graph,
             data: Mutex::new((std::mem::take(world), SrfBuffer::new(self.srf_cfg))),
-            window: Mutex::new(DependencyWindow::new()),
+            window: Mutex::new(window),
             pending: AtomicU64::new(0),
             completed: (0..program.tasks.len()).map(|_| AtomicBool::new(false)).collect(),
             window_cv: Condvar::new(),
             done: AtomicBool::new(false),
             program,
+            trace: self.trace.clone(),
         };
-        let mem_queue = ArrayQueue::<QueuedTask>::new(crate::workqueue::WINDOW);
-        let comp_queue = ArrayQueue::<QueuedTask>::new(crate::workqueue::WINDOW);
+        let mem_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
+        let comp_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
         let policy = self.policy;
 
         let (mem_count, comp_count) = std::thread::scope(|s| {
-            let mem_worker =
-                s.spawn(|| worker_loop(&shared, &mem_queue, policy));
-            let comp_worker =
-                s.spawn(|| worker_loop(&shared, &comp_queue, policy));
+            let mem_worker = s.spawn(|| worker_loop(&shared, &mem_queue, LANE_MEMORY, policy));
+            let comp_worker = s.spawn(|| worker_loop(&shared, &comp_queue, LANE_COMPUTE, policy));
 
             // Control thread: admit tasks into the window in order and
-            // push them to the right queue.
+            // push them to the right queue. Each queue has a single
+            // producer (this thread) and a single consumer (its worker).
             for task in &program.tasks {
                 let queued = loop {
-                    let mut w = shared.window.lock();
+                    let mut w = shared.window.lock().expect("window poisoned");
                     if let Ok(slot) = w.admit(task.id) {
                         let dep_mask = w.mask_for(&task.deps) & !(1u64 << slot);
                         shared.pending.store(w.pending_mask(), Ordering::Release);
                         break QueuedTask { task: task.id, slot, dep_mask };
                     }
                     // Window full: wait for a completion.
-                    shared.window_cv.wait(&mut w);
+                    let _unused = shared.window_cv.wait(w).expect("window poisoned");
                 };
                 let queue = if task.kind.is_memory() { &mem_queue } else { &comp_queue };
                 let mut item = queued;
                 while let Err(back) = queue.push(item) {
                     item = back;
                     std::hint::spin_loop();
+                }
+                if let Some(buf) = &shared.trace {
+                    buf.push(LANE_CONTROL, Some(task.id), ExecEventKind::Enqueue);
                 }
             }
             shared.done.store(true, Ordering::Release);
@@ -156,7 +188,7 @@ impl NativeExecutor {
             (m, c)
         });
 
-        let (w, _srf) = shared.data.into_inner();
+        let (w, _srf) = shared.data.into_inner().expect("data mutex poisoned");
         *world = w;
         NativeReport {
             tasks: program.tasks.len(),
@@ -168,7 +200,8 @@ impl NativeExecutor {
 
 fn worker_loop(
     shared: &Shared<'_>,
-    queue: &ArrayQueue<QueuedTask>,
+    queue: &SpscRing<QueuedTask>,
+    lane: u8,
     policy: NativeWaitPolicy,
 ) -> usize {
     let mut executed = 0usize;
@@ -183,29 +216,40 @@ fn worker_loop(
             continue;
         };
         let task = &shared.program.tasks[item.task.0 as usize];
-        wait_ready(shared, &task.deps, policy);
+        wait_ready(shared, &item, lane, policy);
+        if let Some(buf) = &shared.trace {
+            buf.push(lane, Some(item.task), ExecEventKind::Start);
+        }
         {
-            let mut data = shared.data.lock();
+            let mut data = shared.data.lock().expect("data mutex poisoned");
             let (world, srf) = &mut *data;
             execute_task(task, shared.graph, world, srf);
         }
         {
-            let mut w = shared.window.lock();
+            let mut w = shared.window.lock().expect("window poisoned");
             w.complete(item.task);
             shared.completed[item.task.0 as usize].store(true, Ordering::Release);
             shared.pending.store(w.pending_mask(), Ordering::Release);
             shared.window_cv.notify_all();
         }
+        if let Some(buf) = &shared.trace {
+            buf.push(lane, Some(item.task), ExecEventKind::Finish);
+        }
         executed += 1;
     }
 }
 
-fn wait_ready(shared: &Shared<'_>, deps: &[TaskId], policy: NativeWaitPolicy) {
-    let ready = || {
-        deps.iter().all(|d| shared.completed[d.0 as usize].load(Ordering::Acquire))
-    };
+fn wait_ready(shared: &Shared<'_>, item: &QueuedTask, lane: u8, policy: NativeWaitPolicy) {
+    let deps: &[TaskId] = &shared.program.tasks[item.task.0 as usize].deps;
+    let ready = || deps.iter().all(|d| shared.completed[d.0 as usize].load(Ordering::Acquire));
     if ready() {
+        if let Some(buf) = &shared.trace {
+            buf.push(lane, Some(item.task), ExecEventKind::Ready);
+        }
         return;
+    }
+    if let Some(buf) = &shared.trace {
+        buf.push(lane, Some(item.task), ExecEventKind::DepWait { mask: item.dep_mask });
     }
     match policy {
         NativeWaitPolicy::Spin => {
@@ -215,10 +259,14 @@ fn wait_ready(shared: &Shared<'_>, deps: &[TaskId], policy: NativeWaitPolicy) {
             }
         }
         NativeWaitPolicy::Park => {
-            let mut w = shared.window.lock();
+            let mut w = shared.window.lock().expect("window poisoned");
             while !ready() {
-                shared.window_cv.wait(&mut w);
+                w = shared.window_cv.wait(w).expect("window poisoned");
             }
+            drop(w);
         }
+    }
+    if let Some(buf) = &shared.trace {
+        buf.push(lane, Some(item.task), ExecEventKind::Ready);
     }
 }

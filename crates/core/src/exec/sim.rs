@@ -13,10 +13,11 @@
 use crate::exec::execute_task;
 use crate::graph::{AccessKind, ArrayBinding, StreamGraph};
 use crate::srf::{SrfBuffer, SrfConfig};
-use crate::task::{PortBinding, ScheduledProgram, TaskKind};
+use crate::task::{PortBinding, ScheduledProgram, TaskId, TaskKind};
+use crate::trace::{ExecEvent, ExecEventKind};
 use crate::world::World;
 use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
-use gpstream_machine::{Machine, MachineConfig, RunResult};
+use gpstream_machine::{Machine, MachineConfig, MachineEventKind, RunResult};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -26,12 +27,23 @@ pub const COMPUTE_CTX: usize = 0;
 pub const MEMORY_CTX: usize = 1;
 
 /// Report from a simulated run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Timing result from the machine model.
     pub timing: RunResult,
     /// Number of tasks executed.
     pub tasks: usize,
+    /// Cycle-stamped, task-attributed events of the timing run (present
+    /// when [`SimExecutor::with_trace`] enabled tracing). Lane 0 is the
+    /// compute context, lane 1 the memory context.
+    pub trace: Option<Vec<ExecEvent>>,
+}
+
+/// Per-context lowering: the op streams plus, per op, the task that
+/// produced it (for trace attribution).
+struct Lowered {
+    ops: [Vec<BulkOp>; 2],
+    owners: [Vec<TaskId>; 2],
 }
 
 /// Executor that runs the program functionally and on the timing model.
@@ -42,6 +54,7 @@ pub struct SimExecutor {
     wait_policy: WaitPolicy,
     warmup: bool,
     single_context: bool,
+    trace: bool,
 }
 
 impl Default for SimExecutor {
@@ -52,6 +65,7 @@ impl Default for SimExecutor {
             wait_policy: WaitPolicy::Mwait,
             warmup: false,
             single_context: false,
+            trace: false,
         }
     }
 }
@@ -105,6 +119,16 @@ impl SimExecutor {
         self
     }
 
+    /// Record cycle-stamped events during the timing run; the report's
+    /// `trace` field carries them (attributed to tasks) for the Chrome
+    /// exporter in [`crate::trace`]. When a warm-up run is configured,
+    /// only the measured iteration is traced.
+    #[must_use]
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
     /// The machine configuration in use.
     #[must_use]
     pub fn machine_config(&self) -> &MachineConfig {
@@ -140,20 +164,21 @@ impl SimExecutor {
         // Timing pass.
         let mut machine = Machine::new(self.machine_cfg.clone());
         machine.install_srf(self.srf_cfg.range());
-        let mut progs: [Vec<BulkOp>; 2] = [Vec::new(), Vec::new()];
-        if self.single_context {
-            progs[COMPUTE_CTX] = self.lower_single(program, graph, world);
+        if self.trace {
+            machine.enable_trace();
+        }
+        let lowered = if self.single_context {
+            self.lower_single(program, graph, world)
         } else {
-            let [compute_ops, memory_ops] = self.lower(program, graph, world);
-            progs[COMPUTE_CTX] = compute_ops;
-            progs[MEMORY_CTX] = memory_ops;
-        }
+            self.lower(program, graph, world)
+        };
         if self.warmup {
-            let _ = machine.run(progs.clone());
-            machine.reset_time();
+            let _ = machine.run(lowered.ops.clone());
+            machine.reset_time(); // also drops the warm-up's trace events
         }
-        let timing = machine.run(progs);
-        SimReport { timing, tasks: program.tasks.len() }
+        let timing = machine.run(lowered.ops.clone());
+        let trace = self.trace.then(|| attribute_events(machine.take_trace(), &lowered, program));
+        SimReport { timing, tasks: program.tasks.len(), trace }
     }
 
     /// Lower the whole schedule onto one context in task order (the
@@ -164,10 +189,12 @@ impl SimExecutor {
         program: &ScheduledProgram,
         graph: &StreamGraph,
         world: &World,
-    ) -> Vec<BulkOp> {
-        let [compute_ops, memory_ops] = self.lower(program, graph, world);
+    ) -> Lowered {
+        let two = self.lower(program, graph, world);
+        let [compute_ops, memory_ops] = two.ops;
         // Interleave back into task order without synchronization ops.
         let mut ops = Vec::with_capacity(compute_ops.len() + memory_ops.len());
+        let mut owners = Vec::with_capacity(ops.capacity());
         let (mut ci, mut mi) = (0usize, 0usize);
         let strip = |v: &[BulkOp], i: &mut usize| -> Option<BulkOp> {
             while *i < v.len() {
@@ -188,18 +215,15 @@ impl SimExecutor {
             };
             if let Some(op) = op {
                 ops.push(op);
+                owners.push(t.id);
             }
         }
-        ops
+        Lowered { ops: [ops, Vec::new()], owners: [owners, Vec::new()] }
     }
 
-    /// Lower the schedule into per-context bulk-op streams.
-    fn lower(
-        &self,
-        program: &ScheduledProgram,
-        graph: &StreamGraph,
-        world: &World,
-    ) -> [Vec<BulkOp>; 2] {
+    /// Lower the schedule into per-context bulk-op streams, tracking
+    /// which task produced each op.
+    fn lower(&self, program: &ScheduledProgram, graph: &StreamGraph, world: &World) -> Lowered {
         // Which tasks need a completion signal (some cross-queue task
         // depends on them)?
         let mut signaled: HashSet<u32> = HashSet::new();
@@ -214,9 +238,16 @@ impl SimExecutor {
 
         let mut compute_ops: Vec<BulkOp> = Vec::new();
         let mut memory_ops: Vec<BulkOp> = Vec::new();
+        let mut compute_owners: Vec<TaskId> = Vec::new();
+        let mut memory_owners: Vec<TaskId> = Vec::new();
         for t in &program.tasks {
             let my_mem = t.kind.is_memory();
-            let ops = if my_mem { &mut memory_ops } else { &mut compute_ops };
+            let (ops, owners) = if my_mem {
+                (&mut memory_ops, &mut memory_owners)
+            } else {
+                (&mut compute_ops, &mut compute_owners)
+            };
+            let ops_before = ops.len();
             // Wait for cross-queue dependencies (same-queue order is free).
             for d in &t.deps {
                 if program.tasks[d.0 as usize].kind.is_memory() != my_mem {
@@ -270,8 +301,9 @@ impl SimExecutor {
             if signaled.contains(&t.id.0) {
                 ops.push(BulkOp::Signal { id: t.id.0 });
             }
+            owners.extend(std::iter::repeat_n(t.id, ops.len() - ops_before));
         }
-        [compute_ops, memory_ops]
+        Lowered { ops: [compute_ops, memory_ops], owners: [compute_owners, memory_owners] }
     }
 
     /// Build the machine-level access pattern for a gather (`is_src`) or
@@ -323,4 +355,86 @@ impl SimExecutor {
             }
         }
     }
+}
+
+/// Translate the machine's cycle-stamped events into task-attributed
+/// executor events.
+///
+/// Synchronization ops map to queue-shaped events rather than slices: a
+/// `Wait` op's start becomes a dependency-mask wait instant, the engine's
+/// wakeup becomes the resume, and `Signal` ops vanish (their cost is
+/// folded into the preceding op). Each task additionally gets an
+/// `Enqueue` instant at cycle 0 — the control thread's enqueue work
+/// overlaps the pipeline and is not separately timed — and a `Ready`
+/// instant when its first real op starts.
+fn attribute_events(
+    events: Vec<gpstream_machine::MachineEvent>,
+    lowered: &Lowered,
+    program: &ScheduledProgram,
+) -> Vec<ExecEvent> {
+    let mut out: Vec<ExecEvent> = Vec::with_capacity(events.len() + program.tasks.len());
+    for (c, owners) in lowered.owners.iter().enumerate() {
+        if owners.is_empty() {
+            continue;
+        }
+        let owned: HashSet<TaskId> = owners.iter().copied().collect();
+        for t in &program.tasks {
+            if owned.contains(&t.id) {
+                out.push(ExecEvent {
+                    ts: 0,
+                    who: c as u8,
+                    task: Some(t.id),
+                    kind: ExecEventKind::Enqueue,
+                });
+            }
+        }
+    }
+    let mut started: HashSet<TaskId> = HashSet::new();
+    for e in events {
+        let ctx = e.ctx as usize;
+        let (op_idx, starting) = match e.kind {
+            MachineEventKind::OpStart { op } => (Some(op as usize), true),
+            MachineEventKind::OpRetire { op } => (Some(op as usize), false),
+            _ => (None, false),
+        };
+        if let Some(i) = op_idx {
+            let Some(&task) = lowered.owners[ctx].get(i) else { continue };
+            let kind = match &lowered.ops[ctx][i] {
+                BulkOp::Signal { .. } => continue,
+                BulkOp::Wait { id, .. } => {
+                    if !starting {
+                        continue; // waits "retire" at wait entry; skip
+                    }
+                    ExecEventKind::DepWait { mask: 1u64 << (id % 64) }
+                }
+                _ if starting => {
+                    if started.insert(task) {
+                        out.push(ExecEvent {
+                            ts: e.t,
+                            who: e.ctx,
+                            task: Some(task),
+                            kind: ExecEventKind::Ready,
+                        });
+                    }
+                    ExecEventKind::Start
+                }
+                _ => ExecEventKind::Finish,
+            };
+            out.push(ExecEvent { ts: e.t, who: e.ctx, task: Some(task), kind });
+            continue;
+        }
+        let kind = match e.kind {
+            MachineEventKind::BusGrant { bytes, queued } => ExecEventKind::Bus { bytes, queued },
+            MachineEventKind::Wakeup { dispatch, .. } => ExecEventKind::Wakeup { dispatch },
+            MachineEventKind::PrefetchCover { sw } => ExecEventKind::PrefetchCover { sw },
+            MachineEventKind::TlbWalk { cycles } => ExecEventKind::TlbWalk { cycles },
+            MachineEventKind::WcFlush => ExecEventKind::WcFlush,
+            MachineEventKind::OpStart { .. } | MachineEventKind::OpRetire { .. } => {
+                unreachable!("handled above")
+            }
+        };
+        out.push(ExecEvent { ts: e.t, who: e.ctx, task: None, kind });
+    }
+    out.sort_by_key(|e| e.ts);
+    out
 }

@@ -309,10 +309,7 @@ impl StreamGraph {
     /// The kernel producing `stream`, if any.
     #[must_use]
     pub fn producer_of(&self, stream: StreamId) -> Option<KernelId> {
-        self.kernels
-            .iter()
-            .position(|k| k.outputs.contains(&stream))
-            .map(|i| KernelId(i as u32))
+        self.kernels.iter().position(|k| k.outputs.contains(&stream)).map(|i| KernelId(i as u32))
     }
 
     /// All kernels consuming `stream`.
@@ -625,8 +622,7 @@ impl GraphBuilder {
         // Every stream needs a source and a sink, and at most one producer.
         for (si, s) in g.streams.iter().enumerate() {
             let sid = StreamId(si as u32);
-            let producers =
-                g.kernels.iter().filter(|k| k.outputs.contains(&sid)).count();
+            let producers = g.kernels.iter().filter(|k| k.outputs.contains(&sid)).count();
             if producers > 1 {
                 return Err(GraphError::MultipleProducers(s.name.clone()));
             }

@@ -41,18 +41,21 @@ pub mod graph;
 pub mod metrics;
 pub mod pod;
 pub mod regular;
+pub(crate) mod spsc;
 pub mod srf;
 pub mod task;
+pub mod trace;
 pub mod workqueue;
 pub mod world;
 
 pub use graph::{
-    ArrayBinding, ArrayId, ArrayRef, AccessKind, GraphBuilder, GraphError, KernelArgs,
-    KernelDecl, KernelId, StreamDecl, StreamGraph, StreamId, StreamRef,
+    AccessKind, ArrayBinding, ArrayId, ArrayRef, GraphBuilder, GraphError, KernelArgs, KernelDecl,
+    KernelId, StreamDecl, StreamGraph, StreamId, StreamRef,
 };
 pub use metrics::{BandwidthPoint, BandwidthSeries, Comparison, NormalizedBar};
 pub use pod::{AlignedBytes, Pod};
 pub use regular::{RegularAccess, RegularPhase, RegularProgram};
 pub use srf::{SrfBuffer, SrfConfig};
 pub use task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};
+pub use trace::{chrome_trace, ExecEvent, ExecEventKind, TraceBuffer, TraceRun};
 pub use world::{MemArray, World};

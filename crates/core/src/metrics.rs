@@ -1,10 +1,10 @@
-//! Report types for experiments (serde-serializable so the bench harness
-//! can emit JSON).
+//! Report types for experiments (JSON-convertible so the bench harness
+//! can emit machine-readable output).
 
-use serde::{Deserialize, Serialize};
+use gpstream_machine::PhaseCycles;
 
 /// Comparison of a regular program against its streaming twin.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// Experiment label (e.g. "LD-ST-COMP COMP=4").
     pub name: String,
@@ -12,6 +12,9 @@ pub struct Comparison {
     pub regular_cycles: u64,
     /// Cycles of the stream version.
     pub stream_cycles: u64,
+    /// Per-context phase breakdown of the stream run (`[compute ctx,
+    /// memory ctx]`), when the producer captured one.
+    pub phases: Option<[PhaseCycles; 2]>,
 }
 
 impl Comparison {
@@ -27,7 +30,7 @@ impl Comparison {
 }
 
 /// One point on a bandwidth curve (Figure 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthPoint {
     /// Record size in bytes.
     pub record_bytes: u64,
@@ -36,7 +39,7 @@ pub struct BandwidthPoint {
 }
 
 /// A named series of bandwidth points.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthSeries {
     /// Series label (e.g. "sequential load, non-temporal").
     pub name: String,
@@ -45,7 +48,7 @@ pub struct BandwidthSeries {
 }
 
 /// One bar of a normalized-execution-time chart (Figures 6 and 8).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NormalizedBar {
     /// Bar label.
     pub name: String,
@@ -59,17 +62,14 @@ mod tests {
 
     #[test]
     fn speedup_math() {
-        let c = Comparison {
-            name: "x".into(),
-            regular_cycles: 150,
-            stream_cycles: 100,
-        };
+        let c =
+            Comparison { name: "x".into(), regular_cycles: 150, stream_cycles: 100, phases: None };
         assert!((c.speedup() - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn zero_stream_cycles_is_zero_speedup() {
-        let c = Comparison { name: "x".into(), regular_cycles: 1, stream_cycles: 0 };
+        let c = Comparison { name: "x".into(), regular_cycles: 1, stream_cycles: 0, phases: None };
         assert_eq!(c.speedup(), 0.0);
     }
 }

@@ -78,11 +78,7 @@ pub fn to_bytes<T: Pod>(values: &[T]) -> Vec<u8> {
     let mut out = vec![0u8; std::mem::size_of_val(values)];
     // SAFETY: T: Pod has no padding; out is exactly the right length.
     unsafe {
-        std::ptr::copy_nonoverlapping(
-            values.as_ptr().cast::<u8>(),
-            out.as_mut_ptr(),
-            out.len(),
-        );
+        std::ptr::copy_nonoverlapping(values.as_ptr().cast::<u8>(), out.as_mut_ptr(), out.len());
     }
     out
 }
@@ -140,9 +136,7 @@ impl AlignedBytes {
     /// The bytes, mutably.
     pub fn as_mut_bytes(&mut self) -> &mut [u8] {
         // SAFETY: storage holds at least `len` initialized bytes.
-        unsafe {
-            std::slice::from_raw_parts_mut(self.storage.as_mut_ptr().cast::<u8>(), self.len)
-        }
+        unsafe { std::slice::from_raw_parts_mut(self.storage.as_mut_ptr().cast::<u8>(), self.len) }
     }
 
     /// View as a typed slice.

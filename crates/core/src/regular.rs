@@ -38,13 +38,7 @@ impl RegularAccess {
     /// Sequential whole-record access helper.
     #[must_use]
     pub fn seq(array: ArrayId, field_bytes: usize, rw: Rw) -> Self {
-        RegularAccess {
-            array,
-            access: AccessKind::Sequential,
-            field_offset: 0,
-            field_bytes,
-            rw,
-        }
+        RegularAccess { array, access: AccessKind::Sequential, field_offset: 0, field_bytes, rw }
     }
 
     /// Indexed whole-record access helper.
@@ -233,7 +227,7 @@ mod tests {
     #[should_panic(expected = "index array shorter")]
     fn indexed_access_requires_enough_indices() {
         let mut world = World::new();
-        let a = world.add_array("a", &vec![0u32; 16]);
+        let a = world.add_array("a", &[0u32; 16]);
         let mut prog = RegularProgram::new();
         prog.phase(
             "bad",

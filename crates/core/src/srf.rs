@@ -162,11 +162,7 @@ impl SrfBuffer {
     /// # Panics
     ///
     /// Panics if the ranges overlap or exceed the capacity.
-    pub fn disjoint_mut(
-        &mut self,
-        a: (usize, usize),
-        b: (usize, usize),
-    ) -> (&mut [u8], &mut [u8]) {
+    pub fn disjoint_mut(&mut self, a: (usize, usize), b: (usize, usize)) -> (&mut [u8], &mut [u8]) {
         let (a_off, a_len) = a;
         let (b_off, b_len) = b;
         assert!(

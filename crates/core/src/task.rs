@@ -118,10 +118,7 @@ impl ScheduledProgram {
             }
             for d in &t.deps {
                 if d.0 >= t.id.0 {
-                    return Err(format!(
-                        "task {:?} depends on later or same task {:?}",
-                        t.id, d
-                    ));
+                    return Err(format!("task {:?} depends on later or same task {:?}", t.id, d));
                 }
             }
         }
@@ -183,12 +180,8 @@ mod tests {
     fn task_classification() {
         let g = gather(0, vec![]);
         assert!(g.kind.is_memory());
-        let k = TaskKind::Kernel {
-            kernel: KernelId(0),
-            items: 0..4,
-            inputs: vec![],
-            outputs: vec![],
-        };
+        let k =
+            TaskKind::Kernel { kernel: KernelId(0), items: 0..4, inputs: vec![], outputs: vec![] };
         assert!(!k.is_memory());
     }
 

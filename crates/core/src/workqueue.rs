@@ -13,6 +13,7 @@
 //! threads can test readiness without taking the lock.
 
 use crate::task::TaskId;
+use crate::trace::{ExecEventKind, TraceBuffer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -41,6 +42,8 @@ pub struct DependencyWindow {
     pending: u64,
     /// Which task occupies each pending slot.
     slot_of: HashMap<TaskId, u8>,
+    /// Optional event sink recording slot admissions and clears.
+    trace: Option<(TraceBuffer, u8)>,
 }
 
 impl DependencyWindow {
@@ -48,6 +51,12 @@ impl DependencyWindow {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Record slot admit/clear events into `buf`, attributed to lane
+    /// `who` (the control thread, in the native executor).
+    pub fn set_trace(&mut self, buf: TraceBuffer, who: u8) {
+        self.trace = Some((buf, who));
     }
 
     /// Bitmask of in-flight (incomplete) slots.
@@ -76,6 +85,9 @@ impl DependencyWindow {
         let slot = free as u8;
         self.pending |= 1u64 << slot;
         self.slot_of.insert(task, slot);
+        if let Some((buf, who)) = &self.trace {
+            buf.push(*who, Some(task), ExecEventKind::SlotAdmit { slot });
+        }
         Ok(slot)
     }
 
@@ -101,6 +113,9 @@ impl DependencyWindow {
     pub fn complete(&mut self, task: TaskId) -> u8 {
         let slot = self.slot_of.remove(&task).expect("completing unknown task");
         self.pending &= !(1u64 << slot);
+        if let Some((buf, who)) = &self.trace {
+            buf.push(*who, Some(task), ExecEventKind::SlotClear { slot });
+        }
         slot
     }
 

@@ -84,9 +84,7 @@ fn hand_built_schedule_runs_on_all_executors() {
     assert!(rep.timing.cycles > 0);
 
     let mut w3 = world.clone();
-    NativeExecutor::new()
-        .with_wait_policy(NativeWaitPolicy::Spin)
-        .run(&program, &graph, &mut w3);
+    NativeExecutor::new().with_wait_policy(NativeWaitPolicy::Spin).run(&program, &graph, &mut w3);
     assert_eq!(w3.slice::<f32>(y), expected.as_slice());
 }
 
@@ -158,13 +156,9 @@ mod gpstream_compiler_shim {
         let mut tasks = Vec::new();
         for (s, start) in (0..n).step_by(strip).enumerate() {
             let elems = start..(start + strip).min(n);
-            let in_b =
-                PortBinding { stream: xs, srf_offset: 1024 * (s % 2), elems: elems.clone() };
-            let out_b = PortBinding {
-                stream: ys,
-                srf_offset: 8192 + 1024 * (s % 2),
-                elems: elems.clone(),
-            };
+            let in_b = PortBinding { stream: xs, srf_offset: 1024 * (s % 2), elems: elems.clone() };
+            let out_b =
+                PortBinding { stream: ys, srf_offset: 8192 + 1024 * (s % 2), elems: elems.clone() };
             let base = tasks.len() as u32;
             let mut gather_deps = Vec::new();
             if s >= 2 {

@@ -198,9 +198,7 @@ impl Cache {
     pub fn contains(&self, addr: u64) -> bool {
         let (set, tag) = self.index_of(addr);
         let base = (set * self.geom.ways) as usize;
-        self.lines[base..base + self.geom.ways as usize]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.geom.ways as usize].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidate everything (e.g. between experiments).

@@ -6,10 +6,8 @@
 //! 8-way L2 cache (128-byte lines), a 6.4 GB/s front-side bus and the
 //! PAUSE / MONITOR+MWAIT inter-context communication primitives.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
     /// Total capacity in bytes.
     pub capacity: u64,
@@ -46,7 +44,7 @@ impl CacheGeometry {
 /// a compute thread co-running with the memory thread keeps ~0.71x, and
 /// bulk memory streams are limited by the shared bus rather than by
 /// issue slots.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SmtFactors {
     /// Compute rate while the other context also computes.
     pub comp_vs_comp: f64,
@@ -65,7 +63,7 @@ pub struct SmtFactors {
 
 /// Inter-context communication (work-queue dispatch) costs, from the
 /// paper's Section III-B measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitCosts {
     /// Cycles to dispatch a task to a context spinning with PAUSE.
     pub pause_dispatch: u64,
@@ -77,7 +75,7 @@ pub struct WaitCosts {
 }
 
 /// Full configuration of the simulated machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Core clock frequency in GHz (used only to convert cycles to seconds).
     pub freq_ghz: f64,
@@ -277,7 +275,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple")]
     fn bad_geometry_panics() {
-        CacheGeometry { capacity: 1000, line: 128, ways: 8 }.sets();
+        let _ = CacheGeometry { capacity: 1000, line: 128, ways: 8 }.sets();
     }
 
     #[test]

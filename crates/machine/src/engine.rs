@@ -22,6 +22,7 @@ use crate::ops::{BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 use crate::prefetch::Prefetcher;
 use crate::stats::{MemStats, RunResult};
 use crate::tlb::Tlb;
+use crate::trace::{MachineEvent, MachineEventKind, PhaseCycles};
 use std::collections::{BTreeMap, VecDeque};
 use std::ops::Range;
 
@@ -93,6 +94,11 @@ pub struct Machine {
     /// (compute, page walks) up to `mshrs` deep.
     fills: [VecDeque<u64>; 2],
     stats: MemStats,
+    /// Per-context cycle attribution, accumulated every step.
+    phases: [PhaseCycles; 2],
+    /// Event sink; `None` (the default) records nothing and costs one
+    /// branch per emission site.
+    trace: Option<Vec<MachineEvent>>,
 }
 
 /// Number of work units (elements / iterations) per engine step; keeps the
@@ -133,6 +139,39 @@ impl Machine {
             wc: [WriteCombiner::default(); 2],
             fills: [VecDeque::new(), VecDeque::new()],
             stats: MemStats::default(),
+            phases: [PhaseCycles::default(); 2],
+            trace: None,
+        }
+    }
+
+    /// Start recording [`MachineEvent`]s. Events accumulate across runs
+    /// until [`Machine::take_trace`] drains them.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drain and return the recorded events (empty if tracing was never
+    /// enabled). Tracing stays enabled afterwards.
+    pub fn take_trace(&mut self) -> Vec<MachineEvent> {
+        match self.trace.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether event tracing is enabled.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Record one event; compiles to a single branch when disabled.
+    #[inline]
+    fn emit(&mut self, t: u64, ctx: usize, kind: impl FnOnce() -> MachineEventKind) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(MachineEvent { t, ctx: ctx as u8, kind: kind() });
         }
     }
 
@@ -160,11 +199,8 @@ impl Machine {
     /// contents. Used to measure a warm steady-state iteration, like the
     /// paper's "several hundred time steps".
     pub fn reset_time(&mut self) {
-        self.bus = Bus::new(
-            self.cfg.bus_bytes_per_cycle,
-            self.cfg.mem_lat,
-            self.cfg.bus_turnaround,
-        );
+        self.bus =
+            Bus::new(self.cfg.bus_bytes_per_cycle, self.cfg.mem_lat, self.cfg.bus_turnaround);
         self.walker_free = 0;
         self.bus_contended = false;
         self.loop_window = false;
@@ -172,6 +208,10 @@ impl Machine {
         self.wc = [WriteCombiner::default(); 2];
         self.fills = [VecDeque::new(), VecDeque::new()];
         self.stats = MemStats::default();
+        self.phases = [PhaseCycles::default(); 2];
+        if let Some(buf) = self.trace.as_mut() {
+            buf.clear();
+        }
     }
 
     /// Run a single-context program (the partner is idle, so the core runs
@@ -193,19 +233,28 @@ impl Machine {
             Cursor { ops: p1, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None },
         ];
         let mut signals: BTreeMap<u32, u64> = BTreeMap::new();
+        self.phases = [PhaseCycles::default(); 2];
 
         loop {
             // Resolve waits that can now complete.
-            for c in cur.iter_mut() {
+            for (ci, c) in cur.iter_mut().enumerate() {
                 if let Some((id, policy)) = c.waiting {
                     if let Some(&sig_t) = signals.get(&id) {
                         let dispatch = self.dispatch_cost(policy);
-                        c.t = if c.t >= sig_t {
-                            c.t + DEQUEUE_CYCLES
+                        let (resumed, paid) = if c.t >= sig_t {
+                            (c.t + DEQUEUE_CYCLES, DEQUEUE_CYCLES)
                         } else {
-                            sig_t + dispatch
+                            self.phases[ci].idle_wait += sig_t - c.t;
+                            (sig_t + dispatch, dispatch)
                         };
+                        self.phases[ci].dispatch += paid;
+                        c.t = resumed;
                         c.waiting = None;
+                        self.emit(resumed, ci, || MachineEventKind::Wakeup {
+                            id,
+                            policy,
+                            dispatch: paid,
+                        });
                     }
                 }
             }
@@ -216,13 +265,11 @@ impl Machine {
                 (true, false) => 0,
                 (false, true) => 1,
                 (false, false) => {
-                    let finished =
-                        |c: &Cursor| c.done() && c.waiting.is_none();
+                    let finished = |c: &Cursor| c.done() && c.waiting.is_none();
                     if finished(&cur[0]) && finished(&cur[1]) {
                         break;
                     }
-                    let stuck: Vec<usize> =
-                        (0..2).filter(|&c| cur[c].waiting.is_some()).collect();
+                    let stuck: Vec<usize> = (0..2).filter(|&c| cur[c].waiting.is_some()).collect();
                     panic!(
                         "deadlock: contexts {stuck:?} wait on events never signaled \
                          (waiting: {:?}, {:?})",
@@ -238,7 +285,12 @@ impl Machine {
         self.stats.bus_bytes = self.bus.bytes_moved();
         self.stats.bus_busy_cycles = self.bus.busy_cycles();
         let ctx_cycles = [cur[0].t, cur[1].t];
-        RunResult { ctx_cycles, cycles: ctx_cycles[0].max(ctx_cycles[1]), mem: self.stats }
+        RunResult {
+            ctx_cycles,
+            cycles: ctx_cycles[0].max(ctx_cycles[1]),
+            mem: self.stats,
+            phases: self.phases,
+        }
     }
 
     /// Statistics accumulated so far (valid after `run`).
@@ -312,6 +364,22 @@ impl Machine {
         // Take the op out to appease the borrow checker; ops are cheap to
         // clone except for Indexed patterns which are Arc-backed.
         let op = cur[c].ops[cur[c].idx].clone();
+        if cur[c].progress == 0 && cur[c].progress_bytes == 0 {
+            let (t0, op_idx) = (cur[c].t, cur[c].idx as u32);
+            self.emit(t0, c, || MachineEventKind::OpStart { op: op_idx });
+        }
+        // Which phase bucket this op's elapsed cycles belong to.
+        let bucket = match &op {
+            BulkOp::Compute { .. } => 0u8,
+            BulkOp::Copy { .. } => 1,
+            BulkOp::Loop { class, .. } => match class {
+                OpClass::Compute => 0,
+                OpClass::Memory => 1,
+            },
+            BulkOp::Delay { .. } => 2,
+            BulkOp::Signal { .. } | BulkOp::Wait { .. } => 3,
+        };
+        let t_before = cur[c].t;
         match op {
             BulkOp::Compute { uops } => {
                 let f = self.comp_factor(other);
@@ -321,7 +389,7 @@ impl Machine {
                 cur[c].t += self.uop_cycles(take, f);
                 cur[c].progress += take;
                 if cur[c].progress >= uops {
-                    self.advance(&mut cur[c]);
+                    self.advance(c, &mut cur[c]);
                 }
             }
             BulkOp::Copy { mem, srf_base, dir, nt } => {
@@ -341,11 +409,7 @@ impl Machine {
                     // buffers; random (indexed) copies are dependent chains
                     // (index load -> address -> data load, TLB walk in the
                     // middle) and keep one uncovered miss in flight.
-                    let mlp = if mem.is_sequential() {
-                        self.cfg.mshrs.max(1) as usize
-                    } else {
-                        1
-                    };
+                    let mlp = if mem.is_sequential() { self.cfg.mshrs.max(1) as usize } else { 1 };
                     match dir {
                         CopyDir::GatherToSrf => {
                             if nt {
@@ -384,7 +448,7 @@ impl Machine {
                 cur[c].progress_bytes = srf_off;
                 if cur[c].progress >= total {
                     self.flush_wc(c, cur[c].t);
-                    self.advance(&mut cur[c]);
+                    self.advance(c, &mut cur[c]);
                 }
             }
             BulkOp::Loop { patterns, uops_per_iter, class } => {
@@ -428,27 +492,36 @@ impl Machine {
                 cur[c].t = t;
                 cur[c].progress += take;
                 if cur[c].progress >= total {
-                    self.advance(&mut cur[c]);
+                    self.advance(c, &mut cur[c]);
                 }
             }
             BulkOp::Signal { id } => {
                 signals.insert(id, cur[c].t);
-                self.advance(&mut cur[c]);
+                self.advance(c, &mut cur[c]);
             }
             BulkOp::Wait { id, policy } => {
                 // `run` resolves the wait; mark and advance past the op so
                 // that on resume we continue with the next one.
                 cur[c].waiting = Some((id, policy));
-                self.advance(&mut cur[c]);
+                self.advance(c, &mut cur[c]);
             }
             BulkOp::Delay { cycles } => {
                 cur[c].t += cycles;
-                self.advance(&mut cur[c]);
+                self.advance(c, &mut cur[c]);
             }
+        }
+        let dt = cur[c].t - t_before;
+        match bucket {
+            0 => self.phases[c].compute += dt,
+            1 => self.phases[c].memory += dt,
+            2 => self.phases[c].idle_wait += dt,
+            _ => self.phases[c].dispatch += dt,
         }
     }
 
-    fn advance(&mut self, c: &mut Cursor) {
+    fn advance(&mut self, ctx: usize, c: &mut Cursor) {
+        let (t, op_idx) = (c.t, c.idx as u32);
+        self.emit(t, ctx, || MachineEventKind::OpRetire { op: op_idx });
         c.idx += 1;
         c.progress = 0;
         c.progress_bytes = 0;
@@ -527,6 +600,8 @@ impl Machine {
                 let walk_start = t.max(self.walker_free);
                 self.walker_free = walk_start + self.cfg.walk_cycles;
                 self.stats.walk_cycles += self.cfg.walk_cycles;
+                let walk = self.cfg.walk_cycles;
+                self.emit(walk_start, ctx, || MachineEventKind::TlbWalk { cycles: walk });
                 return self.walker_free;
             }
         } else {
@@ -579,8 +654,12 @@ impl Machine {
         }
         if out.writeback.is_some() {
             // Fire-and-forget writeback; occupies the bus.
-            let _ = self.bus.request(t, line, ctx as u8, self.bus_contended);
+            let wb = self.bus.request(t, line, ctx as u8, self.bus_contended);
             self.stats.writebacks += 1;
+            self.emit(wb.start, ctx, || MachineEventKind::BusGrant {
+                bytes: line,
+                queued: wb.start.saturating_sub(t),
+            });
         }
 
         // Prefetch coverage.
@@ -596,8 +675,15 @@ impl Machine {
         };
 
         if covered {
-            let transfer =
-                self.bus.request(t.max(avail), line, ctx as u8, self.bus_contended);
+            let req = t.max(avail);
+            let transfer = self.bus.request(req, line, ctx as u8, self.bus_contended);
+            self.emit(transfer.start, ctx, || MachineEventKind::BusGrant {
+                bytes: line,
+                queued: transfer.start.saturating_sub(req),
+            });
+            self.emit(transfer.start, ctx, || MachineEventKind::PrefetchCover {
+                sw: sw_prefetched,
+            });
             // The prefetcher (or software prefetch loop) ran `depth`
             // line-transfers ahead: the context stalls only if the bus —
             // or, for random patterns, the serialized page walker feeding
@@ -615,8 +701,12 @@ impl Machine {
                     t = t.max(ready);
                 }
             }
-            let transfer =
-                self.bus.request(t.max(avail), line, ctx as u8, self.bus_contended);
+            let req = t.max(avail);
+            let transfer = self.bus.request(req, line, ctx as u8, self.bus_contended);
+            self.emit(transfer.start, ctx, || MachineEventKind::BusGrant {
+                bytes: line,
+                queued: transfer.start.saturating_sub(req),
+            });
             if self.loop_window {
                 // The reorder window hides only `ooo_window_cycles` of the
                 // *fill* latency; the page walk overlaps it (the walker is
@@ -633,8 +723,12 @@ impl Machine {
             // Uncovered store miss (read-for-ownership): store-buffer
             // stalls hide part but not all of the fill; inside a loop the
             // translation overlaps like a load's.
-            let transfer =
-                self.bus.request(t.max(avail), line, ctx as u8, self.bus_contended);
+            let req = t.max(avail);
+            let transfer = self.bus.request(req, line, ctx as u8, self.bus_contended);
+            self.emit(transfer.start, ctx, || MachineEventKind::BusGrant {
+                bytes: line,
+                queued: transfer.start.saturating_sub(req),
+            });
             if self.loop_window {
                 let w = self.cfg.ooo_window_cycles;
                 t = t.max(avail.saturating_sub(w)) + self.cfg.store_miss_exposed;
@@ -662,6 +756,11 @@ impl Machine {
         // on the front-side bus).
         let transfer = self.bus.request(t, line, ctx as u8, self.bus_contended);
         self.stats.wc_flushes += 1;
+        self.emit(transfer.start, ctx, || MachineEventKind::BusGrant {
+            bytes: line,
+            queued: transfer.start.saturating_sub(t),
+        });
+        self.emit(transfer.start, ctx, || MachineEventKind::WcFlush);
         // Posted writes: the context only stalls if it runs too far ahead
         // of the store queue.
         t = t.max(transfer.bus_free.saturating_sub(WC_WINDOW_LINES * line_cycles));
@@ -699,10 +798,7 @@ mod tests {
         let solo = m.run_single(vec![BulkOp::Compute { uops: 100_000 }]).cycles;
         let mut m = machine();
         let both = m
-            .run([
-                vec![BulkOp::Compute { uops: 100_000 }],
-                vec![BulkOp::Compute { uops: 100_000 }],
-            ])
+            .run([vec![BulkOp::Compute { uops: 100_000 }], vec![BulkOp::Compute { uops: 100_000 }]])
             .cycles;
         // Together they should be faster than serial (2x solo) but slower
         // than perfect overlap (1x solo).
@@ -805,5 +901,62 @@ mod tests {
             spin as f64 > mwait as f64 * 1.2,
             "PAUSE spinning must slow the computing context: spin={spin} mwait={mwait}"
         );
+    }
+
+    fn traceable_program() -> [Vec<BulkOp>; 2] {
+        let mem = AccessPattern::Seq { base: 0x1000_0000, elem: 4, count: 16 * 1024 };
+        [
+            vec![BulkOp::Compute { uops: 20_000 }, BulkOp::Signal { id: 1 }],
+            vec![
+                BulkOp::Wait { id: 1, policy: WaitPolicy::Mwait },
+                BulkOp::Copy { mem, srf_base: 0x8000_0000, dir: CopyDir::GatherToSrf, nt: false },
+            ],
+        ]
+    }
+
+    #[test]
+    fn tracing_emits_events_without_perturbing_timing() {
+        let mut plain = machine();
+        let untraced = plain.run(traceable_program());
+        assert!(!plain.trace_enabled());
+        assert!(plain.take_trace().is_empty(), "no sink when tracing is off");
+
+        let mut traced = machine();
+        traced.enable_trace();
+        let r = traced.run(traceable_program());
+        assert_eq!(r, untraced, "tracing must not change the model");
+
+        let events = traced.take_trace();
+        assert!(!events.is_empty());
+        let has = |f: fn(&MachineEventKind) -> bool| events.iter().any(|e| f(&e.kind));
+        assert!(has(|k| matches!(k, MachineEventKind::OpRetire { .. })));
+        assert!(has(|k| matches!(k, MachineEventKind::BusGrant { .. })));
+        assert!(has(|k| matches!(k, MachineEventKind::Wakeup { .. })));
+        // Timestamps never exceed the run length and are per-context
+        // monotone for retirements.
+        let mut last = [0u64; 2];
+        for e in &events {
+            assert!(e.t <= r.cycles);
+            if let MachineEventKind::OpRetire { .. } = e.kind {
+                let c = e.ctx as usize;
+                assert!(e.t >= last[c], "retire times must be monotone per ctx");
+                last[c] = e.t;
+            }
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_for_run() {
+        let mut m = machine();
+        let r = m.run(traceable_program());
+        let [c0, c1] = r.phases;
+        assert!(c0.compute > 0, "ctx0 ran compute: {c0:?}");
+        assert_eq!(c0.memory, 0, "ctx0 issued no bulk copies: {c0:?}");
+        assert!(c1.memory > 0, "ctx1 ran the gather: {c1:?}");
+        assert!(c1.idle_wait > 0, "ctx1 waited for the signal: {c1:?}");
+        assert!(c1.dispatch > 0, "resuming from MWAIT costs dispatch: {c1:?}");
+        // Each context's buckets never exceed its finish time.
+        assert!(c0.total() <= r.ctx_cycles[0]);
+        assert!(c1.total() <= r.ctx_cycles[1]);
     }
 }

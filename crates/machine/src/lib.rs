@@ -51,8 +51,10 @@ pub mod ops;
 pub mod prefetch;
 pub mod stats;
 pub mod tlb;
+pub mod trace;
 
 pub use config::{CacheGeometry, MachineConfig, SmtFactors, WaitCosts};
 pub use engine::Machine;
 pub use ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 pub use stats::{MemStats, RunResult};
+pub use trace::{MachineEvent, MachineEventKind, PhaseCycles};

@@ -1,9 +1,9 @@
 //! Aggregate statistics reported by a simulation run.
 
-use serde::{Deserialize, Serialize};
+use crate::trace::PhaseCycles;
 
 /// Memory-system counters accumulated over a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1 data-cache hits (loads only; stores are modeled at L2).
     pub l1_hits: u64,
@@ -37,7 +37,7 @@ pub struct MemStats {
 }
 
 /// Result of running one or two op streams to completion.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunResult {
     /// Cycle at which each context retired its last op.
     pub ctx_cycles: [u64; 2],
@@ -45,6 +45,9 @@ pub struct RunResult {
     pub cycles: u64,
     /// Memory-system counters.
     pub mem: MemStats,
+    /// Per-context cycle attribution (compute / memory / wait /
+    /// dispatch), accumulated whether or not event tracing is on.
+    pub phases: [PhaseCycles; 2],
 }
 
 impl RunResult {
@@ -70,7 +73,7 @@ mod tests {
 
     #[test]
     fn bandwidth_math() {
-        let r = RunResult { ctx_cycles: [3_400_000, 0], cycles: 3_400_000, mem: MemStats::default() };
+        let r = RunResult { ctx_cycles: [3_400_000, 0], cycles: 3_400_000, ..RunResult::default() };
         // 3.4M cycles at 3.4GHz = 1 ms; 1 MB in 1 ms = 1 GB/s.
         let bw = r.bandwidth_gbps(1_000_000, 3.4);
         assert!((bw - 1.0).abs() < 1e-9);

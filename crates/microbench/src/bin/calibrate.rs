@@ -32,15 +32,21 @@ fn main() {
         for bar in spinwait::figure8(&cfg) {
             println!("  {:30} {:6.1}", bar.name, bar.normalized_time);
         }
-        println!("  dispatch pause={} mwait={}",
+        println!(
+            "  dispatch pause={} mwait={}",
             spinwait::dispatch_latency(WaitPolicy::SpinPause, &cfg),
-            spinwait::dispatch_latency(WaitPolicy::Mwait, &cfg));
+            spinwait::dispatch_latency(WaitPolicy::Mwait, &cfg)
+        );
     }
     if which == "detail" {
         use gpstream_compiler::compile;
         use gpstream_core::exec::sim::SimExecutor;
         use gpstream_microbench::kernels::{gat_scat_comp, ld_st_comp};
-        for (nm, mb) in [("ldst", ld_st_comp(8192, 1)), ("gatscat", gat_scat_comp(8192, 1)), ("gatscat8", gat_scat_comp(8192, 8))] {
+        for (nm, mb) in [
+            ("ldst", ld_st_comp(8192, 1)),
+            ("gatscat", gat_scat_comp(8192, 1)),
+            ("gatscat8", gat_scat_comp(8192, 8)),
+        ] {
             let cmp = mb.compare(&copts, &cfg, WaitPolicy::Mwait);
             println!(
                 "{nm}: regular={} stream={} speedup={:.3} (per-item reg={:.1} str={:.1})",

@@ -9,9 +9,7 @@ use gpstream_core::metrics::{BandwidthPoint, BandwidthSeries};
 use gpstream_core::srf::SrfConfig;
 use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir};
 use gpstream_machine::{Machine, MachineConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use gpstream_util::Rng64;
 use std::sync::Arc;
 
 /// Access pattern flavour of a probe.
@@ -70,7 +68,7 @@ pub fn bandwidth(kind: ProbeKind, record: u64, nt: bool, cfg: &MachineConfig) ->
         ProbeKind::RandGather | ProbeKind::RandScatter => {
             let n = count.min(RANDOM_ELEMS);
             let mut idx: Vec<u32> = (0..count as u32).collect();
-            idx.shuffle(&mut StdRng::seed_from_u64(0x5eed));
+            Rng64::seed_from_u64(0x5eed).shuffle(&mut idx);
             idx.truncate(n);
             (n, Some(idx))
         }
@@ -107,12 +105,7 @@ pub fn bandwidth(kind: ProbeKind, record: u64, nt: bool, cfg: &MachineConfig) ->
                 }
             }
         };
-        ops.push(BulkOp::Copy {
-            mem,
-            srf_base: srf.base + parity * STRIP_BYTES as u64,
-            dir,
-            nt,
-        });
+        ops.push(BulkOp::Copy { mem, srf_base: srf.base + parity * STRIP_BYTES as u64, dir, nt });
         parity ^= 1;
         start = end;
     }

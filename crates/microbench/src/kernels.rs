@@ -20,9 +20,7 @@ use gpstream_core::regular::{RegularAccess, RegularProgram};
 use gpstream_core::{ArrayId, GraphBuilder, StreamGraph, World};
 use gpstream_machine::ops::{Rw, WaitPolicy};
 use gpstream_machine::MachineConfig;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use gpstream_util::Rng64;
 use std::sync::Arc;
 
 /// Cycles of computation per unit of `COMP`, per the paper ("COMP = 1
@@ -75,21 +73,21 @@ pub fn prodcon_stage2(t: &Mid, x: &Rec, comp: usize) -> f32 {
     acc
 }
 
-fn random_records(rng: &mut StdRng, n: usize) -> Vec<Rec> {
+fn random_records(rng: &mut Rng64, n: usize) -> Vec<Rec> {
     (0..n)
         .map(|_| {
             let mut r = [0.0f32; 32];
             for v in &mut r {
-                *v = rng.gen_range(-1.0..1.0);
+                *v = rng.f32_range(-1.0, 1.0);
             }
             r
         })
         .collect()
 }
 
-fn permutation(rng: &mut StdRng, n: usize) -> Arc<Vec<u32>> {
+fn permutation(rng: &mut Rng64, n: usize) -> Arc<Vec<u32>> {
     let mut idx: Vec<u32> = (0..n as u32).collect();
-    idx.shuffle(rng);
+    rng.shuffle(&mut idx);
     Arc::new(idx)
 }
 
@@ -153,6 +151,7 @@ impl Microbench {
             name: self.name.clone(),
             regular_cycles: regular_timing.cycles,
             stream_cycles: report.timing.cycles,
+            phases: Some(report.timing.phases),
         }
     }
 }
@@ -160,7 +159,7 @@ impl Microbench {
 /// Build LD-ST-COMP over `n` 128-byte records with the given COMP.
 #[must_use]
 pub fn ld_st_comp(n: usize, comp: usize) -> Microbench {
-    let mut rng = StdRng::seed_from_u64(0x1d57);
+    let mut rng = Rng64::seed_from_u64(0x1d57);
     let a_data = random_records(&mut rng, n);
     let b_data = random_records(&mut rng, n);
     let uops = CYCLES_PER_COMP * comp;
@@ -223,7 +222,7 @@ pub fn ld_st_comp(n: usize, comp: usize) -> Microbench {
 /// Build GAT-SCAT-COMP: as LD-ST-COMP but with random gathers/scatters.
 #[must_use]
 pub fn gat_scat_comp(n: usize, comp: usize) -> Microbench {
-    let mut rng = StdRng::seed_from_u64(0x6a75);
+    let mut rng = Rng64::seed_from_u64(0x6a75);
     let a_data = random_records(&mut rng, n);
     let b_data = random_records(&mut rng, n);
     let idx_a = permutation(&mut rng, n);
@@ -291,7 +290,7 @@ pub fn gat_scat_comp(n: usize, comp: usize) -> Microbench {
 /// it to memory and reads it back.
 #[must_use]
 pub fn prod_con(n: usize, comp: usize) -> Microbench {
-    let mut rng = StdRng::seed_from_u64(0x9c0d);
+    let mut rng = Rng64::seed_from_u64(0x9c0d);
     let a_data = random_records(&mut rng, n);
     let b_data = random_records(&mut rng, n);
     let x_data = random_records(&mut rng, n);

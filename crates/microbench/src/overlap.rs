@@ -128,7 +128,10 @@ mod tests {
         let cc = normalized_time(Scenario::CompComp, &cfg);
         let mm = normalized_time(Scenario::MemMem, &cfg);
         let cm = normalized_time(Scenario::CompMem, &cfg);
-        assert!(cm <= cc, "comp+mem ({cm:.1}) should overlap at least as well as comp+comp ({cc:.1})");
+        assert!(
+            cm <= cc,
+            "comp+mem ({cm:.1}) should overlap at least as well as comp+comp ({cc:.1})"
+        );
         assert!(mm > cc, "mem+mem ({mm:.1}) must be the worst scenario");
     }
 }

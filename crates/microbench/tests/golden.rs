@@ -1,0 +1,102 @@
+//! Golden timing-regression tests.
+//!
+//! The cycle-approximate machine model is deterministic, so the exact
+//! cycle counts and memory-system counters for a fixed workload are a
+//! fingerprint of the model. These tests lock that fingerprint into a
+//! checked-in snapshot (`tests/golden/timing.txt`): any change to the
+//! engine, compiler schedule or machine config that shifts timing shows
+//! up as a diff here and must be refreshed deliberately with
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p gpstream-microbench --test golden
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use gpstream_compiler::{compile, CompilerOptions};
+use gpstream_core::exec::sim::SimExecutor;
+use gpstream_machine::{MachineConfig, RunResult, WaitPolicy};
+use gpstream_microbench::kernels::{gat_scat_comp, ld_st_comp, prod_con, Microbench};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/timing.txt")
+}
+
+/// The workloads whose timing is locked. Kept small so the suite stays
+/// fast; coverage of all three microbenchmark shapes and two COMP
+/// levels is what matters, not problem size.
+fn workloads() -> Vec<Microbench> {
+    vec![ld_st_comp(2048, 2), ld_st_comp(2048, 8), gat_scat_comp(2048, 2), prod_con(2048, 4)]
+}
+
+fn timing_of(mb: &Microbench) -> RunResult {
+    let copts = CompilerOptions::paper();
+    let compiled = compile(&mb.graph, &copts).expect("microbench compiles");
+    let mut world = mb.stream_world.clone();
+    SimExecutor::new()
+        .with_machine(MachineConfig::prescott())
+        .with_srf(copts.srf)
+        .with_wait_policy(WaitPolicy::Mwait)
+        .run(&compiled.schedule, &compiled.graph, &mut world)
+        .timing
+}
+
+/// One snapshot line: the total cycle count plus the counters most
+/// sensitive to memory-system changes.
+fn snapshot_line(name: &str, r: &RunResult) -> String {
+    format!(
+        "{name} cycles={} l2_misses={} tlb_misses={} writebacks={} \
+         sw_prefetch_covered={} wc_flushes={} bus_bytes={}",
+        r.cycles,
+        r.mem.l2_misses,
+        r.mem.tlb_misses,
+        r.mem.writebacks,
+        r.mem.sw_prefetch_covered,
+        r.mem.wc_flushes,
+        r.mem.bus_bytes,
+    )
+}
+
+#[test]
+fn timing_matches_golden_snapshot() {
+    let mut current = String::from(
+        "# Golden timing snapshot. Regenerate with UPDATE_GOLDEN=1 after a\n\
+         # deliberate model change; unexplained diffs are regressions.\n",
+    );
+    for mb in workloads() {
+        let r = timing_of(&mb);
+        writeln!(current, "{}", snapshot_line(&mb.name, &r)).unwrap();
+    }
+
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &current).unwrap();
+        println!("golden snapshot updated: {}", path.display());
+        return;
+    }
+
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        want, current,
+        "timing fingerprint changed; if intentional, refresh with \
+         UPDATE_GOLDEN=1 cargo test -p gpstream-microbench --test golden"
+    );
+}
+
+/// Timing must be a pure function of the program: two runs of the same
+/// workload give the same RunResult (guards against hidden global state
+/// or host-dependent nondeterminism leaking into the model).
+#[test]
+fn timing_is_deterministic() {
+    let mb = ld_st_comp(1024, 4);
+    let a = timing_of(&mb);
+    let b = timing_of(&mb);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,57 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! Replaces `criterion` for this workspace's `harness = false` benches:
+//! each bench binary is a plain `main` that calls [`bench`] per
+//! workload. One warm-up iteration is followed by a fixed number of
+//! timed samples; the minimum and median are printed. The measured code
+//! here is a deterministic simulator, so run-to-run noise comes only
+//! from the host and a handful of samples suffices.
+
+use std::time::Instant;
+
+/// Timed samples per workload (after one warm-up iteration).
+pub const SAMPLES: usize = 5;
+
+/// Time `f`, printing `name`, the minimum and the median sample.
+///
+/// The closure's return value is consumed with [`std::hint::black_box`]
+/// so the work cannot be optimized away.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let _ = std::hint::black_box(f()); // warm-up
+    let mut ns: Vec<u128> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _ = std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    ns.sort_unstable();
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    println!("{name:<44} min {:>12} ns   median {:>12} ns", fmt_ns(min), fmt_ns(median));
+}
+
+fn fmt_ns(ns: u128) -> String {
+    // Thousands separators keep the columns scannable.
+    let digits = ns.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_digits() {
+        assert_eq!(fmt_ns(1), "1");
+        assert_eq!(fmt_ns(1234), "1_234");
+        assert_eq!(fmt_ns(1234567), "1_234_567");
+    }
+}

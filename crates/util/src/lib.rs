@@ -1,0 +1,21 @@
+//! # gpstream-util
+//!
+//! Small dependency-free utilities shared by every crate in the
+//! workspace: a deterministic seedable PRNG ([`rng::Rng64`]), a minimal
+//! JSON value builder/writer ([`json::Json`]) and a property-test
+//! harness ([`check::run_cases`]). The build environment has no network
+//! access to a crate registry, so these stand in for `rand`, `serde`
+//! and `proptest` respectively; everything here is deliberately tiny
+//! and deterministic (fixed seeds produce identical data on every run,
+//! which the golden timing tests depend on).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+
+pub use json::Json;
+pub use rng::Rng64;

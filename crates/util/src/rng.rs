@@ -1,0 +1,186 @@
+//! Deterministic seedable PRNG (xoshiro256++ seeded via splitmix64).
+//!
+//! Replaces the `rand` crate for the mesh/matrix generators and the
+//! micro-benchmark data: all consumers seed explicitly, so runs are
+//! bit-reproducible across platforms and releases. Not cryptographic.
+
+/// A 256-bit-state xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Seed the generator from a single 64-bit value.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng64 {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `u64` in `[0, bound)` (Lemire-style without bias rejection;
+    /// the modulo bias at these bounds is far below anything the synthetic
+    /// generators care about).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        // 128-bit multiply-shift maps the full 64-bit output to [0, bound).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive on both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        let span = (hi as i128 - lo as i128 + 1) as u64;
+        lo.wrapping_add(self.below(span) as i64)
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive on both ends).
+    pub fn range_usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_i64_inclusive(lo as i64, hi as i64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (self.f64() as f32) * (hi - lo)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below_usize(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng64::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.below(17);
+            assert!(v < 17);
+            let w = r.range_i64_inclusive(-5, 5);
+            assert!((-5..=5).contains(&w));
+            let f = r.f32_range(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut r = Rng64::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.below_usize(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -48,8 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         let mut w = world.clone();
         let start = Instant::now();
-        let report =
-            NativeExecutor::new().with_wait_policy(policy).run(&compiled.schedule, &compiled.graph, &mut w);
+        let report = NativeExecutor::new().with_wait_policy(policy).run(
+            &compiled.schedule,
+            &compiled.graph,
+            &mut w,
+        );
         println!(
             "{name:<16} {:>7.2?}  (memory thread ran {} tasks, compute thread {})",
             start.elapsed(),

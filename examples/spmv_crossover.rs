@@ -18,11 +18,7 @@ fn main() {
     );
     println!("{:<10} {:>14} {:>14} {:>8}", "rows", "regular (cyc)", "stream (cyc)", "speedup");
     for rows in [2_000usize, 8_000, 32_000, 131_072] {
-        let cmp = spas_bench(rows, PAPER_NNZ_PER_ROW, 7).compare(
-            &copts,
-            &mcfg,
-            WaitPolicy::Mwait,
-        );
+        let cmp = spas_bench(rows, PAPER_NNZ_PER_ROW, 7).compare(&copts, &mcfg, WaitPolicy::Mwait);
         println!(
             "{:<10} {:>14} {:>14} {:>7.2}x{}",
             rows,

@@ -1,0 +1,97 @@
+//! Differential executor tests: for each application and several strip
+//! sizes, the reference, simulating and native executors must leave the
+//! World in a byte-identical state.
+//!
+//! This is the strongest cross-check the three-executor design offers:
+//! the functional executor is the semantics oracle, the simulating
+//! executor adds the timing pass (which must not perturb results), and
+//! the native executor re-orders work across real threads (where any
+//! dependency bug shows up as a divergent byte).
+
+use gpstream::apps::{cdp, fem, neo, spas};
+use gpstream::compiler::{compile, CompilerOptions};
+use gpstream::core::exec::functional::FunctionalExecutor;
+use gpstream::core::exec::native::{NativeExecutor, NativeWaitPolicy};
+use gpstream::core::exec::sim::SimExecutor;
+use gpstream::core::{StreamGraph, World};
+use gpstream::machine::WaitPolicy;
+
+const SEED: u64 = 0xd1ff;
+
+/// Byte-level snapshot of every array in a world.
+fn world_bytes(w: &World) -> Vec<(String, Vec<u8>)> {
+    w.iter().map(|a| (a.name.clone(), a.data.as_bytes().to_vec())).collect()
+}
+
+fn assert_worlds_identical(name: &str, label_a: &str, a: &World, label_b: &str, b: &World) {
+    let wa = world_bytes(a);
+    let wb = world_bytes(b);
+    assert_eq!(wa.len(), wb.len(), "{name}: array count differs");
+    for ((na, da), (nb, db)) in wa.iter().zip(&wb) {
+        assert_eq!(na, nb, "{name}: array order/name differs");
+        assert_eq!(da, db, "{name}: array `{na}` differs between {label_a} and {label_b}");
+    }
+}
+
+/// Run all three executors on the same program and compare final worlds
+/// byte for byte.
+fn differential(name: &str, graph: &StreamGraph, world: &World, copts: &CompilerOptions) {
+    let compiled = compile(graph, copts).expect("app compiles");
+
+    let mut functional = world.clone();
+    FunctionalExecutor::with_srf(copts.srf).run(
+        &compiled.schedule,
+        &compiled.graph,
+        &mut functional,
+    );
+
+    let mut simulated = world.clone();
+    let _ = SimExecutor::new().with_srf(copts.srf).with_wait_policy(WaitPolicy::Mwait).run(
+        &compiled.schedule,
+        &compiled.graph,
+        &mut simulated,
+    );
+
+    let mut native = world.clone();
+    let _ = NativeExecutor::new().with_srf(copts.srf).with_wait_policy(NativeWaitPolicy::Park).run(
+        &compiled.schedule,
+        &compiled.graph,
+        &mut native,
+    );
+
+    assert_worlds_identical(name, "functional", &functional, "sim", &simulated);
+    assert_worlds_identical(name, "functional", &functional, "native", &native);
+}
+
+/// Exercise an app at two strip sizes (a small one forcing many strips
+/// and the compiler's own choice).
+fn differential_at_strips(name: &str, graph: &StreamGraph, world: &World) {
+    for strip in [Some(64usize), None] {
+        let copts = CompilerOptions { strip_items: strip, ..CompilerOptions::paper() };
+        differential(&format!("{name} strip={strip:?}"), graph, world, &copts);
+    }
+}
+
+#[test]
+fn fem_executors_agree() {
+    let bench = fem::fem_bench(fem::CONFIGS[0], 600, SEED);
+    differential_at_strips("fem", &bench.graph, &bench.stream_world);
+}
+
+#[test]
+fn cdp_executors_agree() {
+    let bench = cdp::cdp_bench(cdp::CdpConfig { name: "4n-diff", k: 4, n: 512 }, SEED);
+    differential_at_strips("cdp", &bench.graph, &bench.stream_world);
+}
+
+#[test]
+fn neo_executors_agree() {
+    let bench = neo::neo_bench(512, SEED);
+    differential_at_strips("neo", &bench.graph, &bench.stream_world);
+}
+
+#[test]
+fn spas_executors_agree() {
+    let bench = spas::spas_bench(400, 24, SEED);
+    differential_at_strips("spas", &bench.graph, &bench.stream_world);
+}

@@ -11,7 +11,9 @@ use gpstream::machine::{MachineConfig, WaitPolicy};
 use std::sync::Arc;
 
 /// A three-kernel diamond with indexed gathers, used by several tests.
-fn diamond(n: usize) -> (gpstream::core::StreamGraph, gpstream::core::World, gpstream::core::ArrayId, Vec<f32>) {
+fn diamond(
+    n: usize,
+) -> (gpstream::core::StreamGraph, gpstream::core::World, gpstream::core::ArrayId, Vec<f32>) {
     let a: Vec<f32> = (0..n).map(|i| (i % 13) as f32 - 3.0).collect();
     let idx: Vec<u32> = (0..n as u32).map(|i| (i.wrapping_mul(2_654_435_761)) % n as u32).collect();
     let expected: Vec<f32> = (0..n)
@@ -69,9 +71,11 @@ fn all_three_executors_agree() {
     assert!(report.timing.cycles > 0);
 
     let mut w_native = world.clone();
-    NativeExecutor::new()
-        .with_wait_policy(NativeWaitPolicy::Park)
-        .run(&compiled.schedule, &compiled.graph, &mut w_native);
+    NativeExecutor::new().with_wait_policy(NativeWaitPolicy::Park).run(
+        &compiled.schedule,
+        &compiled.graph,
+        &mut w_native,
+    );
     assert_eq!(w_native.slice::<f32>(y), expected.as_slice());
 }
 

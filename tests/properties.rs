@@ -1,7 +1,12 @@
 //! Property-based tests on the core data structures and invariants.
+//!
+//! Each property runs for at least `DEFAULT_CASES` (256) deterministic
+//! seeds through `gpstream_util::check::run_cases`; failures report the
+//! case seed for replay.
 
 use gpstream::compiler::{compile, CompilerOptions};
 use gpstream::core::exec::functional::FunctionalExecutor;
+use gpstream::core::exec::native::{NativeExecutor, NativeWaitPolicy};
 use gpstream::core::pod::{cast_slice, AlignedBytes};
 use gpstream::core::srf::{SrfAllocator, SrfConfig};
 use gpstream::core::task::TaskId;
@@ -10,71 +15,94 @@ use gpstream::core::GraphBuilder;
 use gpstream::machine::cache::{Cache, FillPolicy};
 use gpstream::machine::tlb::Tlb;
 use gpstream::machine::CacheGeometry;
-use proptest::prelude::*;
-use std::collections::HashSet;
+use gpstream_util::check::{run_cases, DEFAULT_CASES};
+use gpstream_util::Rng64;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-proptest! {
-    /// AlignedBytes round-trips arbitrary f32 data through byte views.
-    #[test]
-    fn aligned_bytes_roundtrip(values in proptest::collection::vec(any::<f32>(), 0..200)) {
+fn vec_of<T>(
+    rng: &mut Rng64,
+    lo: usize,
+    hi: usize,
+    mut gen: impl FnMut(&mut Rng64) -> T,
+) -> Vec<T> {
+    let len = rng.range_usize_inclusive(lo, hi);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+/// AlignedBytes round-trips arbitrary f32 data through byte views.
+#[test]
+fn aligned_bytes_roundtrip() {
+    run_cases("aligned_bytes_roundtrip", 0xa11a, DEFAULT_CASES, |rng| {
+        let values = vec_of(rng, 0, 199, |r| f32::from_bits(r.next_u32()));
         let buf = AlignedBytes::from_slice(&values);
         let back: &[f32] = buf.as_slice();
         // Compare bit patterns (NaN-safe).
         let a: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
         let b: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// cast_slice never reads past the buffer and preserves length math.
-    #[test]
-    fn cast_slice_length(len in 0usize..64) {
+/// cast_slice never reads past the buffer and preserves length math.
+#[test]
+fn cast_slice_length() {
+    run_cases("cast_slice_length", 0xca57, DEFAULT_CASES, |rng| {
+        let len = rng.below_usize(64);
         let buf = AlignedBytes::zeroed(len * 8);
         let s: &[u64] = cast_slice(buf.as_bytes());
-        prop_assert_eq!(s.len(), len);
-    }
+        assert_eq!(s.len(), len);
+    });
+}
 
-    /// The cache always reports a line as present immediately after a
-    /// caching fill, and never caches under NoAllocate.
-    #[test]
-    fn cache_fill_visibility(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..200)) {
+/// The cache always reports a line as present immediately after a
+/// caching fill, and never caches under NoAllocate.
+#[test]
+fn cache_fill_visibility() {
+    run_cases("cache_fill_visibility", 0xcac4e, DEFAULT_CASES, |rng| {
+        let addrs = vec_of(rng, 1, 199, |r| r.below(1 << 20));
         let mut c = Cache::new(CacheGeometry { capacity: 8192, line: 64, ways: 4 }, 1);
         for (i, &a) in addrs.iter().enumerate() {
             let policy = if i % 3 == 0 { FillPolicy::NonTemporal } else { FillPolicy::Normal };
             c.access(a, i % 2 == 0, policy);
-            prop_assert!(c.contains(a), "line must be resident right after a fill");
+            assert!(c.contains(a), "line must be resident right after a fill");
         }
         let mut c2 = Cache::new(CacheGeometry { capacity: 8192, line: 64, ways: 4 }, 1);
         for &a in &addrs {
             c2.access(a, false, FillPolicy::NoAllocate);
-            prop_assert!(!c2.contains(a), "NoAllocate must never cache");
+            assert!(!c2.contains(a), "NoAllocate must never cache");
         }
-    }
+    });
+}
 
-    /// Non-temporal fills never evict lines of the registered SRF range.
-    #[test]
-    fn nt_fills_never_evict_srf(addrs in proptest::collection::vec(1u64 << 20..1u64 << 24, 1..300)) {
+/// Non-temporal fills never evict lines of the registered SRF range.
+#[test]
+fn nt_fills_never_evict_srf() {
+    run_cases("nt_fills_never_evict_srf", 0x5af5, DEFAULT_CASES, |rng| {
+        let addrs = vec_of(rng, 1, 299, |r| r.range_u64(1 << 20, 1 << 24));
         let geom = CacheGeometry { capacity: 16384, line: 64, ways: 4 };
         let mut c = Cache::new(geom, 1);
         c.set_srf_range(Some(0..12288));
         c.warm(0..12288);
         for &a in &addrs {
             let out = c.access(a, false, FillPolicy::NonTemporal);
-            prop_assert!(!out.evicted_srf, "NT fill evicted SRF at {a:#x}");
+            assert!(!out.evicted_srf, "NT fill evicted SRF at {a:#x}");
         }
-    }
+    });
+}
 
-    /// The TLB holds at most `entries` distinct pages: after touching
-    /// `entries` fresh pages, the oldest untouched page is gone.
-    #[test]
-    fn tlb_capacity_bound(pages in proptest::collection::vec(0u64..512, 1..100), entries in 1usize..32) {
+/// The TLB holds at most `entries` distinct pages: after touching
+/// `entries` fresh pages, the oldest untouched page is gone.
+#[test]
+fn tlb_capacity_bound() {
+    run_cases("tlb_capacity_bound", 0x71b, DEFAULT_CASES, |rng| {
+        let pages = vec_of(rng, 1, 99, |r| r.below(512));
+        let entries = rng.range_usize_inclusive(1, 31);
         let mut t = Tlb::new(entries, 4096);
         for &p in &pages {
             t.access(p * 4096);
         }
-        // Count resident pages by probing without insertion side effects
-        // being observable: re-access each distinct page and count hits
-        // before any new insertions can evict more than `entries`.
+        // Count resident pages by probing clones so probes cannot evict.
         let distinct: HashSet<u64> = pages.iter().copied().collect();
         let resident = distinct
             .iter()
@@ -83,13 +111,16 @@ proptest! {
                 probe.access(p * 4096)
             })
             .count();
-        prop_assert!(resident <= entries, "{resident} pages resident in {entries}-entry TLB");
-    }
+        assert!(resident <= entries, "{resident} pages resident in {entries}-entry TLB");
+    });
+}
 
-    /// The dependency window never admits more than 64 tasks, reuses
-    /// freed slots, and clears masks on completion.
-    #[test]
-    fn window_invariants(ops in proptest::collection::vec(any::<bool>(), 1..400)) {
+/// The dependency window never admits more than 64 tasks, reuses freed
+/// slots, and clears masks on completion.
+#[test]
+fn window_invariants() {
+    run_cases("window_invariants", 0x817d0, DEFAULT_CASES, |rng| {
+        let ops = vec_of(rng, 1, 399, Rng64::bool);
         let mut w = DependencyWindow::new();
         let mut inflight: Vec<TaskId> = Vec::new();
         let mut next = 0u32;
@@ -99,60 +130,186 @@ proptest! {
                     let id = TaskId(next);
                     next += 1;
                     let slot = w.admit(id).unwrap();
-                    prop_assert!(slot < WINDOW as u8);
+                    assert!(slot < WINDOW as u8);
                     inflight.push(id);
                 } else {
-                    prop_assert_eq!(inflight.len(), WINDOW);
+                    assert_eq!(inflight.len(), WINDOW);
                 }
             } else {
                 let id = inflight.swap_remove(0);
                 w.complete(id);
-                prop_assert!(w.is_ready(w.mask_for(&[id])), "completed dep must clear");
+                assert!(w.is_ready(w.mask_for(&[id])), "completed dep must clear");
             }
-            prop_assert_eq!(w.pending_mask().count_ones() as usize, inflight.len());
+            assert_eq!(w.pending_mask().count_ones() as usize, inflight.len());
         }
-    }
+    });
+}
 
-    /// The SRF allocator never hands out overlapping or out-of-bounds
-    /// buffers.
-    #[test]
-    fn srf_allocator_disjoint(sizes in proptest::collection::vec(1usize..5000, 1..40)) {
+/// Random admit/complete interleavings never hand out a slot that is
+/// still occupied by a live (incomplete) task.
+#[test]
+fn window_never_aliases_live_slots() {
+    run_cases("window_never_aliases_live_slots", 0xa11a5, DEFAULT_CASES, |rng| {
+        let mut w = DependencyWindow::new();
+        let mut live: HashMap<u8, TaskId> = HashMap::new();
+        let mut next = 0u32;
+        for _ in 0..rng.range_usize_inclusive(1, 300) {
+            // Bias towards admission so the window actually fills up.
+            if (rng.bool_with(0.6) || live.is_empty()) && w.has_room() {
+                let id = TaskId(next);
+                next += 1;
+                let slot = w.admit(id).unwrap();
+                assert!(
+                    !live.contains_key(&slot),
+                    "slot {slot} handed out while {:?} still occupies it",
+                    live[&slot]
+                );
+                live.insert(slot, id);
+            } else if !live.is_empty() {
+                let slots: Vec<u8> = live.keys().copied().collect();
+                let slot = slots[rng.below_usize(slots.len())];
+                let id = live.remove(&slot).unwrap();
+                let freed = w.complete(id);
+                assert_eq!(freed, slot, "complete must free the task's own slot");
+            }
+            let live_mask: u64 = live.keys().fold(0, |m, &s| m | 1u64 << s);
+            assert_eq!(w.pending_mask(), live_mask, "pending mask must mirror live slots");
+        }
+    });
+}
+
+/// `mask_for` and `is_ready` agree with a naive set-of-incomplete-deps
+/// model under random admissions, completions and dependency picks.
+#[test]
+fn window_mask_matches_naive_model() {
+    run_cases("window_mask_matches_naive_model", 0xdeb5, DEFAULT_CASES, |rng| {
+        let mut w = DependencyWindow::new();
+        let mut slot_of: HashMap<TaskId, u8> = HashMap::new(); // naive mirror of live tasks
+        let mut everyone: Vec<TaskId> = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..rng.range_usize_inclusive(1, 200) {
+            if (rng.bool_with(0.6) || slot_of.is_empty()) && w.has_room() {
+                let id = TaskId(next);
+                next += 1;
+                let slot = w.admit(id).unwrap();
+                slot_of.insert(id, slot);
+                everyone.push(id);
+            } else if !slot_of.is_empty() {
+                let ids: Vec<TaskId> = slot_of.keys().copied().collect();
+                let id = ids[rng.below_usize(ids.len())];
+                slot_of.remove(&id);
+                w.complete(id);
+            }
+            // Draw a random dependency list over all tasks ever admitted,
+            // live or completed.
+            let deps = vec_of(rng, 0, 8.min(everyone.len()), |r| {
+                everyone[r.below_usize(everyone.len().max(1))]
+            });
+            let naive_mask: u64 =
+                deps.iter().filter_map(|d| slot_of.get(d)).fold(0, |m, &s| m | 1u64 << s);
+            assert_eq!(w.mask_for(&deps), naive_mask, "mask_for disagrees with set model");
+            assert_eq!(
+                w.is_ready(naive_mask),
+                naive_mask == 0,
+                "is_ready disagrees with set model"
+            );
+        }
+    });
+}
+
+/// Multi-threaded stress of the native executor: random pipelines and
+/// strip sizes under both wait policies always produce the reference
+/// result (exercising the atomic pending-mask/completion-flag path).
+#[test]
+fn native_executor_matches_reference_under_stress() {
+    run_cases("native_executor_stress", 0x57e55, DEFAULT_CASES, |rng| {
+        let n = rng.range_usize_inclusive(64, 768);
+        let strip = rng.range_usize_inclusive(16, 256);
+        let policy = if rng.bool() { NativeWaitPolicy::Spin } else { NativeWaitPolicy::Park };
+        let data: Vec<f32> = (0..n).map(|_| rng.f32_range(-8.0, 8.0)).collect();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut idx);
+
+        let mut b = GraphBuilder::new();
+        let a = b.array("a", &data);
+        let y = b.array_zeroed::<f32>("y", n);
+        let xs = b.gather_seq("xs", a);
+        let gs = b.gather_indexed("gs", a, Arc::new(idx));
+        let mid = b.stream::<f32>("mid", n);
+        let out = b.stream::<f32>("out", n);
+        b.kernel("inc", &[xs.id()], &[mid.id()], 2, |args| {
+            let x: Vec<f32> = args.input::<f32>(0).to_vec();
+            for (o, v) in args.output::<f32>(0).iter_mut().zip(x) {
+                *o = v + 1.0;
+            }
+        });
+        b.kernel("mul", &[mid.id(), gs.id()], &[out.id()], 2, |args| {
+            let xm: Vec<f32> = args.input::<f32>(0).to_vec();
+            let xg: Vec<f32> = args.input::<f32>(1).to_vec();
+            for (o, (vm, vg)) in args.output::<f32>(0).iter_mut().zip(xm.iter().zip(&xg)) {
+                *o = vm * vg;
+            }
+        });
+        b.scatter_seq(out, y);
+        let (graph, world) = b.build().unwrap();
+        let opts = CompilerOptions { strip_items: Some(strip), ..CompilerOptions::paper() };
+        let compiled = compile(&graph, &opts).unwrap();
+
+        let mut reference = world.clone();
+        FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut reference);
+        let mut native = world.clone();
+        NativeExecutor::new().with_wait_policy(policy).run(
+            &compiled.schedule,
+            &compiled.graph,
+            &mut native,
+        );
+        let got: &[f32] = native.slice::<f32>(y.id());
+        let want: &[f32] = reference.slice::<f32>(y.id());
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            "native result diverged (n={n} strip={strip} policy={policy:?})"
+        );
+    });
+}
+
+/// The SRF allocator never hands out overlapping or out-of-bounds
+/// buffers.
+#[test]
+fn srf_allocator_disjoint() {
+    run_cases("srf_allocator_disjoint", 0x5afa, DEFAULT_CASES, |rng| {
+        let sizes = vec_of(rng, 1, 39, |r| r.range_usize_inclusive(1, 4999));
         let cfg = SrfConfig { base: 0x0100_0000, capacity: 64 * 1024 };
         let mut alloc = SrfAllocator::new(cfg);
         let mut taken: Vec<(usize, usize)> = Vec::new();
         for s in sizes {
             match alloc.alloc(s, 128) {
                 Ok(off) => {
-                    prop_assert_eq!(off % 128, 0);
-                    prop_assert!(off + s <= cfg.capacity);
+                    assert_eq!(off % 128, 0);
+                    assert!(off + s <= cfg.capacity);
                     for &(o2, s2) in &taken {
-                        prop_assert!(off + s <= o2 || o2 + s2 <= off, "overlap");
+                        assert!(off + s <= o2 || o2 + s2 <= off, "overlap");
                     }
                     taken.push((off, s));
                 }
-                Err(e) => prop_assert!(e.requested == s),
+                Err(e) => assert_eq!(e.requested, s),
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Any (n, strip, fuse, double-buffer) combination of the canonical
-    /// two-kernel pipeline compiles and computes the right answer.
-    #[test]
-    fn compiled_pipeline_always_correct(
-        n in 64usize..5000,
-        strip in prop::option::of(16usize..512),
-        fuse in any::<bool>(),
-        double in any::<bool>(),
-    ) {
+/// Any (n, strip, fuse, double-buffer) combination of the canonical
+/// two-kernel pipeline compiles and computes the right answer.
+#[test]
+fn compiled_pipeline_always_correct() {
+    run_cases("compiled_pipeline_always_correct", 0xc0de, 16, |rng| {
+        let n = rng.range_usize_inclusive(64, 4999);
+        let strip = if rng.bool() { Some(rng.range_usize_inclusive(16, 511)) } else { None };
+        let fuse = rng.bool();
+        let double = rng.bool();
         let data: Vec<f32> = (0..n).map(|i| (i % 11) as f32).collect();
         let idx: Vec<u32> = (0..n as u32).rev().collect();
-        let expected: Vec<f32> = (0..n)
-            .map(|i| (data[i] + 1.0) * data[idx[i] as usize])
-            .collect();
+        let expected: Vec<f32> = (0..n).map(|i| (data[i] + 1.0) * data[idx[i] as usize]).collect();
 
         let mut b = GraphBuilder::new();
         let a = b.array("a", &data);
@@ -186,6 +343,6 @@ proptest! {
         let compiled = compile(&graph, &opts).unwrap();
         compiled.schedule.validate().unwrap();
         FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut world);
-        prop_assert_eq!(world.slice::<f32>(y.id()), expected.as_slice());
-    }
+        assert_eq!(world.slice::<f32>(y.id()), expected.as_slice());
+    });
 }

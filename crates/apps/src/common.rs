@@ -44,6 +44,25 @@ impl AppBench {
         mcfg: &MachineConfig,
         wait: WaitPolicy,
     ) -> Comparison {
+        self.compare_mode(copts, mcfg, wait, false)
+    }
+
+    /// Like [`AppBench::compare`], but with the work queues' issue mode
+    /// explicit: `in_order` forces head-blocking queues (the ablation
+    /// baseline for the out-of-order `tail_depend` issue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if compilation fails or the versions disagree (a
+    /// correctness bug).
+    #[must_use]
+    pub fn compare_mode(
+        &self,
+        copts: &CompilerOptions,
+        mcfg: &MachineConfig,
+        wait: WaitPolicy,
+        in_order: bool,
+    ) -> Comparison {
         let compiled = compile(&self.graph, copts).expect("application compiles");
         let mut sw = self.stream_world.clone();
         // Applications measure a warm steady-state step, as in the paper
@@ -53,6 +72,7 @@ impl AppBench {
             .with_srf(copts.srf)
             .with_wait_policy(wait)
             .with_warmup(true)
+            .in_order(in_order)
             .run(&compiled.schedule, &compiled.graph, &mut sw);
 
         let mut rw = self.regular_world.clone();

@@ -3,11 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! figures [SELECTOR] [--json PATH] [--trace PATH]
+//! figures [SELECTOR] [--in-order] [--json PATH] [--trace PATH]
 //! ```
 //!
 //! `SELECTOR` is one of `fig5|fig6|fig8|fig9|fig11a|fig11b|fig11c|fig11d|
-//! latencies|single|enhanced|summary|all` (default `all`).
+//! ooo|latencies|single|enhanced|summary|all` (default `all`).
+//!
+//! `--in-order` runs the Figure 11 applications with head-blocking
+//! (in-order) work queues instead of the default out-of-order
+//! `tail_depend` issue — compare two `--json` dumps to see the idle-wait
+//! reduction. The `ooo` selector prints both modes side by side.
 //!
 //! `--json PATH` additionally writes the comparison figures as JSON,
 //! including the per-context phase breakdown (compute / memory / wait /
@@ -29,15 +34,17 @@ use gpstream_util::Json;
 
 struct Cli {
     which: String,
+    in_order: bool,
     json: Option<String>,
     trace: Option<String>,
 }
 
 fn parse_args() -> Cli {
-    let mut cli = Cli { which: "all".to_string(), json: None, trace: None };
+    let mut cli = Cli { which: "all".to_string(), in_order: false, json: None, trace: None };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--in-order" => cli.in_order = true,
             "--json" => cli.json = Some(args.next().expect("--json needs a path")),
             "--trace" => cli.trace = Some(args.next().expect("--trace needs a path")),
             other => cli.which = other.to_string(),
@@ -133,7 +140,7 @@ fn write_trace(path: &str, cfg: &MachineConfig, copts: &CompilerOptions) {
     println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
 }
 
-const SELECTORS: [&str; 13] = [
+const SELECTORS: [&str; 14] = [
     "all",
     "fig5",
     "fig6",
@@ -143,6 +150,7 @@ const SELECTORS: [&str; 13] = [
     "fig11b",
     "fig11c",
     "fig11d",
+    "ooo",
     "latencies",
     "single",
     "enhanced",
@@ -210,21 +218,30 @@ fn main() {
         }
         println!();
     }
+    let mode = if cli.in_order { " [in-order queues]" } else { "" };
     for (id, title, f) in [
         (
             "fig11a",
             "Figure 11(a): streamFEM (4816 cells)",
-            fig::figure11a as fn(&MachineConfig, &CompilerOptions) -> Vec<Comparison>,
+            fig::figure11a as fn(&MachineConfig, &CompilerOptions, bool) -> Vec<Comparison>,
         ),
         ("fig11b", "Figure 11(b): streamCDP", fig::figure11b),
         ("fig11c", "Figure 11(c): neo-hookean", fig::figure11c),
         ("fig11d", "Figure 11(d): streamSPAS (nnz/row ~ 46)", fig::figure11d),
     ] {
         if all || which == id {
-            let rows = f(&cfg, &copts);
-            print_comparisons(title, &rows);
+            let rows = f(&cfg, &copts, cli.in_order);
+            print_comparisons(&format!("{title}{mode}"), &rows);
             json_figures.push((id.to_string(), rows));
         }
+    }
+    if all || which == "ooo" {
+        let rows = fig::ooo_ablation(&cfg, &copts);
+        print_comparisons(
+            "Figure 7 ablation: in-order vs out-of-order (tail_depend) queue issue",
+            &rows,
+        );
+        json_figures.push(("ooo".to_string(), rows));
     }
     if all || which == "single" {
         println!("== Section III-B-2: single-context mapping overhead (single / dual cycles) ==");

@@ -81,18 +81,25 @@ pub fn figure9(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Fig9Series> 
 }
 
 /// Figure 11(a): streamFEM speedups for the four configurations.
+/// `in_order` forces head-blocking work queues (the Figure 7 ablation
+/// baseline); `false` is the paper's out-of-order `tail_depend` issue.
 #[must_use]
-pub fn figure11a(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+pub fn figure11a(cfg: &MachineConfig, copts: &CompilerOptions, in_order: bool) -> Vec<Comparison> {
     FEM_CONFIGS
         .iter()
-        .map(|&c| fem_bench(c, PAPER_CELLS, SEED).compare(copts, cfg, WaitPolicy::Mwait))
+        .map(|&c| {
+            fem_bench(c, PAPER_CELLS, SEED).compare_mode(copts, cfg, WaitPolicy::Mwait, in_order)
+        })
         .collect()
 }
 
 /// Figure 11(b): streamCDP speedups for 4n/6n x 4096/8192.
 #[must_use]
-pub fn figure11b(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
-    CDP_CONFIGS.iter().map(|&c| cdp_bench(c, SEED).compare(copts, cfg, WaitPolicy::Mwait)).collect()
+pub fn figure11b(cfg: &MachineConfig, copts: &CompilerOptions, in_order: bool) -> Vec<Comparison> {
+    CDP_CONFIGS
+        .iter()
+        .map(|&c| cdp_bench(c, SEED).compare_mode(copts, cfg, WaitPolicy::Mwait, in_order))
+        .collect()
 }
 
 /// Element counts swept in Figure 11(c).
@@ -100,10 +107,10 @@ pub const FIG11C_ELEMS: [usize; 3] = [4096, 16384, 65536];
 
 /// Figure 11(c): neo-hookean speedups over element counts.
 #[must_use]
-pub fn figure11c(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+pub fn figure11c(cfg: &MachineConfig, copts: &CompilerOptions, in_order: bool) -> Vec<Comparison> {
     FIG11C_ELEMS
         .iter()
-        .map(|&n| neo_bench(n, SEED).compare(copts, cfg, WaitPolicy::Mwait))
+        .map(|&n| neo_bench(n, SEED).compare_mode(copts, cfg, WaitPolicy::Mwait, in_order))
         .collect()
 }
 
@@ -113,13 +120,42 @@ pub const FIG11D_ROWS: [usize; 4] = [2_000, 8_000, 32_000, 131_072];
 /// Figure 11(d): streamSPAS speedups over matrix sizes (slowdown for
 /// small, cache-friendly meshes; crossover as the mesh grows).
 #[must_use]
-pub fn figure11d(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+pub fn figure11d(cfg: &MachineConfig, copts: &CompilerOptions, in_order: bool) -> Vec<Comparison> {
     FIG11D_ROWS
         .iter()
         .map(|&rows| {
-            spas_bench(rows, PAPER_NNZ_PER_ROW, SEED).compare(copts, cfg, WaitPolicy::Mwait)
+            spas_bench(rows, PAPER_NNZ_PER_ROW, SEED).compare_mode(
+                copts,
+                cfg,
+                WaitPolicy::Mwait,
+                in_order,
+            )
         })
         .collect()
+}
+
+/// Figure 7 ablation: in-order (head-blocking) vs out-of-order
+/// (`tail_depend`) issue in the work queues, on the paper's motivating
+/// micro-benchmark and on streamFEM. Returns one comparison row per
+/// (workload, mode), in-order rows first; the interesting delta is the
+/// per-context `idle_wait` phase, which out-of-order issue shrinks by
+/// letting gathers run past blocked scatters.
+#[must_use]
+pub fn ooo_ablation(cfg: &MachineConfig, copts: &CompilerOptions) -> Vec<Comparison> {
+    let mb = kernels::gat_scat_comp(8192, 4);
+    let fem = fem_bench(FEM_CONFIGS[0], 600, SEED);
+    let mut rows = Vec::new();
+    for in_order in [true, false] {
+        let tag = if in_order { "in-order" } else { "ooo" };
+        for mut c in [
+            mb.compare_mode(copts, cfg, WaitPolicy::Mwait, in_order),
+            fem.compare_mode(copts, cfg, WaitPolicy::Mwait, in_order),
+        ] {
+            c.name = format!("{} [{tag}]", c.name);
+            rows.push(c);
+        }
+    }
+    rows
 }
 
 /// Section III-B-2: one hardware context (software-pipelined
@@ -193,10 +229,10 @@ pub fn summary(cfg: &MachineConfig, copts: &CompilerOptions) -> Summary {
         .flat_map(|s| s.points.into_iter().map(|(_, v)| v))
         .collect();
     let mut sci: Vec<f64> = Vec::new();
-    sci.extend(figure11a(cfg, copts).iter().map(Comparison::speedup));
-    sci.extend(figure11b(cfg, copts).iter().map(Comparison::speedup));
-    sci.extend(figure11c(cfg, copts).iter().map(Comparison::speedup));
-    sci.extend(figure11d(cfg, copts).iter().map(Comparison::speedup));
+    sci.extend(figure11a(cfg, copts, false).iter().map(Comparison::speedup));
+    sci.extend(figure11b(cfg, copts, false).iter().map(Comparison::speedup));
+    sci.extend(figure11c(cfg, copts, false).iter().map(Comparison::speedup));
+    sci.extend(figure11d(cfg, copts, false).iter().map(Comparison::speedup));
     let fold = |v: &[f64], init: f64, f: fn(f64, f64) -> f64| v.iter().copied().fold(init, f);
     Summary {
         micro_best: fold(&micro, f64::MIN, f64::max),

@@ -23,6 +23,7 @@ use crate::error::CompileError;
 use crate::options::CompilerOptions;
 use crate::passes::strip::{choose_strip_items, max_strip_elems, SRF_ALIGN};
 use gpstream_core::graph::{KernelId, StreamGraph, StreamId};
+use gpstream_core::hazard::{self, ArrayAccess, DupFree};
 use gpstream_core::srf::SrfAllocator;
 use gpstream_core::task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};
 use std::collections::HashMap;
@@ -35,16 +36,24 @@ struct Phase {
     copy_streams: Vec<StreamId>,
 }
 
-/// Union-find over components.
-fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-    if parent[x] != x {
-        let root = find(parent, parent[x]);
-        parent[x] = root;
+/// Union-find over components. Iterative two-pass path compression: the
+/// recursive form overflows the stack on deep producer chains in large
+/// generated graphs.
+fn find(parent: &mut [usize], x: usize) -> usize {
+    let mut root = x;
+    while parent[root] != root {
+        root = parent[root];
     }
-    parent[x]
+    let mut cur = x;
+    while parent[cur] != root {
+        let next = parent[cur];
+        parent[cur] = root;
+        cur = next;
+    }
+    root
 }
 
-fn union(parent: &mut Vec<usize>, a: usize, b: usize) {
+fn union(parent: &mut [usize], a: usize, b: usize) {
     let (ra, rb) = (find(parent, a), find(parent, b));
     if ra != rb {
         parent[ra] = rb;
@@ -200,47 +209,90 @@ fn partition_phases(graph: &StreamGraph) -> Vec<Phase> {
 }
 
 /// Bookkeeping during task emission.
+///
+/// Out-of-order queues execute any task whose dependencies have cleared,
+/// so nothing may rely on queue position: every ordering the program
+/// needs — phase barriers, buffer reuse, array aliasing — is emitted as
+/// an explicit dependency here and proven by the schedule checker
+/// afterwards.
 struct Emitter {
     tasks: Vec<TaskDesc>,
     gather_task: HashMap<(u32, u32), TaskId>,
     kernel_task: HashMap<(u32, u32), TaskId>,
     scatter_task: HashMap<(u32, u32), TaskId>,
-    last_mem: Option<TaskId>,
-    last_comp: Option<TaskId>,
-    /// Barrier deps owed by the first memory / compute task of the
-    /// current phase.
-    barrier_for_mem: Option<TaskId>,
-    barrier_for_comp: Option<TaskId>,
+    /// First task id of the current phase.
+    phase_start: u32,
+    /// Sink tasks (no dependents) of the previous phase; inherited as
+    /// deps by every current-phase task without intra-phase deps.
+    barrier: Vec<TaskId>,
+    /// Whether task `i` has at least one dependent (for sink discovery).
+    has_dependent: Vec<bool>,
+    /// Array accesses of the current phase, for aliasing dependencies.
+    arr_writes: HashMap<u32, Vec<(TaskId, ArrayAccess)>>,
+    arr_reads: HashMap<u32, Vec<(TaskId, ArrayAccess)>>,
+    dup: DupFree,
 }
 
 impl Emitter {
-    fn push(&mut self, kind: TaskKind, mut deps: Vec<TaskId>, strip: u32) -> TaskId {
-        let is_mem = kind.is_memory();
-        if is_mem {
-            if let Some(b) = self.barrier_for_mem.take() {
-                deps.push(b);
+    fn push(
+        &mut self,
+        graph: &StreamGraph,
+        kind: TaskKind,
+        mut deps: Vec<TaskId>,
+        strip: u32,
+    ) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        // Array-aliasing hazards within the phase: a gather must follow
+        // conflicting scatters (RAW), a scatter must follow conflicting
+        // gathers and scatters (WAR/WAW).
+        let acc = hazard::array_access(&kind, graph);
+        if let Some(acc) = &acc {
+            for (t, prev) in self.arr_writes.get(&acc.array).map_or(&[][..], Vec::as_slice) {
+                if hazard::accesses_conflict(acc, prev, graph, &mut self.dup) {
+                    deps.push(*t);
+                }
             }
-        } else if let Some(b) = self.barrier_for_comp.take() {
-            deps.push(b);
+            if acc.write {
+                for (t, prev) in self.arr_reads.get(&acc.array).map_or(&[][..], Vec::as_slice) {
+                    if hazard::accesses_conflict(acc, prev, graph, &mut self.dup) {
+                        deps.push(*t);
+                    }
+                }
+            }
+        }
+        // Phase barrier: a task with no intra-phase deps inherits the
+        // previous phase's sink set, so every task transitively follows
+        // the whole previous phase.
+        if !deps.iter().any(|d| d.0 >= self.phase_start) {
+            deps.extend(self.barrier.iter().copied());
         }
         deps.sort_unstable();
         deps.dedup();
-        let id = TaskId(self.tasks.len() as u32);
-        self.tasks.push(TaskDesc { id, kind, deps, strip });
-        if is_mem {
-            self.last_mem = Some(id);
-        } else {
-            self.last_comp = Some(id);
+        for d in &deps {
+            self.has_dependent[d.0 as usize] = true;
         }
+        self.has_dependent.push(false);
+        if let Some(acc) = acc {
+            let side = if acc.write { &mut self.arr_writes } else { &mut self.arr_reads };
+            side.entry(acc.array).or_default().push((id, acc));
+        }
+        self.tasks.push(TaskDesc { id, kind, deps, strip });
         id
     }
 
-    /// Install a barrier: the next memory task waits for the last compute
-    /// task so far, and vice versa (same-queue ordering is free because
-    /// the queues execute in order).
+    /// Install a barrier: collect the finished phase's sinks (every other
+    /// task of the phase is an ancestor of some sink) and start a new
+    /// phase. Subsequent tasks without intra-phase deps depend on all
+    /// sinks, which orders the phases without trusting queue order.
     fn barrier(&mut self) {
-        self.barrier_for_mem = self.last_comp;
-        self.barrier_for_comp = self.last_mem;
+        let start = self.phase_start as usize;
+        self.barrier = (start..self.tasks.len())
+            .filter(|&i| !self.has_dependent[i])
+            .map(|i| TaskId(i as u32))
+            .collect();
+        self.phase_start = self.tasks.len() as u32;
+        self.arr_writes.clear();
+        self.arr_reads.clear();
     }
 }
 
@@ -339,10 +391,12 @@ pub fn schedule(
         gather_task: HashMap::new(),
         kernel_task: HashMap::new(),
         scatter_task: HashMap::new(),
-        last_mem: None,
-        last_comp: None,
-        barrier_for_mem: None,
-        barrier_for_comp: None,
+        phase_start: 0,
+        barrier: Vec::new(),
+        has_dependent: Vec::new(),
+        arr_writes: HashMap::new(),
+        arr_reads: HashMap::new(),
+        dup: DupFree::default(),
     };
     let mut total_strips = 0u32;
 
@@ -377,6 +431,7 @@ pub fn schedule(
                 stream: sid,
                 srf_offset: offsets[sid.0 as usize][s as usize % bufs],
                 elems,
+                elem_bytes: decl.elem_bytes,
             }
         };
         let consumers_in_strip = |sid: StreamId,
@@ -419,8 +474,19 @@ pub fn schedule(
                             &em.kernel_task,
                             &em.scatter_task,
                         ));
+                        // Buffer WAW: the previous user of this parity
+                        // buffer (covers strips whose consumers emitted
+                        // no tasks).
+                        if let Some(&g) = em.gather_task.get(&(sid.0, s - bufs as u32)) {
+                            deps.push(g);
+                        }
                     }
-                    let id = em.push(TaskKind::Gather { binding: b, nt: opts.nt_gather }, deps, s);
+                    let id = em.push(
+                        graph,
+                        TaskKind::Gather { binding: b, nt: opts.nt_gather },
+                        deps,
+                        s,
+                    );
                     em.gather_task.insert((sid.0, s), id);
                 }
             }
@@ -432,6 +498,7 @@ pub fn schedule(
                     continue;
                 }
                 let sc = em.push(
+                    graph,
                     TaskKind::Scatter { binding: b, nt: opts.nt_scatter },
                     vec![kernel_dep],
                     ps,
@@ -472,6 +539,11 @@ pub fn schedule(
                             &em.scatter_task,
                         ));
                     }
+                    // Buffer WAW with this kernel's own earlier write of
+                    // the parity buffer.
+                    if let Some(&k) = em.kernel_task.get(&(kid.0, s - bufs as u32)) {
+                        deps.push(k);
+                    }
                 }
                 let kind = TaskKind::Kernel {
                     kernel: kid,
@@ -479,7 +551,7 @@ pub fn schedule(
                     inputs: kdecl.inputs.iter().map(|&sid| binding_for(sid, s)).collect(),
                     outputs: kdecl.outputs.iter().map(|&sid| binding_for(sid, s)).collect(),
                 };
-                let id = em.push(kind, deps, s);
+                let id = em.push(graph, kind, deps, s);
                 em.kernel_task.insert((kid.0, s), id);
 
                 for &sid in &kdecl.outputs {
@@ -503,11 +575,23 @@ pub fn schedule(
                         &em.kernel_task,
                         &em.scatter_task,
                     ));
+                    if let Some(&g) = em.gather_task.get(&(sid.0, s - bufs as u32)) {
+                        deps.push(g);
+                    }
                 }
-                let g =
-                    em.push(TaskKind::Gather { binding: b.clone(), nt: opts.nt_gather }, deps, s);
+                let g = em.push(
+                    graph,
+                    TaskKind::Gather { binding: b.clone(), nt: opts.nt_gather },
+                    deps,
+                    s,
+                );
                 em.gather_task.insert((sid.0, s), g);
-                let sc = em.push(TaskKind::Scatter { binding: b, nt: opts.nt_scatter }, vec![g], s);
+                let sc = em.push(
+                    graph,
+                    TaskKind::Scatter { binding: b, nt: opts.nt_scatter },
+                    vec![g],
+                    s,
+                );
                 em.scatter_task.insert((sid.0, s), sc);
             }
         }
@@ -520,6 +604,7 @@ pub fn schedule(
                 continue;
             }
             let sc = em.push(
+                graph,
                 TaskKind::Scatter { binding: b, nt: opts.nt_scatter },
                 vec![kernel_dep],
                 ps,
@@ -534,8 +619,9 @@ pub fn schedule(
         n_strips: total_strips,
         strip_items,
     };
-    if let Err(e) = program.validate() {
-        // Internal invariant: scheduling must produce consistent programs.
+    if let Err(e) = program.check(graph) {
+        // Internal invariant: every ordering an out-of-order queue needs
+        // must have been emitted as an explicit dependency above.
         unreachable!("scheduler produced inconsistent program: {e}");
     }
     Ok(program)

@@ -72,8 +72,8 @@ mod tests {
         b.scatter_seq(s_out, y);
         let (graph, mut world) = b.build().unwrap();
 
-        let in_b = PortBinding { stream: s_in.id(), srf_offset: 0, elems: 0..4 };
-        let out_b = PortBinding { stream: s_out.id(), srf_offset: 64, elems: 0..4 };
+        let in_b = PortBinding { stream: s_in.id(), srf_offset: 0, elems: 0..4, elem_bytes: 4 };
+        let out_b = PortBinding { stream: s_out.id(), srf_offset: 64, elems: 0..4, elem_bytes: 4 };
         let program = ScheduledProgram {
             tasks: vec![
                 TaskDesc {

@@ -10,6 +10,13 @@
 //! readiness either by spinning with the PAUSE hint or by parking, the two
 //! policies whose trade-off Figure 8 measures.
 //!
+//! By default each worker issues *out of order* within a small in-flight
+//! window (Figure 7's `tail_depend`): it pops up to
+//! [`NATIVE_ISSUE_WINDOW`] entries from its ring, runs any whose
+//! dependencies have cleared, and waits only when none of them are
+//! ready — a blocked scatter no longer stalls the gathers queued behind
+//! it. [`NativeExecutor::in_order`] restores head-blocking queues.
+//!
 //! Functional effects (array contents) are identical to the reference
 //! executor; a single data mutex serializes task *bodies* (the simulator,
 //! not this runtime, is the timing vehicle — see DESIGN.md).
@@ -24,12 +31,12 @@ use crate::exec::execute_task;
 use crate::graph::StreamGraph;
 use crate::spsc::SpscRing;
 use crate::srf::{SrfBuffer, SrfConfig};
-use crate::task::{ScheduledProgram, TaskId};
+use crate::task::ScheduledProgram;
 use crate::trace::{ExecEventKind, TraceBuffer};
 use crate::workqueue::{DependencyWindow, QueuedTask};
 use crate::world::World;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 // NOTE on readiness: the bit-vector window (DependencyWindow) bounds the
 // number of in-flight tasks to 64 and is what the control thread uses for
@@ -37,6 +44,12 @@ use std::sync::{Condvar, Mutex};
 // completion flags rather than the mask snapshot: a mask snapshot can go
 // stale when a completed dependency's slot is recycled for a later task
 // (an ABA hazard that would deadlock a queue on itself).
+
+/// How many ring entries a worker keeps in flight for out-of-order
+/// issue. Any value >= 1 is deadlock-free: queues are filled in task-id
+/// order, so the globally smallest incomplete task is always the oldest
+/// unexecuted entry of its queue — inside every window.
+pub const NATIVE_ISSUE_WINDOW: usize = 16;
 
 /// Trace lane of the control thread.
 pub const LANE_CONTROL: u8 = 0;
@@ -71,12 +84,41 @@ struct Shared<'a> {
     graph: &'a StreamGraph,
     data: Mutex<(World, SrfBuffer)>,
     window: Mutex<DependencyWindow>,
-    pending: AtomicU64,
     completed: Vec<AtomicBool>,
     window_cv: Condvar,
     done: AtomicBool,
+    /// Set when a worker dies (panics) so the control thread and the
+    /// surviving worker stop waiting on completions that will never come.
+    dead: AtomicBool,
     program: &'a ScheduledProgram,
     trace: Option<TraceBuffer>,
+}
+
+impl Shared<'_> {
+    /// Lock the window even if a panicking peer poisoned it (the window
+    /// holds no invariants a panic can break mid-update that we rely on
+    /// for shutdown).
+    fn lock_window(&self) -> MutexGuard<'_, DependencyWindow> {
+        self.window.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// On-drop guard a worker holds for its whole loop: if the worker
+/// unwinds, mark the run dead and wake everyone parked on the window
+/// condvar — otherwise the control thread can sleep forever waiting for
+/// a window slot the dead worker will never free.
+struct DeathNotice<'a, 'b>(&'a Shared<'b>);
+
+impl Drop for DeathNotice<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.dead.store(true, Ordering::Release);
+            // Acquire the window lock so the flag store cannot race a
+            // parked thread between its check and its wait.
+            drop(self.0.lock_window());
+            self.0.window_cv.notify_all();
+        }
+    }
 }
 
 /// Two-thread work-queue executor.
@@ -84,6 +126,7 @@ struct Shared<'a> {
 pub struct NativeExecutor {
     srf_cfg: SrfConfig,
     policy: NativeWaitPolicy,
+    in_order: bool,
     trace: Option<TraceBuffer>,
 }
 
@@ -108,6 +151,17 @@ impl NativeExecutor {
         self
     }
 
+    /// Force head-blocking queues: each worker executes its ring
+    /// strictly in order, waiting at the head until the head's
+    /// dependencies clear (the pre-`tail_depend` baseline). Default is
+    /// `false`: out-of-order issue within [`NATIVE_ISSUE_WINDOW`]
+    /// entries.
+    #[must_use]
+    pub fn in_order(mut self, in_order: bool) -> Self {
+        self.in_order = in_order;
+        self
+    }
+
     /// Record executor events (nanosecond timestamps) into `buf`.
     #[must_use]
     pub fn with_trace(mut self, buf: TraceBuffer) -> Self {
@@ -127,7 +181,7 @@ impl NativeExecutor {
         graph: &StreamGraph,
         world: &mut World,
     ) -> NativeReport {
-        program.validate().expect("scheduled program must be consistent");
+        program.check(graph).expect("scheduled program must be consistent");
         assert!(
             program.srf_bytes <= self.srf_cfg.capacity,
             "program needs {} SRF bytes but only {} are configured",
@@ -143,38 +197,47 @@ impl NativeExecutor {
             graph,
             data: Mutex::new((std::mem::take(world), SrfBuffer::new(self.srf_cfg))),
             window: Mutex::new(window),
-            pending: AtomicU64::new(0),
             completed: (0..program.tasks.len()).map(|_| AtomicBool::new(false)).collect(),
             window_cv: Condvar::new(),
             done: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
             program,
             trace: self.trace.clone(),
         };
         let mem_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
         let comp_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
         let policy = self.policy;
+        let issue_window = if self.in_order { 1 } else { NATIVE_ISSUE_WINDOW };
 
         let (mem_count, comp_count) = std::thread::scope(|s| {
-            let mem_worker = s.spawn(|| worker_loop(&shared, &mem_queue, LANE_MEMORY, policy));
-            let comp_worker = s.spawn(|| worker_loop(&shared, &comp_queue, LANE_COMPUTE, policy));
+            let mem_worker =
+                s.spawn(|| worker_loop(&shared, &mem_queue, LANE_MEMORY, policy, issue_window));
+            let comp_worker =
+                s.spawn(|| worker_loop(&shared, &comp_queue, LANE_COMPUTE, policy, issue_window));
 
             // Control thread: admit tasks into the window in order and
             // push them to the right queue. Each queue has a single
             // producer (this thread) and a single consumer (its worker).
-            for task in &program.tasks {
+            'enqueue: for task in &program.tasks {
                 let queued = loop {
-                    let mut w = shared.window.lock().expect("window poisoned");
+                    if shared.dead.load(Ordering::Acquire) {
+                        break 'enqueue;
+                    }
+                    let mut w = shared.lock_window();
                     if let Ok(slot) = w.admit(task.id) {
                         let dep_mask = w.mask_for(&task.deps) & !(1u64 << slot);
-                        shared.pending.store(w.pending_mask(), Ordering::Release);
                         break QueuedTask { task: task.id, slot, dep_mask };
                     }
-                    // Window full: wait for a completion.
-                    let _unused = shared.window_cv.wait(w).expect("window poisoned");
+                    // Window full: wait for a completion (or a death
+                    // notice — a dead worker frees no slots).
+                    let _unused = shared.window_cv.wait(w).unwrap_or_else(PoisonError::into_inner);
                 };
                 let queue = if task.kind.is_memory() { &mem_queue } else { &comp_queue };
                 let mut item = queued;
                 while let Err(back) = queue.push(item) {
+                    if shared.dead.load(Ordering::Acquire) {
+                        break 'enqueue;
+                    }
                     item = back;
                     std::hint::spin_loop();
                 }
@@ -183,9 +246,16 @@ impl NativeExecutor {
                 }
             }
             shared.done.store(true, Ordering::Release);
-            let m = mem_worker.join().expect("memory worker panicked");
-            let c = comp_worker.join().expect("compute worker panicked");
-            (m, c)
+            let m = mem_worker.join();
+            let c = comp_worker.join();
+            // Re-raise a worker's panic with its original payload rather
+            // than a generic "worker panicked" (the panic poisons the
+            // data mutex, so masking it would surface as an unrelated
+            // poison error below).
+            match (m, c) {
+                (Ok(m), Ok(c)) => (m, c),
+                (Err(p), _) | (_, Err(p)) => std::panic::resume_unwind(p),
+            }
         });
 
         let (w, _srf) = shared.data.into_inner().expect("data mutex poisoned");
@@ -198,15 +268,44 @@ impl NativeExecutor {
     }
 }
 
+/// Worker loop with out-of-order issue: keep up to `issue_window` popped
+/// entries in flight, run the oldest one whose dependencies have all
+/// completed, and wait (per `policy`) only when none of them is ready —
+/// the paper's `tail_depend` consumer. `issue_window == 1` degenerates
+/// to the head-blocking in-order consumer.
+///
+/// Returns the number of tasks executed; exits early (without running
+/// the remaining entries) when the peer worker dies, since their
+/// dependencies can never complete.
 fn worker_loop(
     shared: &Shared<'_>,
     queue: &SpscRing<QueuedTask>,
     lane: u8,
     policy: NativeWaitPolicy,
+    issue_window: usize,
 ) -> usize {
+    let _notice = DeathNotice(shared);
     let mut executed = 0usize;
+    // In-flight entries, oldest first (queue order == task-id order).
+    let mut local: Vec<QueuedTask> = Vec::with_capacity(issue_window);
+    let ready = |item: &QueuedTask| {
+        shared.program.tasks[item.task.0 as usize]
+            .deps
+            .iter()
+            .all(|d| shared.completed[d.0 as usize].load(Ordering::Acquire))
+    };
+    let mut waited = false;
     loop {
-        let Some(item) = queue.pop() else {
+        if shared.dead.load(Ordering::Acquire) {
+            return executed;
+        }
+        while local.len() < issue_window {
+            match queue.pop() {
+                Some(item) => local.push(item),
+                None => break,
+            }
+        }
+        if local.is_empty() {
             if shared.done.load(Ordering::Acquire) && queue.is_empty() {
                 return executed;
             }
@@ -214,59 +313,63 @@ fn worker_loop(
             std::hint::spin_loop();
             std::thread::yield_now();
             continue;
+        }
+        let Some(pos) = local.iter().position(ready) else {
+            // Nothing in the window is ready: this is the only place a
+            // worker blocks. The oldest entry records the wait (its mask
+            // names the slots it is stalled on).
+            if !waited {
+                waited = true;
+                if let Some(buf) = &shared.trace {
+                    buf.push(
+                        lane,
+                        Some(local[0].task),
+                        ExecEventKind::DepWait { mask: local[0].dep_mask },
+                    );
+                }
+            }
+            match policy {
+                NativeWaitPolicy::Spin => {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+                NativeWaitPolicy::Park => {
+                    let any_ready =
+                        || local.iter().any(&ready) || shared.dead.load(Ordering::Acquire);
+                    let mut w = shared.lock_window();
+                    while !any_ready() {
+                        w = shared.window_cv.wait(w).unwrap_or_else(PoisonError::into_inner);
+                    }
+                    drop(w);
+                }
+            }
+            continue;
         };
-        let task = &shared.program.tasks[item.task.0 as usize];
-        wait_ready(shared, &item, lane, policy);
+        let item = local.remove(pos);
+        waited = false;
         if let Some(buf) = &shared.trace {
+            buf.push(lane, Some(item.task), ExecEventKind::Ready);
             buf.push(lane, Some(item.task), ExecEventKind::Start);
         }
         {
-            let mut data = shared.data.lock().expect("data mutex poisoned");
+            let task = &shared.program.tasks[item.task.0 as usize];
+            // A poisoned data mutex means the peer died mid-task; exit
+            // cleanly and let the control thread re-raise its panic.
+            let Ok(mut data) = shared.data.lock() else {
+                return executed;
+            };
             let (world, srf) = &mut *data;
             execute_task(task, shared.graph, world, srf);
         }
         {
-            let mut w = shared.window.lock().expect("window poisoned");
+            let mut w = shared.lock_window();
             w.complete(item.task);
             shared.completed[item.task.0 as usize].store(true, Ordering::Release);
-            shared.pending.store(w.pending_mask(), Ordering::Release);
             shared.window_cv.notify_all();
         }
         if let Some(buf) = &shared.trace {
             buf.push(lane, Some(item.task), ExecEventKind::Finish);
         }
         executed += 1;
-    }
-}
-
-fn wait_ready(shared: &Shared<'_>, item: &QueuedTask, lane: u8, policy: NativeWaitPolicy) {
-    let deps: &[TaskId] = &shared.program.tasks[item.task.0 as usize].deps;
-    let ready = || deps.iter().all(|d| shared.completed[d.0 as usize].load(Ordering::Acquire));
-    if ready() {
-        if let Some(buf) = &shared.trace {
-            buf.push(lane, Some(item.task), ExecEventKind::Ready);
-        }
-        return;
-    }
-    if let Some(buf) = &shared.trace {
-        buf.push(lane, Some(item.task), ExecEventKind::DepWait { mask: item.dep_mask });
-    }
-    match policy {
-        NativeWaitPolicy::Spin => {
-            while !ready() {
-                std::hint::spin_loop();
-                std::thread::yield_now();
-            }
-        }
-        NativeWaitPolicy::Park => {
-            let mut w = shared.window.lock().expect("window poisoned");
-            while !ready() {
-                w = shared.window_cv.wait(w).expect("window poisoned");
-            }
-            drop(w);
-        }
-    }
-    if let Some(buf) = &shared.trace {
-        buf.push(lane, Some(item.task), ExecEventKind::Ready);
     }
 }

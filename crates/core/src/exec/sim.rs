@@ -5,10 +5,17 @@
 //! one hardware context is dedicated to the bulk memory operations
 //! (gathers and scatters), the other runs the computation kernels (the
 //! control thread's enqueue work overlaps with the pipeline and is not
-//! separately modeled). In-queue ordering makes same-queue dependencies
-//! free; cross-queue dependencies become signal/wait pairs paying the
-//! PAUSE / MWAIT dispatch latency measured in the paper (175 / 680
-//! cycles).
+//! separately modeled).
+//!
+//! By default each queue issues *out of order* within a small window,
+//! per the paper's Figure 7 `tail_depend` scheme: a blocked entry parks
+//! and later entries whose dependencies have cleared may issue, so a
+//! scatter waiting on a kernel no longer stalls the gathers queued
+//! behind it. Cross-queue wake-ups pay the PAUSE / MWAIT dispatch
+//! latency measured in the paper (175 / 680 cycles). The
+//! [`SimExecutor::in_order`] toggle restores head-blocking queues
+//! (same-queue dependencies free by order, cross-queue dependencies as
+//! signal/wait pairs) for ablation.
 
 use crate::exec::execute_task;
 use crate::graph::{AccessKind, ArrayBinding, StreamGraph};
@@ -17,7 +24,9 @@ use crate::task::{PortBinding, ScheduledProgram, TaskId, TaskKind};
 use crate::trace::{ExecEvent, ExecEventKind};
 use crate::world::World;
 use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
-use gpstream_machine::{Machine, MachineConfig, MachineEventKind, RunResult};
+use gpstream_machine::{
+    ContextProgram, Machine, MachineConfig, MachineEventKind, RunResult, TaskNode,
+};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -54,6 +63,7 @@ pub struct SimExecutor {
     wait_policy: WaitPolicy,
     warmup: bool,
     single_context: bool,
+    in_order: bool,
     trace: bool,
 }
 
@@ -65,6 +75,7 @@ impl Default for SimExecutor {
             wait_policy: WaitPolicy::Mwait,
             warmup: false,
             single_context: false,
+            in_order: false,
             trace: false,
         }
     }
@@ -119,6 +130,17 @@ impl SimExecutor {
         self
     }
 
+    /// Force head-blocking work queues: each context executes its queue
+    /// strictly in order, waiting at the head (the pre-`tail_depend`
+    /// behaviour, kept as an ablation baseline). Default is `false`:
+    /// out-of-order issue within a [`crate::workqueue::WINDOW`]-entry
+    /// window, per the paper's Figure 7.
+    #[must_use]
+    pub fn in_order(mut self, in_order: bool) -> Self {
+        self.in_order = in_order;
+        self
+    }
+
     /// Record cycle-stamped events during the timing run; the report's
     /// `trace` field carries them (attributed to tasks) for the Chrome
     /// exporter in [`crate::trace`]. When a warm-up run is configured,
@@ -147,7 +169,7 @@ impl SimExecutor {
         graph: &StreamGraph,
         world: &mut World,
     ) -> SimReport {
-        program.validate().expect("scheduled program must be consistent");
+        program.check(graph).expect("scheduled program must be consistent");
         assert!(
             program.srf_bytes <= self.srf_cfg.capacity,
             "program needs {} SRF bytes but only {} are configured",
@@ -167,16 +189,32 @@ impl SimExecutor {
         if self.trace {
             machine.enable_trace();
         }
-        let lowered = if self.single_context {
-            self.lower_single(program, graph, world)
+        let (lowered, timing) = if self.single_context {
+            let lowered = self.lower_single(program, graph, world);
+            if self.warmup {
+                let _ = machine.run(lowered.ops.clone());
+                machine.reset_time(); // also drops the warm-up's trace events
+            }
+            let timing = machine.run(lowered.ops.clone());
+            (lowered, timing)
+        } else if self.in_order {
+            let lowered = self.lower(program, graph, world);
+            if self.warmup {
+                let _ = machine.run(lowered.ops.clone());
+                machine.reset_time();
+            }
+            let timing = machine.run(lowered.ops.clone());
+            (lowered, timing)
         } else {
-            self.lower(program, graph, world)
+            let (lowered, progs) = self.lower_tasks(program, graph, world);
+            let window = crate::workqueue::WINDOW;
+            if self.warmup {
+                let _ = machine.run_tasks(progs.clone(), self.wait_policy, window);
+                machine.reset_time();
+            }
+            let timing = machine.run_tasks(progs, self.wait_policy, window);
+            (lowered, timing)
         };
-        if self.warmup {
-            let _ = machine.run(lowered.ops.clone());
-            machine.reset_time(); // also drops the warm-up's trace events
-        }
-        let timing = machine.run(lowered.ops.clone());
         let trace = self.trace.then(|| attribute_events(machine.take_trace(), &lowered, program));
         SimReport { timing, tasks: program.tasks.len(), trace }
     }
@@ -254,56 +292,103 @@ impl SimExecutor {
                     ops.push(BulkOp::Wait { id: d.0, policy: self.wait_policy });
                 }
             }
-            match &t.kind {
-                TaskKind::Gather { binding, nt } => {
-                    ops.push(BulkOp::Copy {
-                        mem: self.mem_pattern(binding, graph, world, true),
-                        srf_base: self.srf_cfg.base + binding.srf_offset as u64,
-                        dir: CopyDir::GatherToSrf,
-                        nt: *nt,
-                    });
-                }
-                TaskKind::Scatter { binding, nt } => {
-                    ops.push(BulkOp::Copy {
-                        mem: self.mem_pattern(binding, graph, world, false),
-                        srf_base: self.srf_cfg.base + binding.srf_offset as u64,
-                        dir: CopyDir::ScatterFromSrf,
-                        nt: *nt,
-                    });
-                }
-                TaskKind::Kernel { kernel, items, inputs, outputs } => {
-                    let decl = graph.kernel(*kernel);
-                    let n_items = (items.end - items.start).max(1);
-                    let mut patterns = Vec::new();
-                    for (b, rw) in inputs
-                        .iter()
-                        .map(|b| (b, Rw::Read))
-                        .chain(outputs.iter().map(|b| (b, Rw::Write)))
-                    {
-                        let total = b.len() * graph.stream(b.stream).elem_bytes;
-                        let per_item = total.div_ceil(n_items).max(1);
-                        patterns.push((
-                            AccessPattern::Seq {
-                                base: self.srf_cfg.base + b.srf_offset as u64,
-                                elem: per_item as u64,
-                                count: n_items as u64,
-                            },
-                            rw,
-                        ));
-                    }
-                    ops.push(BulkOp::Loop {
-                        patterns,
-                        uops_per_iter: decl.uops_per_item as u64,
-                        class: OpClass::Compute,
-                    });
-                }
-            }
+            ops.push(self.task_op(&t.kind, graph, world));
             if signaled.contains(&t.id.0) {
                 ops.push(BulkOp::Signal { id: t.id.0 });
             }
             owners.extend(std::iter::repeat_n(t.id, ops.len() - ops_before));
         }
         Lowered { ops: [compute_ops, memory_ops], owners: [compute_owners, memory_owners] }
+    }
+
+    /// The single machine-level bulk op a task lowers to.
+    fn task_op(&self, kind: &TaskKind, graph: &StreamGraph, world: &World) -> BulkOp {
+        match kind {
+            TaskKind::Gather { binding, nt } => BulkOp::Copy {
+                mem: self.mem_pattern(binding, graph, world, true),
+                srf_base: self.srf_cfg.base + binding.srf_offset as u64,
+                dir: CopyDir::GatherToSrf,
+                nt: *nt,
+            },
+            TaskKind::Scatter { binding, nt } => BulkOp::Copy {
+                mem: self.mem_pattern(binding, graph, world, false),
+                srf_base: self.srf_cfg.base + binding.srf_offset as u64,
+                dir: CopyDir::ScatterFromSrf,
+                nt: *nt,
+            },
+            TaskKind::Kernel { kernel, items, inputs, outputs } => {
+                let decl = graph.kernel(*kernel);
+                let n_items = (items.end - items.start).max(1);
+                let mut patterns = Vec::new();
+                for (b, rw) in inputs
+                    .iter()
+                    .map(|b| (b, Rw::Read))
+                    .chain(outputs.iter().map(|b| (b, Rw::Write)))
+                {
+                    let total = b.len() * graph.stream(b.stream).elem_bytes;
+                    let per_item = total.div_ceil(n_items).max(1);
+                    patterns.push((
+                        AccessPattern::Seq {
+                            base: self.srf_cfg.base + b.srf_offset as u64,
+                            elem: per_item as u64,
+                            count: n_items as u64,
+                        },
+                        rw,
+                    ));
+                }
+                BulkOp::Loop {
+                    patterns,
+                    uops_per_iter: decl.uops_per_item as u64,
+                    class: OpClass::Compute,
+                }
+            }
+        }
+    }
+
+    /// Lower the schedule into task-form per-context programs for
+    /// [`Machine::run_tasks`]: each task becomes one work-queue entry
+    /// carrying *all* of its dependencies (the out-of-order issuer gets
+    /// nothing for free from queue order), a completion signal if
+    /// anything depends on it, and a `feeds_partner` hint when a
+    /// cross-context task does. Also returns the flat op/owner view used
+    /// for trace attribution.
+    fn lower_tasks(
+        &self,
+        program: &ScheduledProgram,
+        graph: &StreamGraph,
+        world: &World,
+    ) -> (Lowered, [ContextProgram; 2]) {
+        let n = program.tasks.len();
+        let mut has_dependent = vec![false; n];
+        let mut feeds_partner = vec![false; n];
+        for t in &program.tasks {
+            let my_mem = t.kind.is_memory();
+            for d in &t.deps {
+                has_dependent[d.0 as usize] = true;
+                if program.tasks[d.0 as usize].kind.is_memory() != my_mem {
+                    feeds_partner[d.0 as usize] = true;
+                }
+            }
+        }
+
+        let mut progs = [ContextProgram::default(), ContextProgram::default()];
+        let mut owners: [Vec<TaskId>; 2] = [Vec::new(), Vec::new()];
+        for t in &program.tasks {
+            let ctx = if t.kind.is_memory() { MEMORY_CTX } else { COMPUTE_CTX };
+            let prog = &mut progs[ctx];
+            let start = prog.ops.len();
+            prog.ops.push(self.task_op(&t.kind, graph, world));
+            owners[ctx].push(t.id);
+            let i = t.id.0 as usize;
+            prog.tasks.push(TaskNode {
+                ops: start..prog.ops.len(),
+                deps: t.deps.iter().map(|d| d.0).collect(),
+                signal: has_dependent[i].then_some(t.id.0),
+                feeds_partner: feeds_partner[i],
+            });
+        }
+        let ops = [progs[COMPUTE_CTX].ops.clone(), progs[MEMORY_CTX].ops.clone()];
+        (Lowered { ops, owners }, progs)
     }
 
     /// Build the machine-level access pattern for a gather (`is_src`) or

@@ -38,6 +38,7 @@
 
 pub mod exec;
 pub mod graph;
+pub mod hazard;
 pub mod metrics;
 pub mod pod;
 pub mod regular;

@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn two_thread_stream() {
         let q = std::sync::Arc::new(SpscRing::new(8));
-        let n = 10_000u64;
+        // Keep the cross-thread stream short under Miri: the interpreter
+        // is ~3 orders of magnitude slower and the interleavings it
+        // explores do not grow with the item count.
+        let n = if cfg!(miri) { 200u64 } else { 10_000u64 };
         let producer = {
             let q = q.clone();
             std::thread::spawn(move || {

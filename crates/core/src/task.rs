@@ -7,7 +7,9 @@
 //! (Section IV-A) and is what the control thread feeds into the
 //! distributed work queue.
 
-use crate::graph::{KernelId, StreamId};
+use crate::graph::{KernelId, StreamGraph, StreamId};
+use crate::hazard::{self, ArrayAccess, DupFree};
+use std::collections::HashMap;
 use std::ops::Range;
 
 /// Identifies a task within a scheduled program.
@@ -23,6 +25,9 @@ pub struct PortBinding {
     pub srf_offset: usize,
     /// Element index range of the stream covered by this strip.
     pub elems: Range<usize>,
+    /// Bytes per element (copied from the stream declaration so the SRF
+    /// byte range is known without consulting the graph).
+    pub elem_bytes: usize,
 }
 
 impl PortBinding {
@@ -36,6 +41,12 @@ impl PortBinding {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.elems.is_empty()
+    }
+
+    /// Byte range of the strip buffer within the SRF.
+    #[must_use]
+    pub fn srf_range(&self) -> Range<usize> {
+        self.srf_offset..self.srf_offset + self.len() * self.elem_bytes
     }
 }
 
@@ -104,14 +115,88 @@ pub struct ScheduledProgram {
     pub strip_items: usize,
 }
 
+/// Hazard checking builds per-task ancestor bitsets, which is
+/// `O(n²/64)` time and space in the number of tasks. Programs larger
+/// than this only get the structural and SRF/array checks skipped at
+/// *run* time — the compiler still checks every schedule it emits once
+/// at compile time via [`ScheduledProgram::check`].
+const MAX_HAZARD_TASKS: usize = 8192;
+
+/// Transitive dependency reachability as one bitset row per task.
+struct Reach {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Reach {
+    /// Build ancestor sets: `reaches(i, d)` for every `d` transitively
+    /// dependency-before `i`. Requires structurally valid tasks (deps
+    /// precede dependents).
+    fn build(tasks: &[TaskDesc]) -> Self {
+        let n = tasks.len();
+        let words = n.div_ceil(64).max(1);
+        let mut bits = vec![0u64; n * words];
+        for t in tasks {
+            let i = t.id.0 as usize;
+            for d in &t.deps {
+                let d = d.0 as usize;
+                let (pre, rest) = bits.split_at_mut(i * words);
+                let drow = &pre[d * words..(d + 1) * words];
+                for (w, dw) in rest[..words].iter_mut().zip(drow) {
+                    *w |= dw;
+                }
+                rest[d / 64] |= 1 << (d % 64);
+            }
+        }
+        Self { words, bits }
+    }
+
+    fn reaches(&self, later: usize, earlier: usize) -> bool {
+        self.bits[later * self.words + earlier / 64] >> (earlier % 64) & 1 == 1
+    }
+}
+
+/// A live SRF region: who wrote it last and who has read it since.
+struct SrfRegion {
+    range: Range<usize>,
+    writer: usize,
+    readers: Vec<usize>,
+}
+
+fn ranges_overlap(a: &Range<usize>, b: &Range<usize>) -> bool {
+    a.start < b.end && b.start < a.end
+}
+
 impl ScheduledProgram {
-    /// Check internal consistency: dependency ids precede their dependents
-    /// and all ids are dense.
+    /// Check internal consistency: dependency ids precede their
+    /// dependents, all ids are dense, and — for programs small enough to
+    /// analyse — every pair of tasks touching overlapping SRF bytes with
+    /// at least one writer is connected by an explicit dependency path.
+    ///
+    /// With out-of-order work queues (Figure 7's `tail_depend`) queue
+    /// position orders nothing, so a schedule whose correctness relies on
+    /// implicit same-queue ordering is rejected here.
     ///
     /// # Errors
     ///
     /// Returns a description of the first inconsistency found.
     pub fn validate(&self) -> Result<(), String> {
+        self.check_inner(None)
+    }
+
+    /// Full schedule check: everything [`ScheduledProgram::validate`]
+    /// does plus global-array hazards (gather-vs-scatter aliasing), which
+    /// need the graph's array bindings. The compiler runs this on every
+    /// schedule it emits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn check(&self, graph: &StreamGraph) -> Result<(), String> {
+        self.check_inner(Some(graph))
+    }
+
+    fn check_inner(&self, graph: Option<&StreamGraph>) -> Result<(), String> {
         for (i, t) in self.tasks.iter().enumerate() {
             if t.id.0 as usize != i {
                 return Err(format!("task {} has id {:?}", i, t.id));
@@ -120,6 +205,108 @@ impl ScheduledProgram {
                 if d.0 >= t.id.0 {
                     return Err(format!("task {:?} depends on later or same task {:?}", t.id, d));
                 }
+            }
+        }
+        if self.tasks.len() > MAX_HAZARD_TASKS {
+            return Ok(());
+        }
+        let reach = Reach::build(&self.tasks);
+        self.check_srf_hazards(&reach)?;
+        if let Some(graph) = graph {
+            self.check_array_hazards(graph, &reach)?;
+        }
+        Ok(())
+    }
+
+    /// SRF buffer hazards: a frontier of live regions (last writer plus
+    /// readers since) is enough because reachability is transitive — if
+    /// every new conflicting access reaches the frontier, it reaches all
+    /// older conflicting accesses through it.
+    fn check_srf_hazards(&self, reach: &Reach) -> Result<(), String> {
+        let mut regions: Vec<SrfRegion> = Vec::new();
+        let ordered = |earlier: usize, later: usize, what: &str| -> Result<(), String> {
+            if earlier != later && !reach.reaches(later, earlier) {
+                return Err(format!(
+                    "{what}: task {later} conflicts with task {earlier} in the SRF but has no \
+                     dependency path to it — the schedule relies on implicit queue order"
+                ));
+            }
+            Ok(())
+        };
+        for t in &self.tasks {
+            let i = t.id.0 as usize;
+            let mut reads: Vec<Range<usize>> = Vec::new();
+            let mut writes: Vec<Range<usize>> = Vec::new();
+            match &t.kind {
+                TaskKind::Gather { binding, .. } => writes.push(binding.srf_range()),
+                TaskKind::Scatter { binding, .. } => reads.push(binding.srf_range()),
+                TaskKind::Kernel { inputs, outputs, .. } => {
+                    reads.extend(inputs.iter().map(PortBinding::srf_range));
+                    writes.extend(outputs.iter().map(PortBinding::srf_range));
+                }
+            }
+            for r in reads.iter().filter(|r| !r.is_empty()) {
+                for region in &mut regions {
+                    if ranges_overlap(&region.range, r) {
+                        ordered(region.writer, i, "read-after-write")?;
+                        region.readers.push(i);
+                    }
+                }
+            }
+            for w in writes.iter().filter(|w| !w.is_empty()) {
+                for region in &regions {
+                    if ranges_overlap(&region.range, w) {
+                        ordered(region.writer, i, "write-after-write")?;
+                        for &r in &region.readers {
+                            ordered(r, i, "write-after-read")?;
+                        }
+                    }
+                }
+                // A full overwrite supersedes the old region; partial
+                // overlaps are kept (still conservative — their writers
+                // genuinely conflict with later accesses).
+                regions.retain(|e| !(w.start <= e.range.start && e.range.end <= w.end));
+                regions.push(SrfRegion { range: w.clone(), writer: i, readers: Vec::new() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Global-array hazards between gathers and scatters, using the
+    /// conservative aliasing rules in [`crate::hazard`].
+    fn check_array_hazards(&self, graph: &StreamGraph, reach: &Reach) -> Result<(), String> {
+        let mut dup = DupFree::default();
+        // Per array: every write and read seen so far (frontier
+        // compression is unsound for may-alias accesses, so keep all).
+        let mut writes: HashMap<u32, Vec<(usize, ArrayAccess)>> = HashMap::new();
+        let mut reads: HashMap<u32, Vec<(usize, ArrayAccess)>> = HashMap::new();
+        for t in &self.tasks {
+            let Some(acc) = hazard::array_access(&t.kind, graph) else { continue };
+            let i = t.id.0 as usize;
+            let ordered = |earlier: usize, what: &str| -> Result<(), String> {
+                if !reach.reaches(i, earlier) {
+                    return Err(format!(
+                        "{what}: task {i} conflicts with task {earlier} on array {} but has no \
+                         dependency path to it — the schedule relies on implicit queue order",
+                        acc.array
+                    ));
+                }
+                Ok(())
+            };
+            for (w, prev) in writes.get(&acc.array).map_or(&[][..], Vec::as_slice) {
+                if hazard::accesses_conflict(&acc, prev, graph, &mut dup) {
+                    ordered(*w, if acc.write { "write-after-write" } else { "read-after-write" })?;
+                }
+            }
+            if acc.write {
+                for (r, prev) in reads.get(&acc.array).map_or(&[][..], Vec::as_slice) {
+                    if hazard::accesses_conflict(&acc, prev, graph, &mut dup) {
+                        ordered(*r, "write-after-read")?;
+                    }
+                }
+                writes.entry(acc.array).or_default().push((i, acc));
+            } else {
+                reads.entry(acc.array).or_default().push((i, acc));
             }
         }
         Ok(())
@@ -146,7 +333,12 @@ mod tests {
         TaskDesc {
             id: TaskId(id),
             kind: TaskKind::Gather {
-                binding: PortBinding { stream: StreamId(0), srf_offset: 0, elems: 0..4 },
+                binding: PortBinding {
+                    stream: StreamId(0),
+                    srf_offset: 0,
+                    elems: 0..4,
+                    elem_bytes: 4,
+                },
                 nt: true,
             },
             deps,
@@ -187,7 +379,7 @@ mod tests {
 
     #[test]
     fn port_binding_len() {
-        let b = PortBinding { stream: StreamId(0), srf_offset: 0, elems: 4..10 };
+        let b = PortBinding { stream: StreamId(0), srf_offset: 0, elems: 4..10, elem_bytes: 4 };
         assert_eq!(b.len(), 6);
         assert!(!b.is_empty());
     }

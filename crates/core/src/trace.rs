@@ -354,7 +354,12 @@ mod tests {
             tasks: vec![TaskDesc {
                 id: TaskId(0),
                 kind: TaskKind::Gather {
-                    binding: PortBinding { stream: StreamId(0), srf_offset: 0, elems: 0..8 },
+                    binding: PortBinding {
+                        stream: StreamId(0),
+                        srf_offset: 0,
+                        elems: 0..8,
+                        elem_bytes: 4,
+                    },
                     nt: false,
                 },
                 deps: vec![],

@@ -9,8 +9,12 @@
 //! could be performed rapidly using simple or/and instructions").
 //!
 //! [`DependencyWindow`] is the single-threaded core of that scheme; the
-//! native executor wraps it in a lock and an atomic pending mask so worker
-//! threads can test readiness without taking the lock.
+//! native executor wraps it in a lock and pairs it with per-task atomic
+//! completion flags so worker threads can test readiness of the tasks in
+//! their local issue window without taking the lock (a queue-time mask
+//! snapshot would go stale when a completed dependency's slot is reused
+//! — see the slot-reuse ABA property test in the workspace-level
+//! `tests/properties.rs`).
 
 use crate::task::TaskId;
 use crate::trace::{ExecEventKind, TraceBuffer};

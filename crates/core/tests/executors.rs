@@ -38,9 +38,18 @@ fn two_strip_setup() -> (
     let mut tasks = Vec::new();
     for s in 0..2usize {
         let elems = s * 4..(s + 1) * 4;
-        let in_b = PortBinding { stream: xs.id(), srf_offset: 128 * (s % 2), elems: elems.clone() };
-        let out_b =
-            PortBinding { stream: ys.id(), srf_offset: 256 + 128 * (s % 2), elems: elems.clone() };
+        let in_b = PortBinding {
+            stream: xs.id(),
+            srf_offset: 128 * (s % 2),
+            elems: elems.clone(),
+            elem_bytes: 4,
+        };
+        let out_b = PortBinding {
+            stream: ys.id(),
+            srf_offset: 256 + 128 * (s % 2),
+            elems: elems.clone(),
+            elem_bytes: 4,
+        };
         let base = (tasks.len()) as u32;
         tasks.push(TaskDesc {
             id: TaskId(base),
@@ -143,6 +152,43 @@ fn native_executor_handles_many_small_tasks() {
     assert!(got.iter().zip(&data).all(|(g, d)| *g == -d));
 }
 
+/// A panicking kernel must terminate the run and surface its *original*
+/// panic payload — not hang the control thread on a full window waiting
+/// for completions the dead worker will never post, and not mask the
+/// payload behind a poisoned-mutex error.
+#[test]
+fn worker_panic_propagates_original_payload() {
+    let n = 4096usize; // hundreds of strips: the 64-entry window WILL fill
+    let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let mut b = GraphBuilder::new();
+    let a = b.array("a", &data);
+    let y = b.array_zeroed::<f32>("y", n);
+    let xs = b.gather_seq("xs", a);
+    let ys = b.stream::<f32>("ys", n);
+    b.kernel("boom", &[xs.id()], &[ys.id()], 1, |_args| {
+        panic!("kernel exploded deliberately");
+    });
+    b.scatter_seq(ys, y);
+    let (graph, world) = b.build().unwrap();
+    let compiled = gpstream_compiler_shim::compile_tiny_strips(&graph);
+    for policy in [NativeWaitPolicy::Spin, NativeWaitPolicy::Park] {
+        let mut w = world.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            NativeExecutor::new().with_wait_policy(policy).run(&compiled, &graph, &mut w)
+        }));
+        let payload = result.expect_err("run must propagate the worker panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("kernel exploded deliberately"),
+            "original panic payload must survive propagation ({policy:?}), got: {msg}"
+        );
+    }
+}
+
 /// Local shim: build a many-strip schedule without depending on the
 /// compiler crate (gpstream-core must stay independently testable).
 mod gpstream_compiler_shim {
@@ -156,15 +202,30 @@ mod gpstream_compiler_shim {
         let mut tasks = Vec::new();
         for (s, start) in (0..n).step_by(strip).enumerate() {
             let elems = start..(start + strip).min(n);
-            let in_b = PortBinding { stream: xs, srf_offset: 1024 * (s % 2), elems: elems.clone() };
-            let out_b =
-                PortBinding { stream: ys, srf_offset: 8192 + 1024 * (s % 2), elems: elems.clone() };
+            let in_b = PortBinding {
+                stream: xs,
+                srf_offset: 1024 * (s % 2),
+                elems: elems.clone(),
+                elem_bytes: 4,
+            };
+            let out_b = PortBinding {
+                stream: ys,
+                srf_offset: 8192 + 1024 * (s % 2),
+                elems: elems.clone(),
+                elem_bytes: 4,
+            };
             let base = tasks.len() as u32;
             let mut gather_deps = Vec::new();
+            let mut kernel_deps = vec![TaskId(base)];
             if s >= 2 {
                 // WAR: buffer reused from strip s-2; its kernel was task
                 // base-5 relative to this strip's base (3 tasks per strip).
                 gather_deps.push(TaskId(base - 5));
+                // WAR: the kernel overwrites the out-buffer that strip
+                // s-2's scatter (base-4) reads. With in-order queues the
+                // memory queue ordered scatter(s-2) before gather(s); an
+                // out-of-order issuer needs this explicit.
+                kernel_deps.push(TaskId(base - 4));
             }
             tasks.push(TaskDesc {
                 id: TaskId(base),
@@ -180,7 +241,7 @@ mod gpstream_compiler_shim {
                     inputs: vec![in_b],
                     outputs: vec![out_b.clone()],
                 },
-                deps: vec![TaskId(base)],
+                deps: kernel_deps,
                 strip: s as u32,
             });
             tasks.push(TaskDesc {

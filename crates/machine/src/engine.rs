@@ -67,6 +67,103 @@ impl Cursor {
     }
 }
 
+/// One schedulable work-queue entry for [`Machine::run_tasks`]: a slice
+/// of the context's flat op stream plus its dependency events.
+///
+/// This is the engine-level form of the paper's Figure 7 distributed
+/// work queue: the consumer walks the queue in order but may *issue any
+/// entry whose dependencies have cleared* (`tail_depend`), so a blocked
+/// scatter no longer stalls the gathers queued behind it.
+#[derive(Debug, Clone)]
+pub struct TaskNode {
+    /// Ops belonging to this task (indices into the context's op vec).
+    pub ops: Range<usize>,
+    /// Events that must have been signaled before the task may issue.
+    pub deps: Vec<u32>,
+    /// Event signaled when the task retires (if anything depends on it).
+    pub signal: Option<u32>,
+    /// Whether some *other-context* task depends on this one — used as
+    /// an issue-priority hint: among equally ready entries, work that
+    /// feeds the partner context goes first (gathers before scatters).
+    pub feeds_partner: bool,
+}
+
+/// A per-context program in task form: the flat op stream plus the work
+/// queue entries that partition it.
+#[derive(Debug, Clone, Default)]
+pub struct ContextProgram {
+    /// Flat op stream (no `Signal`/`Wait` ops — dependencies live on the
+    /// task nodes).
+    pub ops: Vec<BulkOp>,
+    /// Work-queue entries in queue order.
+    pub tasks: Vec<TaskNode>,
+}
+
+/// Issue bookkeeping for one context of [`Machine::run_tasks`].
+#[derive(Debug)]
+struct IssueState {
+    tasks: Vec<TaskNode>,
+    issued: Vec<bool>,
+    /// Lowest unissued queue index (issued prefix is skipped).
+    head: usize,
+    n_done: usize,
+    /// Currently executing task, if any.
+    active: Option<usize>,
+}
+
+impl IssueState {
+    fn new(tasks: Vec<TaskNode>) -> Self {
+        let n = tasks.len();
+        IssueState { tasks, issued: vec![false; n], head: 0, n_done: 0, active: None }
+    }
+
+    fn all_done(&self) -> bool {
+        self.n_done == self.tasks.len()
+    }
+
+    /// Best issueable entry among the first `window` unissued ones:
+    /// minimal `(ready_t, !feeds_partner, queue position)`. Returns
+    /// `(index, ready_t, waking dep id)`.
+    fn pick(&self, signals: &BTreeMap<u32, u64>, window: usize) -> Option<(usize, u64, u32)> {
+        let mut best: Option<(u64, bool, usize, u32)> = None;
+        let mut seen = 0usize;
+        for (i, node) in self.tasks.iter().enumerate().skip(self.head) {
+            if self.issued[i] {
+                continue;
+            }
+            seen += 1;
+            if seen > window {
+                break;
+            }
+            let mut ready_t = 0u64;
+            let mut wake = u32::MAX;
+            let mut ok = true;
+            for &d in &node.deps {
+                match signals.get(&d) {
+                    Some(&t) => {
+                        if t >= ready_t {
+                            ready_t = t;
+                            wake = d;
+                        }
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let key = (ready_t, !node.feeds_partner, i, wake);
+            if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                best = Some(key);
+            }
+        }
+        best.map(|(rt, _, i, wake)| (i, rt, wake))
+    }
+}
+
 /// The simulated machine.
 #[derive(Debug)]
 pub struct Machine {
@@ -299,6 +396,148 @@ impl Machine {
         self.stats
     }
 
+    /// Run one task-form program per hardware context to completion with
+    /// out-of-order issue: each context scans the first `window` entries
+    /// of its queue and issues any whose dependencies have been signaled,
+    /// parking with `policy` only when none are ready (Figure 7's
+    /// `tail_depend` semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no context can issue or make progress while tasks remain
+    /// (a dependency cycle or an event never signaled — the schedule
+    /// checker should have rejected such a program).
+    pub fn run_tasks(
+        &mut self,
+        progs: [ContextProgram; 2],
+        policy: WaitPolicy,
+        window: usize,
+    ) -> RunResult {
+        let [p0, p1] = progs;
+        let mut cur = [
+            Cursor { ops: p0.ops, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None },
+            Cursor { ops: p1.ops, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None },
+        ];
+        let mut st = [IssueState::new(p0.tasks), IssueState::new(p1.tasks)];
+        let mut signals: BTreeMap<u32, u64> = BTreeMap::new();
+        self.phases = [PhaseCycles::default(); 2];
+        let window = window.max(1);
+
+        loop {
+            // Earliest time each context could act: step its active task,
+            // or issue its best ready queue entry.
+            let cand = [st[0].pick(&signals, window), st[1].pick(&signals, window)];
+            let avail = |c: usize| -> Option<u64> {
+                if st[c].active.is_some() {
+                    Some(cur[c].t)
+                } else {
+                    cand[c].map(|(_, rt, _)| cur[c].t.max(rt))
+                }
+            };
+            let c = match (avail(0), avail(1)) {
+                (Some(a), Some(b)) => usize::from(b < a),
+                (Some(_), None) => 0,
+                (None, Some(_)) => 1,
+                (None, None) => {
+                    if st[0].all_done() && st[1].all_done() {
+                        break;
+                    }
+                    panic!(
+                        "deadlock: no context can issue (done {}/{} and {}/{} tasks) — \
+                         a dependency is never signaled",
+                        st[0].n_done,
+                        st[0].tasks.len(),
+                        st[1].n_done,
+                        st[1].tasks.len()
+                    );
+                }
+            };
+
+            if st[c].active.is_none() {
+                // Issue the chosen entry, paying the dequeue / wake-up
+                // cost exactly as `run` does for a resolved `Wait`.
+                let (i, ready_t, wake) = cand[c].expect("picked context has a candidate");
+                st[c].issued[i] = true;
+                while st[c].head < st[c].issued.len() && st[c].issued[st[c].head] {
+                    st[c].head += 1;
+                }
+                if !st[c].tasks[i].deps.is_empty() {
+                    let dispatch = self.dispatch_cost(policy);
+                    let paid = if cur[c].t >= ready_t {
+                        cur[c].t += DEQUEUE_CYCLES;
+                        DEQUEUE_CYCLES
+                    } else {
+                        self.phases[c].idle_wait += ready_t - cur[c].t;
+                        cur[c].t = ready_t + dispatch;
+                        dispatch
+                    };
+                    self.phases[c].dispatch += paid;
+                    let t = cur[c].t;
+                    self.emit(t, c, || MachineEventKind::Wakeup {
+                        id: wake,
+                        policy,
+                        dispatch: paid,
+                    });
+                }
+                cur[c].idx = st[c].tasks[i].ops.start;
+                cur[c].progress = 0;
+                cur[c].progress_bytes = 0;
+                st[c].active = Some(i);
+            }
+
+            let i = st[c].active.expect("active task set above");
+            if cur[c].idx < st[c].tasks[i].ops.end {
+                let other_activity = self.task_activity(&cur[1 - c], &st[1 - c], policy);
+                self.step(&mut cur, c, other_activity, &mut signals);
+            }
+            if cur[c].idx >= st[c].tasks[i].ops.end {
+                if let Some(id) = st[c].tasks[i].signal {
+                    signals.insert(id, cur[c].t);
+                }
+                st[c].active = None;
+                st[c].n_done += 1;
+            }
+        }
+
+        self.stats.bus_bytes = self.bus.bytes_moved();
+        self.stats.bus_busy_cycles = self.bus.busy_cycles();
+        let ctx_cycles = [cur[0].t, cur[1].t];
+        RunResult {
+            ctx_cycles,
+            cycles: ctx_cycles[0].max(ctx_cycles[1]),
+            mem: self.stats,
+            phases: self.phases,
+        }
+    }
+
+    /// Partner activity under task issue: executing contexts present
+    /// their current op; a context with nothing ready is parked per the
+    /// wait policy; a finished context is idle.
+    fn task_activity(&self, c: &Cursor, st: &IssueState, policy: WaitPolicy) -> Activity {
+        if st.active.is_some() {
+            return Self::activity_of_op(&c.ops[c.idx]);
+        }
+        if st.all_done() {
+            return Activity::Idle;
+        }
+        match policy {
+            WaitPolicy::SpinPause => Activity::PauseSpin,
+            WaitPolicy::Mwait | WaitPolicy::OsBlock => Activity::Halted,
+        }
+    }
+
+    fn activity_of_op(op: &BulkOp) -> Activity {
+        match op {
+            BulkOp::Compute { .. } => Activity::Compute,
+            BulkOp::Copy { .. } => Activity::Memory,
+            BulkOp::Loop { class, .. } => match class {
+                OpClass::Compute => Activity::Compute,
+                OpClass::Memory => Activity::Memory,
+            },
+            _ => Activity::Compute,
+        }
+    }
+
     fn activity_of(&self, c: &Cursor) -> Activity {
         if let Some((_, policy)) = c.waiting {
             return match policy {
@@ -309,15 +548,7 @@ impl Machine {
         if c.done() {
             return Activity::Idle;
         }
-        match &c.ops[c.idx] {
-            BulkOp::Compute { .. } => Activity::Compute,
-            BulkOp::Copy { .. } => Activity::Memory,
-            BulkOp::Loop { class, .. } => match class {
-                OpClass::Compute => Activity::Compute,
-                OpClass::Memory => Activity::Memory,
-            },
-            _ => Activity::Compute,
-        }
+        Self::activity_of_op(&c.ops[c.idx])
     }
 
     fn dispatch_cost(&self, policy: WaitPolicy) -> u64 {

@@ -54,7 +54,7 @@ pub mod tlb;
 pub mod trace;
 
 pub use config::{CacheGeometry, MachineConfig, SmtFactors, WaitCosts};
-pub use engine::Machine;
+pub use engine::{ContextProgram, Machine, TaskNode};
 pub use ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 pub use stats::{MemStats, RunResult};
 pub use trace::{MachineEvent, MachineEventKind, PhaseCycles};

@@ -125,12 +125,32 @@ impl Microbench {
         mcfg: &MachineConfig,
         wait: WaitPolicy,
     ) -> Comparison {
+        self.compare_mode(copts, mcfg, wait, false)
+    }
+
+    /// Like [`Microbench::compare`], but with the work queues' issue mode
+    /// explicit: `in_order` forces head-blocking queues (the ablation
+    /// baseline for the out-of-order `tail_depend` issue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if compilation fails or the two versions disagree on the
+    /// output (a correctness bug).
+    #[must_use]
+    pub fn compare_mode(
+        &self,
+        copts: &CompilerOptions,
+        mcfg: &MachineConfig,
+        wait: WaitPolicy,
+        in_order: bool,
+    ) -> Comparison {
         let compiled = compile(&self.graph, copts).expect("microbench compiles");
         let mut sw = self.stream_world.clone();
         let report = SimExecutor::new()
             .with_machine(mcfg.clone())
             .with_srf(copts.srf)
             .with_wait_policy(wait)
+            .in_order(in_order)
             .run(&compiled.schedule, &compiled.graph, &mut sw);
 
         let mut rw = self.regular_world.clone();

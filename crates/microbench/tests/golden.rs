@@ -62,7 +62,10 @@ fn snapshot_line(name: &str, r: &RunResult) -> String {
 fn timing_matches_golden_snapshot() {
     let mut current = String::from(
         "# Golden timing snapshot. Regenerate with UPDATE_GOLDEN=1 after a\n\
-         # deliberate model change; unexplained diffs are regressions.\n",
+         # deliberate model change; unexplained diffs are regressions.\n\
+         # Snapshot reflects the default out-of-order (tail_depend) queue\n\
+         # issue; cycle counts moved when issue switched from head-blocking\n\
+         # Wait ops to the per-context ready-set model.\n",
     );
     for mb in workloads() {
         let r = timing_of(&mb);

@@ -33,8 +33,10 @@ fn assert_worlds_identical(name: &str, label_a: &str, a: &World, label_b: &str, 
     }
 }
 
-/// Run all three executors on the same program and compare final worlds
-/// byte for byte.
+/// Run every executor variant on the same program and compare final
+/// worlds byte for byte: the simulating executor with head-blocking and
+/// with out-of-order (`tail_depend`) queues, and the native executor
+/// over the {in-order, out-of-order} x {Spin, Park} matrix.
 fn differential(name: &str, graph: &StreamGraph, world: &World, copts: &CompilerOptions) {
     let compiled = compile(graph, copts).expect("app compiles");
 
@@ -45,22 +47,31 @@ fn differential(name: &str, graph: &StreamGraph, world: &World, copts: &Compiler
         &mut functional,
     );
 
-    let mut simulated = world.clone();
-    let _ = SimExecutor::new().with_srf(copts.srf).with_wait_policy(WaitPolicy::Mwait).run(
-        &compiled.schedule,
-        &compiled.graph,
-        &mut simulated,
-    );
+    for in_order in [true, false] {
+        let mut simulated = world.clone();
+        let _ = SimExecutor::new()
+            .with_srf(copts.srf)
+            .with_wait_policy(WaitPolicy::Mwait)
+            .in_order(in_order)
+            .run(&compiled.schedule, &compiled.graph, &mut simulated);
+        let label = format!("sim in_order={in_order}");
+        assert_worlds_identical(name, "functional", &functional, &label, &simulated);
+    }
 
-    let mut native = world.clone();
-    let _ = NativeExecutor::new().with_srf(copts.srf).with_wait_policy(NativeWaitPolicy::Park).run(
-        &compiled.schedule,
-        &compiled.graph,
-        &mut native,
-    );
-
-    assert_worlds_identical(name, "functional", &functional, "sim", &simulated);
-    assert_worlds_identical(name, "functional", &functional, "native", &native);
+    for (in_order, policy) in [
+        (true, NativeWaitPolicy::Park),
+        (false, NativeWaitPolicy::Spin),
+        (false, NativeWaitPolicy::Park),
+    ] {
+        let mut native = world.clone();
+        let _ = NativeExecutor::new()
+            .with_srf(copts.srf)
+            .with_wait_policy(policy)
+            .in_order(in_order)
+            .run(&compiled.schedule, &compiled.graph, &mut native);
+        let label = format!("native in_order={in_order} policy={policy:?}");
+        assert_worlds_identical(name, "functional", &functional, &label, &native);
+    }
 }
 
 /// Exercise an app at two strip sizes (a small one forcing many strips

@@ -162,6 +162,46 @@ fn spas_small_loses_large_wins() {
     assert!(large > small, "SPAS must improve with size: {small:.2} -> {large:.2}");
 }
 
+/// Figure 7 `tail_depend`: letting each queue issue past a blocked head
+/// must shorten the run and cut the memory queue's idle-wait on
+/// GAT-SCAT-COMP (gathers overtake sink scatters), and must not slow
+/// down streamFEM's multi-kernel phases.
+#[test]
+fn ooo_issue_reduces_idle_wait() {
+    use gpstream::apps::fem;
+    use gpstream::microbench::kernels::gat_scat_comp;
+    let copts = CompilerOptions::paper();
+    let mcfg = MachineConfig::prescott();
+
+    let mb = gat_scat_comp(8192, 4);
+    let inord = mb.compare_mode(&copts, &mcfg, WaitPolicy::Mwait, true);
+    let ooo = mb.compare_mode(&copts, &mcfg, WaitPolicy::Mwait, false);
+    assert!(
+        ooo.stream_cycles < inord.stream_cycles,
+        "GAT-SCAT-COMP: ooo must be faster ({} vs {})",
+        ooo.stream_cycles,
+        inord.stream_cycles
+    );
+    let mem_idle =
+        |c: &gpstream::core::metrics::Comparison| c.phases.as_ref().unwrap()[1].idle_wait;
+    assert!(
+        mem_idle(&ooo) < mem_idle(&inord),
+        "GAT-SCAT-COMP: memory-queue idle wait must shrink ({} vs {})",
+        mem_idle(&ooo),
+        mem_idle(&inord)
+    );
+
+    let fem = fem::fem_bench(fem::CONFIGS[0], 600, 7);
+    let fem_inord = fem.compare_mode(&copts, &mcfg, WaitPolicy::Mwait, true);
+    let fem_ooo = fem.compare_mode(&copts, &mcfg, WaitPolicy::Mwait, false);
+    assert!(
+        fem_ooo.stream_cycles <= fem_inord.stream_cycles,
+        "streamFEM: ooo must not regress ({} vs {})",
+        fem_ooo.stream_cycles,
+        fem_inord.stream_cycles
+    );
+}
+
 #[test]
 fn neo_hookean_streaming_wins() {
     use gpstream::apps::neo::neo_bench;

@@ -9,7 +9,7 @@ use gpstream::core::exec::functional::FunctionalExecutor;
 use gpstream::core::exec::native::{NativeExecutor, NativeWaitPolicy};
 use gpstream::core::pod::{cast_slice, AlignedBytes};
 use gpstream::core::srf::{SrfAllocator, SrfConfig};
-use gpstream::core::task::TaskId;
+use gpstream::core::task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};
 use gpstream::core::workqueue::{DependencyWindow, WINDOW};
 use gpstream::core::GraphBuilder;
 use gpstream::machine::cache::{Cache, FillPolicy};
@@ -217,14 +217,63 @@ fn window_mask_matches_naive_model() {
     });
 }
 
-/// Multi-threaded stress of the native executor: random pipelines and
-/// strip sizes under both wait policies always produce the reference
-/// result (exercising the atomic pending-mask/completion-flag path).
+/// A queue-time snapshot of the dependency mask (as the control thread
+/// takes when it enqueues a task) goes stale once a completed
+/// dependency's window slot is recycled for a later task: the recycled
+/// bit reads as "still pending" and the dependent would wait forever on
+/// a task that already finished. This is the ABA hazard that forces the
+/// native executor's workers to check per-task completion *flags*, never
+/// a saved mask (see the NOTE in `exec/native.rs`).
+#[test]
+fn stale_mask_snapshot_suffers_slot_reuse_aba() {
+    run_cases("stale_mask_slot_reuse_aba", 0xaba0, DEFAULT_CASES, |rng| {
+        let mut w = DependencyWindow::new();
+        let mut next = 0u32;
+        let mut admit = |w: &mut DependencyWindow| {
+            let id = TaskId(next);
+            next += 1;
+            (id, w.admit(id).unwrap())
+        };
+        // Some filler tasks so the dependency lands in a random slot.
+        let fillers: Vec<TaskId> =
+            (0..rng.below_usize(WINDOW - 2)).map(|_| admit(&mut w).0).collect();
+        let (dep, dep_slot) = admit(&mut w);
+        // The control thread snapshots the mask when it enqueues the
+        // dependent task (this is what QueuedTask::dep_mask holds).
+        let snapshot = w.mask_for(&[dep]);
+        assert!(!w.is_ready(snapshot), "dependency is live, mask must block");
+        // Free a random subset of fillers, then the dependency itself.
+        for f in fillers {
+            if rng.bool() {
+                w.complete(f);
+            }
+        }
+        w.complete(dep);
+        assert!(w.is_ready(snapshot), "dependency completed, mask must clear");
+        // A later admission may recycle the freed slot...
+        let (_later, later_slot) = admit(&mut w);
+        if later_slot == dep_slot {
+            // ...and the stale snapshot now aliases the unrelated task:
+            // it reports "not ready" although the real dependency is long
+            // done. A worker trusting the snapshot would deadlock here.
+            assert!(
+                !w.is_ready(snapshot),
+                "recycled slot must alias the stale mask (the ABA hazard)"
+            );
+        }
+    });
+}
+
+/// Multi-threaded stress of the native executor: random pipelines,
+/// strip sizes, wait policies and issue modes (head-blocking and
+/// out-of-order `tail_depend`) always produce the reference result
+/// (exercising the completion-flag readiness path).
 #[test]
 fn native_executor_matches_reference_under_stress() {
     run_cases("native_executor_stress", 0x57e55, DEFAULT_CASES, |rng| {
         let n = rng.range_usize_inclusive(64, 768);
         let strip = rng.range_usize_inclusive(16, 256);
+        let in_order = rng.bool();
         let policy = if rng.bool() { NativeWaitPolicy::Spin } else { NativeWaitPolicy::Park };
         let data: Vec<f32> = (0..n).map(|_| rng.f32_range(-8.0, 8.0)).collect();
         let mut idx: Vec<u32> = (0..n as u32).collect();
@@ -258,7 +307,7 @@ fn native_executor_matches_reference_under_stress() {
         let mut reference = world.clone();
         FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut reference);
         let mut native = world.clone();
-        NativeExecutor::new().with_wait_policy(policy).run(
+        NativeExecutor::new().with_wait_policy(policy).in_order(in_order).run(
             &compiled.schedule,
             &compiled.graph,
             &mut native,
@@ -268,9 +317,93 @@ fn native_executor_matches_reference_under_stress() {
         assert_eq!(
             got.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
             want.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
-            "native result diverged (n={n} strip={strip} policy={policy:?})"
+            "native result diverged (n={n} strip={strip} policy={policy:?} in_order={in_order})"
         );
     });
+}
+
+/// Build the canonical two-strip double-buffered pipeline by hand, with
+/// or without the same-queue WAR dependency that keeps strip 1's gather
+/// from overwriting the SRF buffer strip 0's kernel still reads.
+fn two_strip_program(with_war_dep: bool) -> (gpstream::core::StreamGraph, ScheduledProgram) {
+    let n = 8usize;
+    let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let mut b = GraphBuilder::new();
+    let a = b.array("a", &data);
+    let y = b.array_zeroed::<f32>("y", n);
+    let xs = b.gather_seq("xs", a);
+    let ys = b.stream::<f32>("ys", n);
+    b.kernel("copy", &[xs.id()], &[ys.id()], 1, |args| {
+        let x: Vec<f32> = args.input::<f32>(0).to_vec();
+        for (o, v) in args.output::<f32>(0).iter_mut().zip(x) {
+            *o = v;
+        }
+    });
+    b.scatter_seq(ys, y);
+    let (graph, _world) = b.build().unwrap();
+
+    // Both strips share ONE buffer pair (no double buffering), so strip
+    // 1's gather overwrites the very SRF region strip 0's kernel reads
+    // and strip 1's kernel overwrites the region strip 0's scatter
+    // reads: correctness rests on those WAR edges.
+    let mut tasks = Vec::new();
+    for s in 0..2usize {
+        let elems = s * 4..(s + 1) * 4;
+        let in_b =
+            PortBinding { stream: xs.id(), srf_offset: 0, elems: elems.clone(), elem_bytes: 4 };
+        let out_b =
+            PortBinding { stream: ys.id(), srf_offset: 256, elems: elems.clone(), elem_bytes: 4 };
+        let base = tasks.len() as u32;
+        let mut gather_deps = Vec::new();
+        let mut kernel_deps = vec![TaskId(base)];
+        if s > 0 && with_war_dep {
+            gather_deps.push(TaskId(base - 2)); // prior kernel read in_b
+            kernel_deps.push(TaskId(base - 1)); // prior scatter read out_b
+        }
+        tasks.push(TaskDesc {
+            id: TaskId(base),
+            kind: TaskKind::Gather { binding: in_b.clone(), nt: true },
+            deps: gather_deps,
+            strip: s as u32,
+        });
+        tasks.push(TaskDesc {
+            id: TaskId(base + 1),
+            kind: TaskKind::Kernel {
+                kernel: gpstream::core::KernelId(0),
+                items: elems.clone(),
+                inputs: vec![in_b],
+                outputs: vec![out_b.clone()],
+            },
+            deps: kernel_deps,
+            strip: s as u32,
+        });
+        tasks.push(TaskDesc {
+            id: TaskId(base + 2),
+            kind: TaskKind::Scatter { binding: out_b, nt: true },
+            deps: vec![TaskId(base + 1)],
+            strip: s as u32,
+        });
+    }
+    let program = ScheduledProgram { tasks, srf_bytes: 512, n_strips: 2, strip_items: 4 };
+    (graph, program)
+}
+
+/// The schedule checker rejects a schedule whose correctness depends on
+/// implicit same-queue ordering (a buffer-reuse WAR with no dependency
+/// path), and accepts the same schedule once the edge is explicit.
+#[test]
+fn checker_rejects_implicit_queue_order_schedules() {
+    let (graph, bad) = two_strip_program(false);
+    let err = bad.validate().expect_err("buffer reuse without a dep path must be rejected");
+    assert!(
+        err.contains("implicit queue order"),
+        "error should name the implicit-order reliance, got: {err}"
+    );
+    assert!(bad.check(&graph).is_err(), "full checker must reject it too");
+
+    let (graph, good) = two_strip_program(true);
+    good.validate().expect("explicit WAR edges make the schedule order-free");
+    good.check(&graph).expect("full checker passes with explicit edges");
 }
 
 /// The SRF allocator never hands out overlapping or out-of-bounds
@@ -341,7 +474,9 @@ fn compiled_pipeline_always_correct() {
             ..CompilerOptions::paper()
         };
         let compiled = compile(&graph, &opts).unwrap();
-        compiled.schedule.validate().unwrap();
+        // Every compiler-emitted schedule must pass the full checker
+        // (explicit same-queue dependencies included).
+        compiled.schedule.check(&compiled.graph).unwrap();
         FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut world);
         assert_eq!(world.slice::<f32>(y.id()), expected.as_slice());
     });

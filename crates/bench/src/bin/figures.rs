@@ -4,10 +4,18 @@
 //!
 //! ```text
 //! figures [SELECTOR] [--in-order] [--json PATH] [--trace PATH]
+//! figures --list
 //! ```
 //!
 //! `SELECTOR` is one of `fig5|fig6|fig8|fig9|fig11a|fig11b|fig11c|fig11d|
-//! ooo|latencies|single|enhanced|summary|all` (default `all`).
+//! ooo|latencies|single|enhanced|summary|tuned|all` (default `all`);
+//! `--list` prints the available selectors. An unknown selector prints
+//! them too and exits non-zero.
+//!
+//! `tuned` runs the `gpstream-tune` autotuner over every catalog
+//! workload and reports each winner against the default-heuristic
+//! configuration. It is not part of `all` (the paper's figures use the
+//! defaults); run it explicitly.
 //!
 //! `--in-order` runs the Figure 11 applications with head-blocking
 //! (in-order) work queues instead of the default out-of-order
@@ -35,16 +43,19 @@ use gpstream_util::Json;
 struct Cli {
     which: String,
     in_order: bool,
+    list: bool,
     json: Option<String>,
     trace: Option<String>,
 }
 
 fn parse_args() -> Cli {
-    let mut cli = Cli { which: "all".to_string(), in_order: false, json: None, trace: None };
+    let mut cli =
+        Cli { which: "all".to_string(), in_order: false, list: false, json: None, trace: None };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--in-order" => cli.in_order = true,
+            "--list" => cli.list = true,
             "--json" => cli.json = Some(args.next().expect("--json needs a path")),
             "--trace" => cli.trace = Some(args.next().expect("--trace needs a path")),
             other => cli.which = other.to_string(),
@@ -140,7 +151,7 @@ fn write_trace(path: &str, cfg: &MachineConfig, copts: &CompilerOptions) {
     println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
 }
 
-const SELECTORS: [&str; 14] = [
+const SELECTORS: [&str; 15] = [
     "all",
     "fig5",
     "fig6",
@@ -155,13 +166,31 @@ const SELECTORS: [&str; 14] = [
     "single",
     "enhanced",
     "summary",
+    "tuned",
 ];
+
+fn tuned_json(o: &gpstream_tune::TuneOutcome) -> Json {
+    Json::obj([
+        ("workload", Json::Str(o.workload.clone())),
+        ("strategy", Json::from(o.strategy)),
+        ("baseline_cycles", Json::U64(o.baseline_cycles)),
+        ("tuned_cycles", Json::U64(o.best_cycles)),
+        ("speedup", Json::F64(o.speedup())),
+        ("best", o.best.to_json()),
+    ])
+}
 
 fn main() {
     let cli = parse_args();
     let cfg = MachineConfig::prescott();
     let copts = CompilerOptions::paper();
     let which = cli.which.as_str();
+    if cli.list {
+        for s in SELECTORS {
+            println!("{s}");
+        }
+        return;
+    }
     if !SELECTORS.contains(&which) {
         eprintln!("unknown selector `{which}`; expected one of: {}", SELECTORS.join("|"));
         std::process::exit(2);
@@ -169,6 +198,8 @@ fn main() {
     let all = which == "all";
     // (figure id, comparison rows) pairs accumulated for --json.
     let mut json_figures: Vec<(String, Vec<Comparison>)> = Vec::new();
+    // `tuned` rows, if that selector ran (not part of `all`).
+    let mut tuned_rows: Vec<gpstream_tune::TuneOutcome> = Vec::new();
 
     if all || which == "fig5" {
         println!("== Figure 5: gather/scatter bandwidth vs record size (GB/s) ==");
@@ -260,6 +291,30 @@ fn main() {
         }
         println!();
     }
+    if which == "tuned" {
+        let threads =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8);
+        println!(
+            "== Tuned vs default heuristics (autotuner, budget {} per workload) ==",
+            fig::TUNED_BUDGET
+        );
+        println!(
+            "{:<16} {:>14} {:>14} {:>8}  winning knobs",
+            "workload", "default (cyc)", "tuned (cyc)", "speedup"
+        );
+        tuned_rows = fig::tuned(fig::TUNED_BUDGET, threads, &gpstream_tune::EvalCache::disabled());
+        for o in &tuned_rows {
+            println!(
+                "{:<16} {:>14} {:>14} {:>7.3}x  {}",
+                o.workload,
+                o.baseline_cycles,
+                o.best_cycles,
+                o.speedup(),
+                o.best.describe()
+            );
+        }
+        println!();
+    }
     if all || which == "summary" {
         let s = fig::summary(&cfg, &copts);
         println!("== Headline summary (paper Section I) ==");
@@ -268,15 +323,19 @@ fn main() {
     }
 
     if let Some(path) = &cli.json {
-        let doc = Json::obj([(
-            "figures",
+        let mut pairs = vec![(
+            "figures".to_string(),
             Json::arr(json_figures.iter().map(|(id, rows)| {
                 Json::obj([
                     ("figure", Json::Str(id.clone())),
                     ("rows", Json::arr(rows.iter().map(comparison_json))),
                 ])
             })),
-        )]);
+        )];
+        if !tuned_rows.is_empty() {
+            pairs.push(("tuned".to_string(), Json::arr(tuned_rows.iter().map(tuned_json))));
+        }
+        let doc = Json::Obj(pairs);
         std::fs::write(path, doc.to_string()).expect("write json file");
         println!("wrote figure JSON to {path}");
     }

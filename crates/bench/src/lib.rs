@@ -18,6 +18,7 @@ use gpstream_core::metrics::{BandwidthSeries, Comparison, NormalizedBar};
 use gpstream_machine::ops::WaitPolicy;
 use gpstream_machine::MachineConfig;
 use gpstream_microbench::{bwprobe, kernels, overlap, spinwait};
+use gpstream_tune::{workloads as tune_workloads, EvalCache, TuneOutcome, Tuner};
 
 /// Default seed for every figure (results are fully deterministic).
 pub const SEED: u64 = 0x6a79_2005;
@@ -219,6 +220,28 @@ pub struct Summary {
     pub sci_best: f64,
     /// Worst scientific-application speedup.
     pub sci_worst: f64,
+}
+
+/// Default per-workload evaluation budget for [`tuned`]: enough for the
+/// halving strategy to sample broadly and coordinate-descend on the
+/// winning axes, small enough that the whole table regenerates in
+/// seconds.
+pub const TUNED_BUDGET: usize = 24;
+
+/// "Tuned vs default": run the autotuner over every catalog workload
+/// (the three micro-benchmarks and the four scientific applications)
+/// and report each winner against the default-heuristic baseline. Pass
+/// [`EvalCache::disabled`] for a pure run, or a directory-backed cache
+/// to make regeneration incremental.
+#[must_use]
+pub fn tuned(budget: usize, threads: usize, cache: &EvalCache) -> Vec<TuneOutcome> {
+    tune_workloads::CATALOG
+        .iter()
+        .map(|name| {
+            let wl = tune_workloads::named(name).expect("catalog names resolve");
+            Tuner { budget, threads, cache: cache.clone(), ..Tuner::default() }.tune(&wl)
+        })
+        .collect()
 }
 
 /// Compute the headline summary over Figures 9 and 11.

@@ -17,6 +17,23 @@ pub enum CompileError {
     },
     /// The graph contains no work (no streams).
     Empty,
+    /// A forced strip size of zero items (degenerate: no strip can be
+    /// empty).
+    StripZero,
+    /// A forced strip size whose working set of buffers exceeds the SRF.
+    StripTooLarge {
+        /// The forced strip size in items.
+        strip_items: usize,
+        /// SRF bytes the working set at that strip size needs.
+        needed: usize,
+        /// SRF capacity in bytes.
+        capacity: usize,
+    },
+    /// Kernel fusion requested on a graph with no fusable kernel pair
+    /// (reported by [`CompilerOptions::validate`]
+    /// (crate::CompilerOptions::validate) so knob searches can prune the
+    /// point; `compile` itself treats fusion as a no-op there).
+    NoFusablePair,
 }
 
 impl fmt::Display for CompileError {
@@ -29,6 +46,17 @@ impl fmt::Display for CompileError {
                  {capacity} are available"
             ),
             CompileError::Empty => write!(f, "stream graph contains no streams"),
+            CompileError::StripZero => {
+                write!(f, "forced strip size is zero items; strips must be non-empty")
+            }
+            CompileError::StripTooLarge { strip_items, needed, capacity } => write!(
+                f,
+                "forced strip size of {strip_items} items needs {needed} SRF bytes but only \
+                 {capacity} are available"
+            ),
+            CompileError::NoFusablePair => {
+                write!(f, "kernel fusion requested but the graph has no fusable kernel pair")
+            }
         }
     }
 }

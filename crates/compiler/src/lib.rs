@@ -79,6 +79,10 @@ pub fn compile(
     } else {
         (graph.clone(), Vec::new())
     };
+    // Reject degenerate forced strip sizes up front with a typed error
+    // (checked against the fused graph, whose working set is what the
+    // scheduler actually allocates).
+    opts.validate_strip(&graph)?;
     let schedule = passes::schedule::schedule(&graph, opts)?;
     Ok(CompiledProgram { graph, schedule, fused })
 }

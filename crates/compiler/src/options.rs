@@ -1,6 +1,8 @@
 //! Compiler options.
 
-use gpstream_core::SrfConfig;
+use crate::error::CompileError;
+use crate::passes::{fuse, strip};
+use gpstream_core::{SrfConfig, StreamGraph, TunedConfig};
 
 /// Options controlling the stream-compilation passes. The defaults enable
 /// everything the paper's hand-compilation did (Section IV-A): strip
@@ -53,6 +55,75 @@ impl CompilerOptions {
         } else {
             1
         }
+    }
+
+    /// These options with the compiler-side knobs of a [`TunedConfig`]
+    /// applied (strip size, buffering, fusion, non-temporal hints). The
+    /// SRF placement is kept from `self`; the runtime-side knobs of the
+    /// same vector are consumed by `SimExecutor::with_tuned`.
+    #[must_use]
+    pub fn apply_tuned(&self, tuned: &TunedConfig) -> Self {
+        CompilerOptions {
+            srf: self.srf,
+            strip_items: tuned.strip_items,
+            double_buffer: tuned.double_buffer,
+            fuse_kernels: tuned.fuse_kernels,
+            nt_gather: tuned.nt_gather,
+            nt_scatter: tuned.nt_scatter,
+        }
+    }
+
+    /// Reject degenerate strip-size knob values for `graph` with a typed
+    /// error instead of clamping silently or panicking deep inside a
+    /// pass: a forced strip of zero items ([`CompileError::StripZero`])
+    /// or one whose buffer working set exceeds the SRF
+    /// ([`CompileError::StripTooLarge`]). Called by
+    /// [`compile`](crate::compile); heuristic strip selection
+    /// (`strip_items: None`) is always valid here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CompileError`] describing the degenerate knob.
+    pub fn validate_strip(&self, graph: &StreamGraph) -> Result<(), CompileError> {
+        match self.strip_items {
+            None => Ok(()),
+            Some(0) => Err(CompileError::StripZero),
+            Some(s) => {
+                let needed = strip::srf_bytes_for(graph, s, self);
+                if needed > self.srf.capacity {
+                    Err(CompileError::StripTooLarge {
+                        strip_items: s,
+                        needed,
+                        capacity: self.srf.capacity,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Strict knob validation for `graph`: everything
+    /// [`CompilerOptions::validate_strip`] rejects, plus
+    /// [`CompileError::NoFusablePair`] when `fuse_kernels` is set but the
+    /// graph has no legal fusion candidate. The autotuner uses this to
+    /// prune degenerate points (a fusion knob on a fusion-free graph is a
+    /// duplicate of the point with it off); `compile` itself only
+    /// enforces the strip checks, because fusion is harmlessly a no-op.
+    ///
+    /// The strip check is computed on `graph` as given; when fusion will
+    /// run, the fused graph's working set can only be smaller, so a
+    /// configuration accepted here never overflows later.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`CompileError`] describing the degenerate knob.
+    pub fn validate(&self, graph: &StreamGraph) -> Result<(), CompileError> {
+        self.validate_strip(graph)?;
+        if self.fuse_kernels && !fuse::has_fusable_pair(graph) {
+            return Err(CompileError::NoFusablePair);
+        }
+        Ok(())
     }
 }
 

@@ -69,11 +69,14 @@ pub fn per_stream_strip(graph: &StreamGraph, decl: &StreamDecl, strip_items: usi
 
 /// Choose the largest strip size (in items of the pacing stream) whose
 /// working set fits the SRF. Returns `None` if even one item per strip
-/// overflows.
+/// overflows. A forced size is returned as-is: degenerate forced values
+/// (zero, or a working set beyond the SRF) are rejected up front by
+/// [`CompilerOptions::validate_strip`], which `compile` runs before this
+/// pass — no silent clamping here.
 #[must_use]
 pub fn choose_strip_items(graph: &StreamGraph, opts: &CompilerOptions) -> Option<usize> {
     if let Some(forced) = opts.strip_items {
-        return Some(forced.max(1));
+        return Some(forced);
     }
     let items = max_items(graph);
     if items == 0 {

@@ -110,6 +110,20 @@ impl SimExecutor {
         self
     }
 
+    /// Apply a tuned knob vector: wait policy, issue order and the
+    /// software-prefetch depth of the bulk copy loops. Call *after*
+    /// [`SimExecutor::with_machine`] — the prefetch-depth override is
+    /// applied to the machine configuration in effect at this point.
+    /// (The compiler-side knobs of the same [`TunedConfig`] are consumed
+    /// by `CompilerOptions::apply_tuned` in `gpstream-compiler`.)
+    #[must_use]
+    pub fn with_tuned(mut self, tuned: &crate::tuned::TunedConfig) -> Self {
+        self.machine_cfg = tuned.machine_config(&self.machine_cfg);
+        self.wait_policy = tuned.wait_policy;
+        self.in_order = tuned.in_order;
+        self
+    }
+
     /// Measure a warm steady-state iteration: the timing pass runs once to
     /// warm caches and TLBs, resets the clocks, and runs again — like the
     /// paper's applications, which iterate for "several hundred time

@@ -306,6 +306,57 @@ impl StreamGraph {
         &self.kernels[id.0 as usize]
     }
 
+    /// A stable content fingerprint of the graph structure: stream
+    /// declarations (including index arrays and item boundaries, which
+    /// drive the timing model's TLB/cache behaviour) and kernel
+    /// signatures (name, ports, per-item micro-op cost).
+    ///
+    /// Kernel *bodies* are closures and cannot be hashed; a kernel is
+    /// identified by its name and cost. That is exactly the information
+    /// the simulator's timing pass consumes, so two graphs with equal
+    /// fingerprints time identically — the property the autotuner's
+    /// evaluation cache relies on.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = gpstream_util::Fingerprint::new("stream-graph-v1");
+        fp.usize(self.streams.len());
+        for s in &self.streams {
+            fp.str(&s.name).usize(s.elem_bytes).usize(s.count).usize(s.items);
+            for binding in [&s.src, &s.dst] {
+                match binding {
+                    None => {
+                        fp.bool(false);
+                    }
+                    Some(b) => {
+                        fp.bool(true).u64(u64::from(b.array.0));
+                        match &b.access {
+                            AccessKind::Sequential => fp.u64(0),
+                            AccessKind::Indexed(idx) => fp.u64(1).u32s(idx),
+                        };
+                        fp.usize(b.field_offset).usize(b.field_bytes);
+                    }
+                }
+            }
+            match &s.boundaries {
+                None => fp.bool(false),
+                Some(b) => fp.bool(true).u32s(b),
+            };
+        }
+        fp.usize(self.kernels.len());
+        for k in &self.kernels {
+            fp.str(&k.name).usize(k.uops_per_item);
+            fp.usize(k.inputs.len());
+            for id in &k.inputs {
+                fp.u64(u64::from(id.0));
+            }
+            fp.usize(k.outputs.len());
+            for id in &k.outputs {
+                fp.u64(u64::from(id.0));
+            }
+        }
+        fp.finish()
+    }
+
     /// The kernel producing `stream`, if any.
     #[must_use]
     pub fn producer_of(&self, stream: StreamId) -> Option<KernelId> {

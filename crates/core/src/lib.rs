@@ -46,6 +46,7 @@ pub(crate) mod spsc;
 pub mod srf;
 pub mod task;
 pub mod trace;
+pub mod tuned;
 pub mod workqueue;
 pub mod world;
 
@@ -59,4 +60,5 @@ pub use regular::{RegularAccess, RegularPhase, RegularProgram};
 pub use srf::{SrfBuffer, SrfConfig};
 pub use task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};
 pub use trace::{chrome_trace, ExecEvent, ExecEventKind, TraceBuffer, TraceRun};
+pub use tuned::TunedConfig;
 pub use world::{MemArray, World};

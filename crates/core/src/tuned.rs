@@ -1,0 +1,280 @@
+//! Tuned knob vectors: the artifact the `gpstream-tune` autotuner
+//! produces and the compiler/executors consume.
+//!
+//! The paper hand-picks its mapping parameters — strip size from SRF
+//! capacity, double buffering, kernel fusion, MONITOR/MWAIT waits. A
+//! [`TunedConfig`] packages exactly those knobs (plus the runtime-side
+//! ones: wait policy, issue order, software-prefetch depth) as one
+//! serializable value, so a search-based tuner can sweep them and ship
+//! the winner back into [`compile`](../../gpstream_compiler/fn.compile.html)
+//! and [`SimExecutor`](crate::exec::sim::SimExecutor) without any
+//! by-hand plumbing. The type lives in `gpstream-core` because both the
+//! compiler and the executors sit on top of this crate.
+//!
+//! Serialization is exact JSON round-tripping via `gpstream-util`'s
+//! [`Json`]; fingerprints are stable FNV-1a digests used to key the
+//! tuner's on-disk evaluation cache.
+
+use gpstream_machine::ops::WaitPolicy;
+use gpstream_machine::MachineConfig;
+use gpstream_util::{Fingerprint, Json};
+
+/// A complete knob vector over the compiler and runtime mapping
+/// parameters. One point in the autotuner's search space; also the
+/// payload of the `TunedConfig` artifact the tuner exports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedConfig {
+    /// Forced strip size in items (`None`: the strip-mining heuristic
+    /// picks the largest SRF-fitting size).
+    pub strip_items: Option<usize>,
+    /// Double-buffer strips.
+    pub double_buffer: bool,
+    /// Fuse kernels that share input streams.
+    pub fuse_kernels: bool,
+    /// Non-temporal hints on gathers.
+    pub nt_gather: bool,
+    /// Non-temporal stores on scatters.
+    pub nt_scatter: bool,
+    /// Cross-context wait policy.
+    pub wait_policy: WaitPolicy,
+    /// Head-blocking (in-order) work queues instead of the out-of-order
+    /// `tail_depend` issue.
+    pub in_order: bool,
+    /// Software-prefetch lookahead depth (cache lines) of the bulk
+    /// gather/scatter copy loops.
+    pub sw_pf_depth: u64,
+}
+
+/// Wire name of a wait policy (used in JSON artifacts and CLI output).
+#[must_use]
+pub fn wait_policy_name(p: WaitPolicy) -> &'static str {
+    match p {
+        WaitPolicy::SpinPause => "spin-pause",
+        WaitPolicy::Mwait => "mwait",
+        WaitPolicy::OsBlock => "os-block",
+    }
+}
+
+/// Parse a wait policy from its wire name.
+#[must_use]
+pub fn wait_policy_from_name(name: &str) -> Option<WaitPolicy> {
+    match name {
+        "spin-pause" => Some(WaitPolicy::SpinPause),
+        "mwait" => Some(WaitPolicy::Mwait),
+        "os-block" => Some(WaitPolicy::OsBlock),
+        _ => None,
+    }
+}
+
+impl TunedConfig {
+    /// The default heuristic configuration every figure has used so far:
+    /// `CompilerOptions::paper()` plus the `SimExecutor` defaults
+    /// (MWAIT waits, out-of-order issue) and `base`'s prefetch depth.
+    /// The tuner's baseline.
+    #[must_use]
+    pub fn default_heuristic(base: &MachineConfig) -> Self {
+        TunedConfig {
+            strip_items: None,
+            double_buffer: true,
+            fuse_kernels: true,
+            nt_gather: true,
+            nt_scatter: true,
+            wait_policy: WaitPolicy::Mwait,
+            in_order: false,
+            sw_pf_depth: base.sw_pf_depth,
+        }
+    }
+
+    /// The machine configuration this knob vector implies: `base` with
+    /// the software-prefetch depth override. (Prefetch distance is a
+    /// code-generation choice of the copy loops, not hardware — it is
+    /// the one machine parameter the tuner may legitimately move.)
+    #[must_use]
+    pub fn machine_config(&self, base: &MachineConfig) -> MachineConfig {
+        let mut cfg = base.clone();
+        cfg.sw_pf_depth = self.sw_pf_depth;
+        cfg
+    }
+
+    /// Stable fingerprint of the knob vector (cache keying).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new("tuned-config-v1");
+        match self.strip_items {
+            None => fp.bool(false),
+            Some(s) => fp.bool(true).usize(s),
+        };
+        fp.bool(self.double_buffer).bool(self.fuse_kernels);
+        fp.bool(self.nt_gather).bool(self.nt_scatter);
+        fp.str(wait_policy_name(self.wait_policy));
+        fp.bool(self.in_order).u64(self.sw_pf_depth);
+        fp.finish()
+    }
+
+    /// Serialize to a JSON object (round-trips through
+    /// [`TunedConfig::from_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "strip_items",
+                match self.strip_items {
+                    None => Json::Null,
+                    Some(s) => Json::from(s),
+                },
+            ),
+            ("double_buffer", Json::Bool(self.double_buffer)),
+            ("fuse_kernels", Json::Bool(self.fuse_kernels)),
+            ("nt_gather", Json::Bool(self.nt_gather)),
+            ("nt_scatter", Json::Bool(self.nt_scatter)),
+            ("wait_policy", Json::from(wait_policy_name(self.wait_policy))),
+            ("in_order", Json::Bool(self.in_order)),
+            ("sw_pf_depth", Json::U64(self.sw_pf_depth)),
+        ])
+    }
+
+    /// Deserialize from the JSON produced by [`TunedConfig::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("missing field `{k}`"));
+        let boolean =
+            |k: &str| field(k)?.as_bool().ok_or_else(|| format!("field `{k}` must be a boolean"));
+        let strip_items = match field("strip_items")? {
+            Json::Null => None,
+            other => {
+                Some(other.as_u64().ok_or("field `strip_items` must be null or an integer")?
+                    as usize)
+            }
+        };
+        let wait_name =
+            field("wait_policy")?.as_str().ok_or("field `wait_policy` must be a string")?;
+        Ok(TunedConfig {
+            strip_items,
+            double_buffer: boolean("double_buffer")?,
+            fuse_kernels: boolean("fuse_kernels")?,
+            nt_gather: boolean("nt_gather")?,
+            nt_scatter: boolean("nt_scatter")?,
+            wait_policy: wait_policy_from_name(wait_name)
+                .ok_or_else(|| format!("unknown wait policy `{wait_name}`"))?,
+            in_order: boolean("in_order")?,
+            sw_pf_depth: field("sw_pf_depth")?
+                .as_u64()
+                .ok_or("field `sw_pf_depth` must be an integer")?,
+        })
+    }
+
+    /// A compact human-readable knob summary, e.g.
+    /// `strip=auto db=on fuse=on nt=g+s wait=mwait issue=ooo pf=6`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let on = |b: bool| if b { "on" } else { "off" };
+        let nt = match (self.nt_gather, self.nt_scatter) {
+            (true, true) => "g+s".to_string(),
+            (true, false) => "g".to_string(),
+            (false, true) => "s".to_string(),
+            (false, false) => "off".to_string(),
+        };
+        let strip = match self.strip_items {
+            None => "auto".to_string(),
+            Some(s) => s.to_string(),
+        };
+        format!(
+            "strip={strip} db={} fuse={} nt={nt} wait={} issue={} pf={}",
+            on(self.double_buffer),
+            on(self.fuse_kernels),
+            wait_policy_name(self.wait_policy),
+            if self.in_order { "in-order" } else { "ooo" },
+            self.sw_pf_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TunedConfig {
+        TunedConfig {
+            strip_items: Some(1024),
+            double_buffer: false,
+            fuse_kernels: true,
+            nt_gather: true,
+            nt_scatter: false,
+            wait_policy: WaitPolicy::SpinPause,
+            in_order: true,
+            sw_pf_depth: 8,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        for cfg in [sample(), TunedConfig::default_heuristic(&MachineConfig::prescott())] {
+            let text = cfg.to_json().to_string();
+            let back = TunedConfig::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let mut v = sample().to_json();
+        if let Json::Obj(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "wait_policy");
+        }
+        let err = TunedConfig::from_json(&v).unwrap_err();
+        assert!(err.contains("wait_policy"), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_knob() {
+        let base = TunedConfig::default_heuristic(&MachineConfig::prescott());
+        let variants = [
+            TunedConfig { strip_items: Some(512), ..base },
+            TunedConfig { double_buffer: false, ..base },
+            TunedConfig { fuse_kernels: false, ..base },
+            TunedConfig { nt_gather: false, ..base },
+            TunedConfig { nt_scatter: false, ..base },
+            TunedConfig { wait_policy: WaitPolicy::SpinPause, ..base },
+            TunedConfig { in_order: true, ..base },
+            TunedConfig { sw_pf_depth: 9, ..base },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(base.fingerprint());
+        for v in variants {
+            assert!(seen.insert(v.fingerprint()), "collision for {v:?}");
+        }
+        // strip=None vs strip=Some must not collide via a shared zero.
+        assert_ne!(
+            TunedConfig { strip_items: Some(0), ..base }.fingerprint(),
+            TunedConfig { strip_items: None, ..base }.fingerprint()
+        );
+    }
+
+    #[test]
+    fn machine_override_only_touches_prefetch_depth() {
+        let base = MachineConfig::prescott();
+        let tuned = TunedConfig { sw_pf_depth: 12, ..TunedConfig::default_heuristic(&base) };
+        let cfg = tuned.machine_config(&base);
+        assert_eq!(cfg.sw_pf_depth, 12);
+        let mut back = cfg.clone();
+        back.sw_pf_depth = base.sw_pf_depth;
+        assert_eq!(back, base, "no other field may change");
+    }
+
+    #[test]
+    fn wait_policy_names_round_trip() {
+        for p in [WaitPolicy::SpinPause, WaitPolicy::Mwait, WaitPolicy::OsBlock] {
+            assert_eq!(wait_policy_from_name(wait_policy_name(p)), Some(p));
+        }
+        assert_eq!(wait_policy_from_name("park"), None);
+    }
+
+    #[test]
+    fn describe_is_compact() {
+        let d = sample().describe();
+        assert_eq!(d, "strip=1024 db=off fuse=on nt=g wait=spin-pause issue=in-order pf=8");
+    }
+}

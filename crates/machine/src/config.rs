@@ -214,6 +214,42 @@ impl MachineConfig {
         cfg
     }
 
+    /// A stable content fingerprint of every timing parameter.
+    ///
+    /// Used to key the autotuner's on-disk evaluation cache: a cached
+    /// cycle count is only valid for the exact machine it was measured
+    /// on, so any parameter change must change the key. Stable across
+    /// processes and releases (FNV-1a over a canonical field encoding,
+    /// not `std::hash`).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = gpstream_util::Fingerprint::new("machine-config-v1");
+        fp.f64(self.freq_ghz).f64(self.base_ipc);
+        fp.u64(self.copy_uops_per_elem).u64(self.sw_prefetch_uops);
+        for geo in [&self.l1, &self.l2] {
+            fp.u64(geo.capacity).u64(geo.line).u64(geo.ways);
+        }
+        fp.u64(self.l1_lat).u64(self.l2_lat).u64(self.nt_ways);
+        fp.usize(self.dtlb_entries).u64(self.page_bytes).u64(self.walk_cycles);
+        fp.u64(self.mem_lat).f64(self.bus_bytes_per_cycle).u64(self.bus_turnaround);
+        fp.usize(self.hw_pf_streams).u64(self.hw_pf_depth).u64(self.sw_pf_depth);
+        fp.u64(self.mshrs).u64(self.store_miss_exposed);
+        fp.u64(self.ooo_window_cycles).u64(self.l2_dep_exposed);
+        let s = &self.smt;
+        for f in [
+            s.comp_vs_comp,
+            s.comp_vs_mem,
+            s.comp_vs_pause,
+            s.mem_vs_comp,
+            s.mem_vs_mem,
+            s.mem_vs_pause,
+        ] {
+            fp.f64(f);
+        }
+        fp.u64(self.wait.pause_dispatch).u64(self.wait.mwait_dispatch).u64(self.wait.os_dispatch);
+        fp.finish()
+    }
+
     /// Cycles the bus is occupied transferring `bytes`.
     #[must_use]
     pub fn bus_cycles(&self, bytes: u64) -> u64 {
@@ -281,5 +317,18 @@ mod tests {
     #[test]
     fn default_is_prescott() {
         assert_eq!(MachineConfig::default(), MachineConfig::prescott());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob_change() {
+        let base = MachineConfig::prescott().fingerprint();
+        assert_eq!(base, MachineConfig::prescott().fingerprint(), "stable across calls");
+        let mut deeper = MachineConfig::prescott();
+        deeper.sw_pf_depth += 1;
+        assert_ne!(base, deeper.fingerprint());
+        let mut faster = MachineConfig::prescott();
+        faster.wait.pause_dispatch = 174;
+        assert_ne!(base, faster.fingerprint());
+        assert_ne!(base, MachineConfig::enhanced().fingerprint());
     }
 }

@@ -1,0 +1,125 @@
+//! `tune` — run the autotuner on one workload from the catalog.
+//!
+//! ```text
+//! tune --workload NAME [--budget N] [--seed N] [--threads N]
+//!      [--cache-dir DIR] [--out FILE]
+//! tune --list
+//! ```
+//!
+//! `--list` prints the workload catalog. `--cache-dir` enables the
+//! on-disk evaluation cache (re-running with an unchanged workload then
+//! performs zero new simulator runs). `--out` writes the winning
+//! `TunedConfig` artifact as JSON.
+
+use gpstream_tune::{artifact, workloads, EvalCache, Tuner};
+use std::path::PathBuf;
+
+struct Cli {
+    workload: Option<String>,
+    budget: usize,
+    seed: u64,
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+    list: bool,
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: tune --workload NAME [--budget N] [--seed N] [--threads N] \
+         [--cache-dir DIR] [--out FILE] | tune --list"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Cli {
+    let default_threads =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8);
+    let mut cli = Cli {
+        workload: None,
+        budget: 64,
+        seed: workloads::SEED,
+        threads: default_threads,
+        cache_dir: None,
+        out: None,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--list" => cli.list = true,
+            "--workload" => cli.workload = Some(value("--workload")),
+            "--budget" => {
+                cli.budget = value("--budget")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--budget needs an integer"));
+            }
+            "--seed" => {
+                cli.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--seed needs an integer"));
+            }
+            "--threads" => {
+                cli.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--threads needs an integer"));
+            }
+            "--cache-dir" => cli.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--out" => cli.out = Some(PathBuf::from(value("--out"))),
+            other => usage_exit(&format!("unknown argument `{other}`")),
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_args();
+    if cli.list {
+        for name in workloads::CATALOG {
+            println!("{name}");
+        }
+        return;
+    }
+    let Some(name) = cli.workload.as_deref() else {
+        usage_exit("missing --workload (or --list)");
+    };
+    let Some(wl) = workloads::named(name) else {
+        eprintln!("unknown workload `{name}`; expected one of: {}", workloads::CATALOG.join("|"));
+        std::process::exit(2);
+    };
+
+    let cache = cli.cache_dir.as_ref().map_or_else(EvalCache::disabled, EvalCache::at);
+    let tuner = Tuner {
+        budget: cli.budget,
+        seed: cli.seed,
+        threads: cli.threads.max(1),
+        cache,
+        ..Tuner::default()
+    };
+    let out = tuner.tune(&wl);
+
+    println!(
+        "== tuned `{}` (strategy {}, budget {}, seed {:#x}) ==",
+        out.workload, out.strategy, out.budget, out.seed
+    );
+    println!("baseline {:>12} cyc  {}", out.baseline_cycles, out.baseline.describe());
+    println!("best     {:>12} cyc  {}", out.best_cycles, out.best.describe());
+    println!(
+        "speedup {:.3}x  evaluations {} (sim {}, cached {}, rejected {})",
+        out.speedup(),
+        out.evaluations,
+        out.sim_runs,
+        out.cache_hits,
+        out.rejected
+    );
+
+    if let Some(path) = &cli.out {
+        artifact::write_artifact(path, &out)
+            .unwrap_or_else(|e| usage_exit(&format!("failed to write {}: {e}", path.display())));
+        println!("wrote TunedConfig artifact to {}", path.display());
+    }
+}

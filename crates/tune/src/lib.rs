@@ -1,0 +1,42 @@
+//! `gpstream-tune` — search-based autotuning of the stream mapping.
+//!
+//! The paper hand-picks its mapping parameters: strip size from SRF
+//! capacity, double buffering, kernel fusion, non-temporal hints,
+//! MONITOR/MWAIT waits. This crate treats that whole
+//! (`CompilerOptions` × runtime knob) vector as a typed search space
+//! ([`gpstream_core::TunedConfig`]) and searches it against the
+//! deterministic simulator: cycles are the objective, bit-exact
+//! functional-oracle equality is a hard validity constraint.
+//!
+//! Pieces:
+//!
+//! * [`workloads`] — the tunable programs (micro-benchmarks and the four
+//!   scientific applications) packaged with their functional oracles;
+//! * [`eval`] — one candidate evaluation: compile → simulate → check;
+//! * [`search`] — the [`Tuner`]: exhaustive grid for small spaces,
+//!   successive halving + coordinate descent for large ones, evaluations
+//!   fanned across native threads;
+//! * [`cache`] — content-addressed on-disk memoization keyed by
+//!   (graph, machine, knob-vector) fingerprints, so re-tuning is
+//!   incremental;
+//! * [`artifact`] — the deterministic JSON export of the winner,
+//!   consumable by `CompilerOptions::apply_tuned` and
+//!   `SimExecutor::with_tuned`.
+//!
+//! Everything is deterministic: search randomness comes only from the
+//! in-tree seeded `Rng64`, parallel evaluations land in index-addressed
+//! slots, and artifacts carry no timestamps — the same inputs always
+//! produce byte-identical artifacts and (warm) zero simulator runs.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod artifact;
+pub mod cache;
+pub mod eval;
+pub mod search;
+pub mod workloads;
+
+pub use cache::EvalCache;
+pub use search::{TuneOutcome, Tuner};
+pub use workloads::Workload;

@@ -1,0 +1,138 @@
+//! Stable content fingerprinting (FNV-1a, 64-bit).
+//!
+//! The autotuner's on-disk cache and `TunedConfig` artifacts are keyed
+//! by fingerprints of the stream graph, the machine configuration and
+//! the knob vector. `std::hash` offers no stability guarantee across
+//! releases (and `DefaultHasher` is explicitly randomizable), so the key
+//! hash is pinned here: FNV-1a over a canonical byte encoding that each
+//! fingerprinted type defines for itself. Not cryptographic — collisions
+//! merely cause a spurious cache hit on wildly different inputs, and the
+//! cache stores enough context to detect that.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a fingerprint builder.
+///
+/// Writers length-prefix nothing: callers that hash variable-length
+/// sequences should write the length first themselves (the helpers here
+/// do so where ambiguity is possible).
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    /// A fresh fingerprint, optionally domain-separated by a tag so two
+    /// different structures never collide just by encoding the same bytes.
+    #[must_use]
+    pub fn new(tag: &str) -> Self {
+        let mut fp = Fingerprint { state: FNV_OFFSET };
+        fp.str(tag);
+        fp
+    }
+
+    /// Mix raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Mix a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Mix a `usize` (as `u64`, so 32/64-bit hosts agree).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Mix a `bool`.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.bytes(&[u8::from(v)])
+    }
+
+    /// Mix an `f64` by bit pattern (`-0.0` and `0.0` hash differently;
+    /// configs never store NaN).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Mix a string, length-prefixed.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.usize(s.len());
+        self.bytes(s.as_bytes())
+    }
+
+    /// Mix a `u32` slice, length-prefixed (index arrays).
+    pub fn u32s(&mut self, vs: &[u32]) -> &mut Self {
+        self.usize(vs.len());
+        for &v in vs {
+            self.bytes(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// The 64-bit digest.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// The digest as fixed-width lowercase hex (cache file names).
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_tag_separated() {
+        let a = Fingerprint::new("graph").u64(7).finish();
+        let b = Fingerprint::new("graph").u64(7).finish();
+        let c = Fingerprint::new("machine").u64(7).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "domain tags must separate");
+    }
+
+    #[test]
+    fn order_and_content_sensitive() {
+        let ab = Fingerprint::new("t").str("a").str("b").finish();
+        let ba = Fingerprint::new("t").str("b").str("a").finish();
+        assert_ne!(ab, ba);
+        assert_ne!(
+            Fingerprint::new("t").u32s(&[1, 2]).finish(),
+            Fingerprint::new("t").u32s(&[1, 2, 0]).finish(),
+            "length prefix must distinguish a trailing zero"
+        );
+    }
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a of the empty input is the offset basis; tag "" mixes
+        // only the 8-byte zero length prefix.
+        let mut fp = Fingerprint { state: FNV_OFFSET };
+        fp.bytes(b"");
+        assert_eq!(fp.finish(), FNV_OFFSET);
+        assert_eq!(fp.hex().len(), 16);
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        for seed in 0..64u64 {
+            let mut fp = Fingerprint::new("w");
+            fp.u64(seed);
+            assert_eq!(fp.hex().len(), 16);
+        }
+    }
+}

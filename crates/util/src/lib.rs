@@ -2,7 +2,8 @@
 //!
 //! Small dependency-free utilities shared by every crate in the
 //! workspace: a deterministic seedable PRNG ([`rng::Rng64`]), a minimal
-//! JSON value builder/writer ([`json::Json`]) and a property-test
+//! JSON value builder/writer/parser ([`json::Json`]), a stable content
+//! fingerprint ([`hash::Fingerprint`]) and a property-test
 //! harness ([`check::run_cases`]). The build environment has no network
 //! access to a crate registry, so these stand in for `rand`, `serde`
 //! and `proptest` respectively; everything here is deliberately tiny
@@ -14,8 +15,10 @@
 
 pub mod bench;
 pub mod check;
+pub mod hash;
 pub mod json;
 pub mod rng;
 
+pub use hash::Fingerprint;
 pub use json::Json;
 pub use rng::Rng64;

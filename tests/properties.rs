@@ -4,6 +4,7 @@
 //! seeds through `gpstream_util::check::run_cases`; failures report the
 //! case seed for replay.
 
+use gpstream::compiler::passes::strip::{choose_strip_items, max_items, srf_bytes_for};
 use gpstream::compiler::{compile, CompilerOptions};
 use gpstream::core::exec::functional::FunctionalExecutor;
 use gpstream::core::exec::native::{NativeExecutor, NativeWaitPolicy};
@@ -404,6 +405,106 @@ fn checker_rejects_implicit_queue_order_schedules() {
     let (graph, good) = two_strip_program(true);
     good.validate().expect("explicit WAR edges make the schedule order-free");
     good.check(&graph).expect("full checker passes with explicit edges");
+}
+
+/// A single-kernel pipeline with mixed element widths (f32 in, f64 out)
+/// for exercising the strip-mining pass over random sizes.
+fn strip_graph(rng: &mut Rng64, lo: usize, hi: usize) -> gpstream::core::StreamGraph {
+    let n = rng.range_usize_inclusive(lo, hi);
+    let mut b = GraphBuilder::new();
+    let a = b.array("a", &vec![0.0f32; n]);
+    let y = b.array_zeroed::<f64>("y", n);
+    let s_in = b.gather_seq("in", a);
+    let s_out = b.stream::<f64>("out", n);
+    b.kernel("k", &[s_in.id()], &[s_out.id()], 1, |_| {});
+    b.scatter_seq(s_out, y);
+    b.build().unwrap().0
+}
+
+/// Strip-mine options with a random SRF capacity and buffering mode (no
+/// forced strip, so the pass actually searches).
+fn strip_opts(rng: &mut Rng64, capacity: usize) -> CompilerOptions {
+    CompilerOptions {
+        srf: SrfConfig { base: 0x0100_0000, capacity },
+        double_buffer: rng.bool(),
+        strip_items: None,
+        ..CompilerOptions::paper()
+    }
+}
+
+/// The chosen strip's working set always fits the SRF, and the choice is
+/// maximal: one more item per strip would overflow. `None` only when
+/// even a single item per strip cannot fit.
+#[test]
+fn strip_mine_working_set_fits_srf() {
+    run_cases("strip_mine_working_set_fits_srf", 0x57a1f, DEFAULT_CASES, |rng| {
+        let g = strip_graph(rng, 64, 50_000);
+        let capacity = rng.range_usize_inclusive(1 << 10, 1 << 20);
+        let opts = strip_opts(rng, capacity);
+        match choose_strip_items(&g, &opts) {
+            Some(w) => {
+                let used = srf_bytes_for(&g, w, &opts);
+                assert!(used <= capacity, "working set {used} overflows {capacity}-byte SRF");
+                if w < max_items(&g) {
+                    assert!(
+                        srf_bytes_for(&g, w + 1, &opts) > capacity,
+                        "strip {w} is not maximal for a {capacity}-byte SRF"
+                    );
+                }
+            }
+            None => assert!(
+                srf_bytes_for(&g, 1, &opts) > capacity,
+                "None is only allowed when even one item per strip overflows"
+            ),
+        }
+    });
+}
+
+/// Whenever the pass picks a strip it is at least one item, and every
+/// schedule compiled from it carries a non-zero strip and strip count —
+/// including degenerate one-element graphs.
+#[test]
+fn strip_mine_strip_is_never_zero() {
+    run_cases("strip_mine_strip_is_never_zero", 0x57a10, DEFAULT_CASES, |rng| {
+        let g = strip_graph(rng, 1, 256);
+        let capacity = rng.range_usize_inclusive(1 << 9, 1 << 16);
+        let opts = strip_opts(rng, capacity);
+        if let Some(w) = choose_strip_items(&g, &opts) {
+            assert!(w >= 1, "strip size of zero items");
+            let compiled = compile(&g, &opts).unwrap();
+            assert!(compiled.schedule.strip_items >= 1);
+            assert!(compiled.schedule.n_strips >= 1);
+            assert_eq!(compiled.schedule.strip_items, w, "schedule must use the pass's choice");
+        }
+    });
+}
+
+/// Shrinking the SRF monotonically shrinks the chosen strip (treating
+/// "infeasible" as zero), and double buffering never chooses a larger
+/// strip than single buffering at the same capacity.
+#[test]
+fn strip_mine_monotone_in_srf_capacity() {
+    run_cases("strip_mine_monotone_in_srf_capacity", 0x57a1e, DEFAULT_CASES, |rng| {
+        let g = strip_graph(rng, 64, 50_000);
+        let mut c1 = rng.range_usize_inclusive(1 << 9, 1 << 21);
+        let mut c2 = rng.range_usize_inclusive(1 << 9, 1 << 21);
+        if c1 > c2 {
+            std::mem::swap(&mut c1, &mut c2);
+        }
+        let opts = strip_opts(rng, c1);
+        let chosen = |capacity: usize, double_buffer: bool| {
+            let o = CompilerOptions {
+                srf: SrfConfig { base: 0x0100_0000, capacity },
+                double_buffer,
+                ..opts.clone()
+            };
+            choose_strip_items(&g, &o).unwrap_or(0)
+        };
+        let (w1, w2) = (chosen(c1, opts.double_buffer), chosen(c2, opts.double_buffer));
+        assert!(w1 <= w2, "smaller SRF ({c1} vs {c2}) chose a larger strip ({w1} > {w2})");
+        let (wd, ws) = (chosen(c2, true), chosen(c2, false));
+        assert!(wd <= ws, "double buffering chose a larger strip ({wd} > {ws})");
+    });
 }
 
 /// The SRF allocator never hands out overlapping or out-of-bounds

@@ -97,6 +97,7 @@ impl AppBench {
             regular_cycles: regular_timing.cycles,
             stream_cycles: report.timing.cycles,
             phases: Some(report.timing.phases),
+            mem: Some(report.timing.mem),
         }
     }
 

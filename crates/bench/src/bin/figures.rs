@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! figures [SELECTOR] [--in-order] [--json PATH] [--trace PATH]
+//! figures profile WORKLOAD [--out DIR] [--interval N] [--check]
+//!                 [--update-baseline] [--baselines DIR] [--native [REPEATS]]
 //! figures --list
 //! ```
 //!
@@ -30,6 +32,18 @@
 //! under the simulating executor and writes a Chrome `trace_event` file
 //! that loads directly into `chrome://tracing` or
 //! <https://ui.perfetto.dev>.
+//!
+//! `profile WORKLOAD` runs one catalog workload (`--list` inside the
+//! subcommand prints the names) with full counter instrumentation and
+//! prints a `perf stat`-style report plus the top-down cycle tree.
+//! With `--out DIR` it also writes `perfstat.txt`, `topdown.txt`,
+//! `profile.json`, `WORKLOAD.folded` (flamegraph collapsed-stack) and
+//! `samples.csv` (interval counter time-series). `--check` compares
+//! the run against the committed baseline in `--baselines DIR`
+//! (default `profiles/baselines`) and exits non-zero on any
+//! out-of-band counter; `--update-baseline` regenerates the snapshot.
+//! `--native [REPEATS]` appends the native executor's wall-clock
+//! parity report (not deterministic, never written to `--out`).
 
 use gpstream_apps::fem;
 use gpstream_bench as fig;
@@ -110,6 +124,9 @@ fn comparison_json(c: &Comparison) -> Json {
             Json::obj([("compute_ctx", phases_json(&ph[0])), ("memory_ctx", phases_json(&ph[1]))]),
         ));
     }
+    if let Some(m) = &c.mem {
+        pairs.push(("mem".to_string(), gpstream_profile::counters::mem_stats_json(m)));
+    }
     Json::Obj(pairs)
 }
 
@@ -180,7 +197,128 @@ fn tuned_json(o: &gpstream_tune::TuneOutcome) -> Json {
     ])
 }
 
+/// `figures profile` subcommand. Exits the process: 0 on success, 1 on
+/// baseline violations, 2 on usage errors.
+fn profile_main(args: &[String]) -> ! {
+    let mut workload: Option<String> = None;
+    let mut out_dir: Option<String> = None;
+    let mut interval: Option<u64> = None;
+    let mut check = false;
+    let mut update_baseline = false;
+    let mut baselines = "profiles/baselines".to_string();
+    let mut native: Option<usize> = None;
+    let mut i = 0;
+    let usage = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: figures profile WORKLOAD [--out DIR] [--interval N] [--check] \
+             [--update-baseline] [--baselines DIR] [--native [REPEATS]]"
+        );
+        eprintln!("workloads: {}", gpstream_tune::workloads::CATALOG.join(" "));
+        std::process::exit(2);
+    };
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for w in gpstream_tune::workloads::CATALOG {
+                    println!("{w}");
+                }
+                std::process::exit(0);
+            }
+            "--out" => out_dir = Some(value(args, &mut i, "--out")),
+            "--interval" => {
+                let v = value(args, &mut i, "--interval");
+                interval = Some(v.parse().unwrap_or_else(|_| usage("--interval needs a number")));
+            }
+            "--check" => check = true,
+            "--update-baseline" => update_baseline = true,
+            "--baselines" => baselines = value(args, &mut i, "--baselines"),
+            "--native" => {
+                // Optional repeat count: `--native 7` or bare `--native`.
+                native = Some(match args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    Some(n) => {
+                        i += 1;
+                        n
+                    }
+                    None => 5,
+                });
+            }
+            other if workload.is_none() && !other.starts_with('-') => {
+                workload = Some(other.to_string());
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(workload) = workload else { usage("missing WORKLOAD") };
+    let Some(out) = fig::profiling::profile_workload(&workload, interval) else {
+        usage(&format!("unknown workload `{workload}`"))
+    };
+
+    print!("{}", out.perf_stat);
+    println!();
+    print!("{}", out.topdown);
+
+    if let Some(dir) = &out_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).expect("create --out directory");
+        std::fs::write(dir.join("perfstat.txt"), &out.perf_stat).expect("write perfstat.txt");
+        std::fs::write(dir.join("topdown.txt"), &out.topdown).expect("write topdown.txt");
+        std::fs::write(dir.join("profile.json"), &out.json).expect("write profile.json");
+        std::fs::write(dir.join(format!("{workload}.folded")), &out.folded)
+            .expect("write folded stacks");
+        std::fs::write(dir.join("samples.csv"), &out.samples_csv).expect("write samples.csv");
+        println!("\nwrote profile artifacts to {}", dir.display());
+    }
+
+    let baseline_path = std::path::Path::new(&baselines).join(format!("{workload}.json"));
+    if update_baseline {
+        let base = gpstream_profile::Baseline::capture(&workload, &out.counters);
+        std::fs::create_dir_all(&baselines).expect("create baselines directory");
+        std::fs::write(&baseline_path, base.to_json().to_string() + "\n").expect("write baseline");
+        println!("updated baseline {}", baseline_path.display());
+    }
+    if check {
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot read baseline {} ({e}); run with --update-baseline first",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        });
+        let base = gpstream_profile::Baseline::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("malformed baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        let violations = base.check(&out.counters);
+        if violations.is_empty() {
+            println!("baseline check passed ({} tracked values)", base.entries.len());
+        } else {
+            eprintln!("baseline check FAILED for `{workload}`:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+    if let Some(repeats) = native {
+        let text = fig::profiling::native_parity(&workload, repeats)
+            .expect("workload resolved once already");
+        println!();
+        print!("{text}");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("profile") {
+        profile_main(&raw[1..]);
+    }
     let cli = parse_args();
     let cfg = MachineConfig::prescott();
     let copts = CompilerOptions::paper();

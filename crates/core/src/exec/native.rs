@@ -31,12 +31,13 @@ use crate::exec::execute_task;
 use crate::graph::StreamGraph;
 use crate::spsc::SpscRing;
 use crate::srf::{SrfBuffer, SrfConfig};
-use crate::task::ScheduledProgram;
+use crate::task::{ScheduledProgram, TaskId};
 use crate::trace::{ExecEventKind, TraceBuffer};
 use crate::workqueue::{DependencyWindow, QueuedTask};
 use crate::world::World;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 // NOTE on readiness: the bit-vector window (DependencyWindow) bounds the
 // number of in-flight tasks to 64 and is what the control thread uses for
@@ -70,7 +71,7 @@ pub enum NativeWaitPolicy {
 }
 
 /// Report from a native run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NativeReport {
     /// Number of tasks executed.
     pub tasks: usize,
@@ -78,6 +79,24 @@ pub struct NativeReport {
     pub memory_tasks: usize,
     /// Tasks run by the compute thread.
     pub compute_tasks: usize,
+    /// Wall-clock self time of each task body, sorted by task id (present
+    /// when [`NativeExecutor::with_task_timing`] enabled timing).
+    pub task_times: Option<Vec<TaskTime>>,
+}
+
+/// Wall-clock self time of one task body measured by the native
+/// executor: the `execute_task` call only, excluding queueing, dependency
+/// waits and data-lock acquisition. Unlike everything the simulator
+/// reports, these are real nanoseconds and vary run to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskTime {
+    /// The task.
+    pub task: TaskId,
+    /// Trace lane of the worker that ran it ([`LANE_MEMORY`] or
+    /// [`LANE_COMPUTE`]).
+    pub lane: u8,
+    /// Task-body wall time in nanoseconds.
+    pub ns: u64,
 }
 
 struct Shared<'a> {
@@ -92,6 +111,8 @@ struct Shared<'a> {
     dead: AtomicBool,
     program: &'a ScheduledProgram,
     trace: Option<TraceBuffer>,
+    /// Per-task body wall times, collected when task timing is on.
+    times: Option<Mutex<Vec<TaskTime>>>,
 }
 
 impl Shared<'_> {
@@ -128,6 +149,7 @@ pub struct NativeExecutor {
     policy: NativeWaitPolicy,
     in_order: bool,
     trace: Option<TraceBuffer>,
+    time_tasks: bool,
 }
 
 impl NativeExecutor {
@@ -169,6 +191,15 @@ impl NativeExecutor {
         self
     }
 
+    /// Measure each task body's wall-clock self time; the report's
+    /// `task_times` field carries them. These are real nanoseconds —
+    /// profile several repeats and aggregate, they are not deterministic.
+    #[must_use]
+    pub fn with_task_timing(mut self, on: bool) -> Self {
+        self.time_tasks = on;
+        self
+    }
+
     /// Execute `program` against `world` using two worker threads.
     ///
     /// # Panics
@@ -203,6 +234,7 @@ impl NativeExecutor {
             dead: AtomicBool::new(false),
             program,
             trace: self.trace.clone(),
+            times: self.time_tasks.then(|| Mutex::new(Vec::with_capacity(program.tasks.len()))),
         };
         let mem_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
         let comp_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
@@ -258,12 +290,18 @@ impl NativeExecutor {
             }
         });
 
+        let task_times = shared.times.map(|m| {
+            let mut v = m.into_inner().expect("times mutex poisoned");
+            v.sort_by_key(|t| (t.task.0, t.lane));
+            v
+        });
         let (w, _srf) = shared.data.into_inner().expect("data mutex poisoned");
         *world = w;
         NativeReport {
             tasks: program.tasks.len(),
             memory_tasks: mem_count,
             compute_tasks: comp_count,
+            task_times,
         }
     }
 }
@@ -359,7 +397,16 @@ fn worker_loop(
                 return executed;
             };
             let (world, srf) = &mut *data;
+            let t0 = shared.times.is_some().then(Instant::now);
             execute_task(task, shared.graph, world, srf);
+            if let (Some(t0), Some(times)) = (t0, &shared.times) {
+                let ns = t0.elapsed().as_nanos() as u64;
+                times.lock().expect("times mutex poisoned").push(TaskTime {
+                    task: item.task,
+                    lane,
+                    ns,
+                });
+            }
         }
         {
             let mut w = shared.lock_window();

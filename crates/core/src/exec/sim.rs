@@ -25,7 +25,8 @@ use crate::trace::{ExecEvent, ExecEventKind};
 use crate::world::World;
 use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 use gpstream_machine::{
-    ContextProgram, Machine, MachineConfig, MachineEventKind, RunResult, TaskNode,
+    ContextProgram, CounterSample, Machine, MachineConfig, MachineEventKind, MemStats, RunResult,
+    TaskNode,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -46,6 +47,42 @@ pub struct SimReport {
     /// when [`SimExecutor::with_trace`] enabled tracing). Lane 0 is the
     /// compute context, lane 1 the memory context.
     pub trace: Option<Vec<ExecEvent>>,
+    /// Per-task counter attribution and interval counter samples of the
+    /// timing run (present when [`SimExecutor::with_profile`] enabled
+    /// profiling).
+    pub profile: Option<SimProfile>,
+}
+
+/// Cycles and counter deltas attributed to one task of the schedule by
+/// the per-step machine profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskProfile {
+    /// The task.
+    pub task: TaskId,
+    /// Hardware context it ran on (0 = compute, 1 = memory; the
+    /// single-context mapping puts everything on 0).
+    pub ctx: u8,
+    /// Cycles the context spent executing the task's ops (synchronization
+    /// ops included; queue dispatch and idle waiting are not attributable
+    /// to a single task and are reported in the run's phase breakdown).
+    pub cycles: u64,
+    /// Counter deltas accumulated while executing the task's ops.
+    pub stats: MemStats,
+}
+
+/// Profile of one simulated run: per-task attribution plus the interval
+/// sampler's cumulative counter time-series. Both are byte-deterministic
+/// for a fixed program and machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimProfile {
+    /// Sampling interval in cycles.
+    pub interval: u64,
+    /// Per-task cycle and counter attribution, sorted by task id (tasks
+    /// split across contexts never happen: each task runs on one context).
+    pub tasks: Vec<TaskProfile>,
+    /// Cumulative counter samples every `interval` cycles plus a final
+    /// sample at end of run (so interval deltas sum to the run totals).
+    pub samples: Vec<CounterSample>,
 }
 
 /// Per-context lowering: the op streams plus, per op, the task that
@@ -65,7 +102,13 @@ pub struct SimExecutor {
     single_context: bool,
     in_order: bool,
     trace: bool,
+    profile: bool,
+    sample_interval: u64,
 }
+
+/// Default interval (in cycles) between counter samples when profiling;
+/// catalog-size runs land a few dozen to a few hundred samples.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 16_384;
 
 impl Default for SimExecutor {
     fn default() -> Self {
@@ -77,6 +120,8 @@ impl Default for SimExecutor {
             single_context: false,
             in_order: false,
             trace: false,
+            profile: false,
+            sample_interval: DEFAULT_SAMPLE_INTERVAL,
         }
     }
 }
@@ -165,6 +210,30 @@ impl SimExecutor {
         self
     }
 
+    /// Attribute cycles and counters per task and record the interval
+    /// counter time-series during the timing run; the report's `profile`
+    /// field carries both. When a warm-up run is configured, only the
+    /// measured iteration is profiled. Profiling reads counters without
+    /// touching the model, so timing is identical with it on or off.
+    #[must_use]
+    pub fn with_profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Override the interval (in cycles) between counter samples taken
+    /// while profiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn with_sample_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        self.sample_interval = interval;
+        self
+    }
+
     /// The machine configuration in use.
     #[must_use]
     pub fn machine_config(&self) -> &MachineConfig {
@@ -203,6 +272,10 @@ impl SimExecutor {
         if self.trace {
             machine.enable_trace();
         }
+        if self.profile {
+            machine.enable_profile();
+            machine.enable_sampling(self.sample_interval);
+        }
         let (lowered, timing) = if self.single_context {
             let lowered = self.lower_single(program, graph, world);
             if self.warmup {
@@ -230,7 +303,12 @@ impl SimExecutor {
             (lowered, timing)
         };
         let trace = self.trace.then(|| attribute_events(machine.take_trace(), &lowered, program));
-        SimReport { timing, tasks: program.tasks.len(), trace }
+        let profile = self.profile.then(|| SimProfile {
+            interval: self.sample_interval,
+            tasks: attribute_profile(machine.take_profile(), &lowered),
+            samples: machine.take_samples(),
+        });
+        SimReport { timing, tasks: program.tasks.len(), trace, profile }
     }
 
     /// Lower the whole schedule onto one context in task order (the
@@ -454,6 +532,30 @@ impl SimExecutor {
             }
         }
     }
+}
+
+/// Fold the machine's per-(ctx, op) profile into per-task attribution
+/// via the lowering's op → owner map. A task may own several ops (its
+/// bulk op plus synchronization ops on the in-order paths); their cycles
+/// and counter deltas merge. Output is sorted by task id.
+fn attribute_profile(ops: Vec<gpstream_machine::OpProfile>, lowered: &Lowered) -> Vec<TaskProfile> {
+    let mut by_task: std::collections::BTreeMap<(u32, u8), (u64, MemStats)> =
+        std::collections::BTreeMap::new();
+    for p in ops {
+        let Some(&task) = lowered.owners[p.ctx as usize].get(p.op as usize) else { continue };
+        let slot = by_task.entry((task.0, p.ctx)).or_insert((0, MemStats::default()));
+        slot.0 += p.cycles;
+        slot.1.accumulate(&p.stats);
+    }
+    by_task
+        .into_iter()
+        .map(|((task, ctx), (cycles, stats))| TaskProfile {
+            task: TaskId(task),
+            ctx,
+            cycles,
+            stats,
+        })
+        .collect()
 }
 
 /// Translate the machine's cycle-stamped events into task-attributed

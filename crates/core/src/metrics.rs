@@ -1,7 +1,7 @@
 //! Report types for experiments (JSON-convertible so the bench harness
 //! can emit machine-readable output).
 
-use gpstream_machine::PhaseCycles;
+use gpstream_machine::{MemStats, PhaseCycles};
 
 /// Comparison of a regular program against its streaming twin.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,6 +15,9 @@ pub struct Comparison {
     /// Per-context phase breakdown of the stream run (`[compute ctx,
     /// memory ctx]`), when the producer captured one.
     pub phases: Option<[PhaseCycles; 2]>,
+    /// Memory-system counters of the stream run, when the producer
+    /// captured them.
+    pub mem: Option<MemStats>,
 }
 
 impl Comparison {
@@ -62,14 +65,25 @@ mod tests {
 
     #[test]
     fn speedup_math() {
-        let c =
-            Comparison { name: "x".into(), regular_cycles: 150, stream_cycles: 100, phases: None };
+        let c = Comparison {
+            name: "x".into(),
+            regular_cycles: 150,
+            stream_cycles: 100,
+            phases: None,
+            mem: None,
+        };
         assert!((c.speedup() - 1.5).abs() < 1e-12);
     }
 
     #[test]
     fn zero_stream_cycles_is_zero_speedup() {
-        let c = Comparison { name: "x".into(), regular_cycles: 1, stream_cycles: 0, phases: None };
+        let c = Comparison {
+            name: "x".into(),
+            regular_cycles: 1,
+            stream_cycles: 0,
+            phases: None,
+            mem: None,
+        };
         assert_eq!(c.speedup(), 0.0);
     }
 }

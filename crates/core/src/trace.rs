@@ -90,15 +90,25 @@ pub struct ExecEvent {
     pub kind: ExecEventKind,
 }
 
-struct BufferInner {
-    start: Instant,
-    events: Mutex<Vec<ExecEvent>>,
+struct BufferState {
+    events: Vec<ExecEvent>,
+    /// Events discarded because the buffer was at capacity.
+    dropped: u64,
 }
 
-/// A shared, thread-safe event sink.
+struct BufferInner {
+    start: Instant,
+    capacity: usize,
+    state: Mutex<BufferState>,
+}
+
+/// A shared, thread-safe event sink with a bounded capacity.
 ///
 /// Clones share the same underlying buffer, so the control thread and
 /// both workers of the native executor can stamp into one timeline.
+/// Once `capacity` events are held, further pushes are counted in
+/// [`TraceBuffer::dropped`] instead of growing the buffer without bound
+/// on long runs; the exporter surfaces the count in the trace footer.
 #[derive(Clone)]
 pub struct TraceBuffer {
     inner: Arc<BufferInner>,
@@ -112,16 +122,36 @@ impl Default for TraceBuffer {
 
 impl std::fmt::Debug for TraceBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TraceBuffer").field("events", &self.len()).finish()
+        f.debug_struct("TraceBuffer")
+            .field("events", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
     }
 }
 
+/// Default [`TraceBuffer`] capacity: a few million events (~100 MB)
+/// before dropping — far above any catalog run, low enough that a
+/// runaway loop cannot exhaust memory.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4 << 20;
+
 impl TraceBuffer {
-    /// An empty buffer whose wall clock starts now.
+    /// An empty buffer with the default capacity whose wall clock starts
+    /// now.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// An empty buffer holding at most `capacity` events; further events
+    /// are dropped and counted.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
         TraceBuffer {
-            inner: Arc::new(BufferInner { start: Instant::now(), events: Mutex::new(Vec::new()) }),
+            inner: Arc::new(BufferInner {
+                start: Instant::now(),
+                capacity,
+                state: Mutex::new(BufferState { events: Vec::new(), dropped: 0 }),
+            }),
         }
     }
 
@@ -133,20 +163,21 @@ impl TraceBuffer {
     }
 
     /// Record an event with an explicit timestamp (the simulating
-    /// executor stamps machine cycles).
+    /// executor stamps machine cycles). Dropped (and counted) if the
+    /// buffer is at capacity.
     pub fn push_at(&self, ts: u64, who: u8, task: Option<TaskId>, kind: ExecEventKind) {
-        self.inner.events.lock().expect("trace buffer poisoned").push(ExecEvent {
-            ts,
-            who,
-            task,
-            kind,
-        });
+        let mut st = self.inner.state.lock().expect("trace buffer poisoned");
+        if st.events.len() >= self.inner.capacity {
+            st.dropped += 1;
+            return;
+        }
+        st.events.push(ExecEvent { ts, who, task, kind });
     }
 
     /// Number of events recorded so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.events.lock().expect("trace buffer poisoned").len()
+        self.inner.state.lock().expect("trace buffer poisoned").events.len()
     }
 
     /// Whether no events have been recorded.
@@ -155,10 +186,21 @@ impl TraceBuffer {
         self.len() == 0
     }
 
-    /// Drain all recorded events, sorted by timestamp.
+    /// Number of events dropped because the buffer was at capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().expect("trace buffer poisoned").dropped
+    }
+
+    /// Drain all recorded events, sorted by timestamp. The dropped-event
+    /// count is left in place; read it with [`TraceBuffer::dropped`]
+    /// before reusing the buffer.
     #[must_use]
     pub fn take(&self) -> Vec<ExecEvent> {
-        let mut v = std::mem::take(&mut *self.inner.events.lock().expect("trace buffer poisoned"));
+        let mut v = {
+            let mut st = self.inner.state.lock().expect("trace buffer poisoned");
+            std::mem::take(&mut st.events)
+        };
         v.sort_by_key(|e| e.ts);
         v
     }
@@ -181,6 +223,9 @@ pub struct TraceRun {
     pub task_cats: Vec<&'static str>,
     /// The events.
     pub events: Vec<ExecEvent>,
+    /// Events the producer's [`TraceBuffer`] dropped at capacity (the
+    /// exporter surfaces the count in the trace footer).
+    pub dropped: u64,
 }
 
 impl TraceRun {
@@ -217,7 +262,15 @@ impl TraceRun {
             task_names,
             task_cats,
             events,
+            dropped: 0,
         }
+    }
+
+    /// Record how many events the producer's buffer dropped at capacity.
+    #[must_use]
+    pub fn with_dropped(mut self, dropped: u64) -> Self {
+        self.dropped = dropped;
+        self
     }
 }
 
@@ -340,7 +393,15 @@ pub fn chrome_trace(runs: &[TraceRun]) -> String {
             }
         }
     }
-    Json::obj([("traceEvents", Json::Arr(out)), ("displayTimeUnit", Json::from("ms"))]).to_string()
+    // Footer: total events dropped by bounded trace buffers, so a
+    // truncated trace is never mistaken for a complete one.
+    let dropped: u64 = runs.iter().map(|r| r.dropped).sum();
+    Json::obj([
+        ("traceEvents", Json::Arr(out)),
+        ("displayTimeUnit", Json::from("ms")),
+        ("droppedEvents", Json::U64(dropped)),
+    ])
+    .to_string()
 }
 
 #[cfg(test)]
@@ -403,6 +464,24 @@ mod tests {
         assert!(json.contains("\"cat\":\"gather\""));
         assert!(json.contains("\"cat\":\"bus\""));
         assert!(json.contains("\"dur\":0.01"), "15-5 ticks at 1000/us = 0.01us: {json}");
+    }
+
+    #[test]
+    fn bounded_buffer_drops_and_counts() {
+        let buf = TraceBuffer::with_capacity(2);
+        for ts in 0..5 {
+            buf.push_at(ts, 0, None, ExecEventKind::WcFlush);
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        let ev = buf.take();
+        assert_eq!(ev.len(), 2, "only the first `capacity` events survive");
+        assert_eq!(buf.dropped(), 3, "drop count persists across take()");
+
+        let prog = program_with_one_gather();
+        let run = TraceRun::new("unit", 1000.0, &["t"], &prog, ev).with_dropped(buf.dropped());
+        let json = chrome_trace(&[run]);
+        assert!(json.contains("\"droppedEvents\":3"), "footer must surface drops: {json}");
     }
 
     #[test]

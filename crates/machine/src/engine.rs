@@ -20,7 +20,7 @@ use crate::cache::{Cache, FillPolicy};
 use crate::config::MachineConfig;
 use crate::ops::{BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 use crate::prefetch::Prefetcher;
-use crate::stats::{MemStats, RunResult};
+use crate::stats::{CounterSample, MemStats, OpProfile, RunResult};
 use crate::tlb::Tlb;
 use crate::trace::{MachineEvent, MachineEventKind, PhaseCycles};
 use std::collections::{BTreeMap, VecDeque};
@@ -196,6 +196,21 @@ pub struct Machine {
     /// Event sink; `None` (the default) records nothing and costs one
     /// branch per emission site.
     trace: Option<Vec<MachineEvent>>,
+    /// Per-(context, op-index) cycle and counter attribution; `None` (the
+    /// default) skips the around-step snapshots entirely.
+    profile: Option<BTreeMap<(u8, u32), (u64, MemStats)>>,
+    /// Interval counter sampler; `None` (the default) records nothing.
+    sampler: Option<Sampler>,
+}
+
+/// Interval-sampler state: cumulative counter snapshots every `interval`
+/// cycles of the stepped context's local clock, plus one final snapshot
+/// at end of run.
+#[derive(Debug)]
+struct Sampler {
+    interval: u64,
+    next_t: u64,
+    samples: Vec<CounterSample>,
 }
 
 /// Number of work units (elements / iterations) per engine step; keeps the
@@ -238,6 +253,8 @@ impl Machine {
             stats: MemStats::default(),
             phases: [PhaseCycles::default(); 2],
             trace: None,
+            profile: None,
+            sampler: None,
         }
     }
 
@@ -262,6 +279,62 @@ impl Machine {
     #[must_use]
     pub fn trace_enabled(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Start attributing cycles and counter deltas to each `(context,
+    /// op)` pair. Counters only move inside [`Machine::step`] for the
+    /// stepped context, so snapshotting around each step attributes them
+    /// exactly; timing is unaffected (the snapshots only read counters).
+    pub fn enable_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(BTreeMap::new());
+        }
+    }
+
+    /// Drain the per-op profile, sorted by `(ctx, op)` (empty if
+    /// profiling was never enabled). Profiling stays enabled afterwards.
+    pub fn take_profile(&mut self) -> Vec<OpProfile> {
+        match self.profile.as_mut() {
+            Some(map) => std::mem::take(map)
+                .into_iter()
+                .map(|((ctx, op), (cycles, stats))| OpProfile { ctx, op, cycles, stats })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Start sampling cumulative counters every `interval` cycles (of the
+    /// stepped context's local clock). A final sample is recorded at end
+    /// of run, so interval deltas always sum to the run totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_sampling(&mut self, interval: u64) {
+        assert!(interval > 0, "sampling interval must be positive");
+        self.sampler = Some(Sampler { interval, next_t: interval, samples: Vec::new() });
+    }
+
+    /// Drain the recorded counter samples (empty if sampling was never
+    /// enabled). Sampling stays enabled, rewound to the first interval.
+    pub fn take_samples(&mut self) -> Vec<CounterSample> {
+        match self.sampler.as_mut() {
+            Some(s) => {
+                s.next_t = s.interval;
+                std::mem::take(&mut s.samples)
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The counters as of "now", with the live bus totals folded in (the
+    /// run loops only publish bus totals into `stats` at end of run).
+    #[must_use]
+    pub fn stats_now(&self) -> MemStats {
+        let mut s = self.stats;
+        s.bus_bytes = self.bus.bytes_moved();
+        s.bus_busy_cycles = self.bus.busy_cycles();
+        s
     }
 
     /// Record one event; compiles to a single branch when disabled.
@@ -308,6 +381,13 @@ impl Machine {
         self.phases = [PhaseCycles::default(); 2];
         if let Some(buf) = self.trace.as_mut() {
             buf.clear();
+        }
+        if let Some(map) = self.profile.as_mut() {
+            map.clear();
+        }
+        if let Some(s) = self.sampler.as_mut() {
+            s.samples.clear();
+            s.next_t = s.interval;
         }
     }
 
@@ -376,18 +456,10 @@ impl Machine {
             };
 
             let other_activity = self.activity_of(&cur[1 - pick]);
-            self.step(&mut cur, pick, other_activity, &mut signals);
+            self.step_instrumented(&mut cur, pick, other_activity, &mut signals);
         }
 
-        self.stats.bus_bytes = self.bus.bytes_moved();
-        self.stats.bus_busy_cycles = self.bus.busy_cycles();
-        let ctx_cycles = [cur[0].t, cur[1].t];
-        RunResult {
-            ctx_cycles,
-            cycles: ctx_cycles[0].max(ctx_cycles[1]),
-            mem: self.stats,
-            phases: self.phases,
-        }
+        self.finish_run([cur[0].t, cur[1].t])
     }
 
     /// Statistics accumulated so far (valid after `run`).
@@ -488,7 +560,7 @@ impl Machine {
             let i = st[c].active.expect("active task set above");
             if cur[c].idx < st[c].tasks[i].ops.end {
                 let other_activity = self.task_activity(&cur[1 - c], &st[1 - c], policy);
-                self.step(&mut cur, c, other_activity, &mut signals);
+                self.step_instrumented(&mut cur, c, other_activity, &mut signals);
             }
             if cur[c].idx >= st[c].tasks[i].ops.end {
                 if let Some(id) = st[c].tasks[i].signal {
@@ -499,14 +571,63 @@ impl Machine {
             }
         }
 
+        self.finish_run([cur[0].t, cur[1].t])
+    }
+
+    /// Shared end-of-run accounting: publish the bus totals, extend the
+    /// wall clock to the final bus drain (posted stores and writebacks
+    /// may outlive the issuing context — the run is not over until the
+    /// bus is quiet, which also makes `bus_busy_cycles <= cycles` an
+    /// invariant), and record the sampler's final snapshot.
+    fn finish_run(&mut self, ctx_cycles: [u64; 2]) -> RunResult {
         self.stats.bus_bytes = self.bus.bytes_moved();
         self.stats.bus_busy_cycles = self.bus.busy_cycles();
-        let ctx_cycles = [cur[0].t, cur[1].t];
-        RunResult {
-            ctx_cycles,
-            cycles: ctx_cycles[0].max(ctx_cycles[1]),
-            mem: self.stats,
-            phases: self.phases,
+        let cycles = ctx_cycles[0].max(ctx_cycles[1]).max(self.bus.next_free());
+        if let Some(s) = self.sampler.as_mut() {
+            // Final cumulative sample at end of run: interval deltas then
+            // sum to the run totals by construction. Replace a tick that
+            // landed exactly on the end cycle (its bus totals predate the
+            // publish above).
+            if s.samples.last().is_some_and(|last| last.t >= cycles) {
+                s.samples.pop();
+            }
+            s.samples.push(CounterSample { t: cycles, stats: self.stats });
+        }
+        RunResult { ctx_cycles, cycles, mem: self.stats, phases: self.phases }
+    }
+
+    /// Step the chosen context, wrapped in profiling / sampling counter
+    /// snapshots when either is enabled. The snapshots only *read*
+    /// counters, so timing is bit-identical with and without them.
+    fn step_instrumented(
+        &mut self,
+        cur: &mut [Cursor; 2],
+        c: usize,
+        other: Activity,
+        signals: &mut BTreeMap<u32, u64>,
+    ) {
+        if self.profile.is_none() && self.sampler.is_none() {
+            self.step(cur, c, other, signals);
+            return;
+        }
+        let op = cur[c].idx as u32;
+        let t0 = cur[c].t;
+        let before = self.stats_now();
+        self.step(cur, c, other, signals);
+        let now = cur[c].t;
+        if self.profile.is_some() || self.sampler.as_ref().is_some_and(|s| s.next_t <= now) {
+            let after = self.stats_now();
+            if let Some(map) = self.profile.as_mut() {
+                let slot = map.entry((c as u8, op)).or_insert((0, MemStats::default()));
+                slot.0 += now.saturating_sub(t0);
+                slot.1.accumulate(&after.delta(&before));
+            }
+            if let Some(s) = self.sampler.as_mut() {
+                while s.next_t <= now {
+                    s.samples.push(CounterSample { t: s.next_t, stats: after });
+                    s.next_t += s.interval;
+                }
+            }
         }
     }
 
@@ -860,6 +981,7 @@ impl Machine {
         // NT loads bypass the L1 and pay extra micro-ops at L2; plain loads
         // check L1 first.
         if rw == Rw::Read && !nt {
+            self.stats.l1_accesses += 1;
             if self.l1[ctx].access(addr, false, FillPolicy::Normal).hit {
                 self.stats.l1_hits += 1;
                 return t.max(avail);
@@ -871,6 +993,7 @@ impl Machine {
         }
 
         let policy = if nt { FillPolicy::NonTemporal } else { FillPolicy::Normal };
+        self.stats.l2_accesses += 1;
         let out = self.l2.access(addr, rw == Rw::Write, policy);
         if out.hit {
             self.stats.l2_hits += 1;
@@ -1174,6 +1297,63 @@ mod tests {
                 last[c] = e.t;
             }
         }
+    }
+
+    #[test]
+    fn profiling_and_sampling_do_not_perturb_timing() {
+        let mut plain = machine();
+        let bare = plain.run(traceable_program());
+        assert!(plain.take_profile().is_empty(), "no profile when off");
+        assert!(plain.take_samples().is_empty(), "no samples when off");
+
+        let mut instrumented = machine();
+        instrumented.enable_profile();
+        instrumented.enable_sampling(1024);
+        let r = instrumented.run(traceable_program());
+        assert_eq!(r, bare, "profiling must not change the model");
+
+        // Per-op attribution covers every counter exactly: summing the
+        // per-op deltas reproduces the end-of-run totals.
+        let ops = instrumented.take_profile();
+        assert!(!ops.is_empty());
+        let mut sum = MemStats::default();
+        for p in &ops {
+            sum.accumulate(&p.stats);
+        }
+        assert_eq!(sum, r.mem, "op deltas must sum to run totals");
+        // The gather's bus traffic lands on ctx1's copy op, not ctx0.
+        let ctx1_bytes: u64 = ops.iter().filter(|p| p.ctx == 1).map(|p| p.stats.bus_bytes).sum();
+        assert_eq!(ctx1_bytes, r.mem.bus_bytes);
+
+        // Samples are cumulative, monotone, and end at the run totals.
+        let samples = instrumented.take_samples();
+        assert!(samples.len() >= 2);
+        for w in samples.windows(2) {
+            assert!(w[0].t < w[1].t);
+            for (a, b) in w[0].stats.fields().iter().zip(w[1].stats.fields()) {
+                assert!(a.1 <= b.1, "counter {} must be monotone", a.0);
+            }
+        }
+        let last = samples.last().unwrap();
+        assert_eq!(last.t, r.cycles);
+        assert_eq!(last.stats, r.mem, "final sample must equal run totals");
+    }
+
+    #[test]
+    fn run_ends_only_when_bus_drains() {
+        // A pure NT-store stream leaves posted writes on the bus after the
+        // context retires; the wall clock must cover the drain so that
+        // bus_busy_cycles <= cycles holds.
+        let mem = AccessPattern::Seq { base: 0x2000_0000, elem: 4, count: 64 * 1024 };
+        let mut m = machine();
+        let r = m.run_single(vec![BulkOp::Copy {
+            mem,
+            srf_base: 0x8000_0000,
+            dir: CopyDir::ScatterFromSrf,
+            nt: true,
+        }]);
+        assert!(r.cycles >= r.ctx_cycles[0]);
+        assert!(r.mem.bus_busy_cycles <= r.cycles, "bus occupancy cannot exceed the wall clock");
     }
 
     #[test]

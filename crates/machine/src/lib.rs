@@ -56,5 +56,5 @@ pub mod trace;
 pub use config::{CacheGeometry, MachineConfig, SmtFactors, WaitCosts};
 pub use engine::{ContextProgram, Machine, TaskNode};
 pub use ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
-pub use stats::{MemStats, RunResult};
+pub use stats::{CounterSample, MemStats, OpProfile, RunResult};
 pub use trace::{MachineEvent, MachineEventKind, PhaseCycles};

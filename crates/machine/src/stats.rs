@@ -2,13 +2,47 @@
 
 use crate::trace::PhaseCycles;
 
+/// Applies a macro to the full list of [`MemStats`] counter fields.
+///
+/// Keeping the list in one place guarantees the registry
+/// ([`MemStats::fields`]), the delta/accumulate arithmetic, and every
+/// downstream exporter agree on the counter set: adding a field here adds
+/// it everywhere at compile time.
+macro_rules! with_mem_stats_fields {
+    ($m:ident) => {
+        $m!(
+            l1_accesses,
+            l1_hits,
+            l1_misses,
+            l2_accesses,
+            l2_hits,
+            l2_misses,
+            tlb_hits,
+            tlb_misses,
+            walk_cycles,
+            writebacks,
+            srf_evictions,
+            hw_prefetch_covered,
+            sw_prefetch_covered,
+            wc_flushes,
+            bus_bytes,
+            bus_busy_cycles
+        )
+    };
+}
+
 /// Memory-system counters accumulated over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
+    /// L1 data-cache accesses (cacheable loads; stores and non-temporal
+    /// loads bypass the L1 in this model).
+    pub l1_accesses: u64,
     /// L1 data-cache hits (loads only; stores are modeled at L2).
     pub l1_hits: u64,
     /// L1 data-cache misses.
     pub l1_misses: u64,
+    /// L2 accesses (every cacheable line access that reached the L2).
+    pub l2_accesses: u64,
     /// L2 hits.
     pub l2_hits: u64,
     /// L2 misses (lines filled from memory).
@@ -36,12 +70,84 @@ pub struct MemStats {
     pub bus_busy_cycles: u64,
 }
 
+impl MemStats {
+    /// Number of counters in the registry.
+    pub const NUM_FIELDS: usize = 16;
+
+    /// The counter registry: every field as a `(name, value)` pair, in
+    /// declaration order. Exporters iterate this instead of hard-coding
+    /// field lists, so new counters propagate automatically.
+    #[must_use]
+    pub fn fields(&self) -> [(&'static str, u64); Self::NUM_FIELDS] {
+        macro_rules! emit {
+            ($($f:ident),+) => { [$((stringify!($f), self.$f)),+] };
+        }
+        with_mem_stats_fields!(emit)
+    }
+
+    /// Look a counter up by registry name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<u64> {
+        self.fields().iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// Field-wise difference `self - earlier` (saturating). Counters are
+    /// monotonic within a run, so for two snapshots of the same run this
+    /// is the activity between them.
+    #[must_use]
+    pub fn delta(&self, earlier: &MemStats) -> MemStats {
+        macro_rules! emit {
+            ($($f:ident),+) => { MemStats { $($f: self.$f.saturating_sub(earlier.$f)),+ } };
+        }
+        with_mem_stats_fields!(emit)
+    }
+
+    /// Field-wise accumulate `self += d`.
+    pub fn accumulate(&mut self, d: &MemStats) {
+        macro_rules! emit {
+            ($($f:ident),+) => { $(self.$f += d.$f;)+ };
+        }
+        with_mem_stats_fields!(emit);
+    }
+}
+
+/// One interval-sampler snapshot: the *cumulative* counters as of cycle
+/// `t`. Consecutive samples differ by the activity in that interval, and
+/// the final sample (taken at end of run) equals the run totals — so
+/// interval deltas sum to the totals by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Cycle the sample was taken.
+    pub t: u64,
+    /// Cumulative counters at `t`.
+    pub stats: MemStats,
+}
+
+/// Cycles and counter deltas attributed to one `(context, op)` pair by
+/// the per-step profiler. Counters only move inside `Machine::step` for
+/// the stepped context, so snapshotting around each step attributes them
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Hardware context that executed the op.
+    pub ctx: u8,
+    /// Index of the op in that context's op stream.
+    pub op: u32,
+    /// Cycles the context spent stepping this op.
+    pub cycles: u64,
+    /// Counter deltas accumulated while stepping this op.
+    pub stats: MemStats,
+}
+
 /// Result of running one or two op streams to completion.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunResult {
     /// Cycle at which each context retired its last op.
     pub ctx_cycles: [u64; 2],
-    /// Wall-clock cycles for the whole run (max over contexts).
+    /// Wall-clock cycles for the whole run: the later of the last context
+    /// retirement and the final bus drain (posted non-temporal stores and
+    /// writebacks may still occupy the bus after the issuing context has
+    /// retired; the run is not over until they land).
     pub cycles: u64,
     /// Memory-system counters.
     pub mem: MemStats,
@@ -83,5 +189,31 @@ mod tests {
     fn zero_cycles_zero_bandwidth() {
         let r = RunResult::default();
         assert_eq!(r.bandwidth_gbps(100, 3.4), 0.0);
+    }
+
+    #[test]
+    fn registry_covers_every_field() {
+        let s = MemStats { l1_accesses: 1, bus_busy_cycles: 9, ..MemStats::default() };
+        let f = s.fields();
+        assert_eq!(f.len(), MemStats::NUM_FIELDS);
+        assert_eq!(f[0], ("l1_accesses", 1));
+        assert_eq!(f[MemStats::NUM_FIELDS - 1], ("bus_busy_cycles", 9));
+        assert_eq!(s.field("bus_busy_cycles"), Some(9));
+        assert_eq!(s.field("nope"), None);
+    }
+
+    #[test]
+    fn delta_and_accumulate_round_trip() {
+        let a = MemStats { l1_hits: 10, l2_misses: 3, ..MemStats::default() };
+        let mut b = a;
+        b.l1_hits = 25;
+        b.bus_bytes = 640;
+        let d = b.delta(&a);
+        assert_eq!(d.l1_hits, 15);
+        assert_eq!(d.l2_misses, 0);
+        assert_eq!(d.bus_bytes, 640);
+        let mut back = a;
+        back.accumulate(&d);
+        assert_eq!(back, b);
     }
 }

@@ -172,6 +172,7 @@ impl Microbench {
             regular_cycles: regular_timing.cycles,
             stream_cycles: report.timing.cycles,
             phases: Some(report.timing.phases),
+            mem: Some(report.timing.mem),
         }
     }
 }

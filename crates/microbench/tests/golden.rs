@@ -65,7 +65,10 @@ fn timing_matches_golden_snapshot() {
          # deliberate model change; unexplained diffs are regressions.\n\
          # Snapshot reflects the default out-of-order (tail_depend) queue\n\
          # issue; cycle counts moved when issue switched from head-blocking\n\
-         # Wait ops to the per-context ready-set model.\n",
+         # Wait ops to the per-context ready-set model, and again (by the\n\
+         # posted-write drain tail, <0.1%) when the wall clock was extended\n\
+         # to cover the final bus drain so bus occupancy can never exceed\n\
+         # the run length.\n",
     );
     for mb in workloads() {
         let r = timing_of(&mb);

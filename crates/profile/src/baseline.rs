@@ -1,0 +1,301 @@
+//! Counter baselines and the regression gate behind
+//! `figures profile --check`.
+//!
+//! A [`Baseline`] is a committed snapshot of every tracked value
+//! (raw counters and derived metrics) for one workload, each with an
+//! explicit tolerance band. [`Baseline::check`] compares a fresh run
+//! against the snapshot and reports every value outside its band — so a
+//! counter-level regression (say, prefetch coverage collapsing while
+//! total cycles barely move) fails CI even though the timing goldens
+//! still pass.
+//!
+//! Bands are stored in the file, not recomputed at check time: the
+//! snapshot is self-describing, and widening a band for a legitimately
+//! noisy metric is a reviewable one-line diff.
+
+use crate::counters::CounterSet;
+use gpstream_util::json::JsonParseError;
+use gpstream_util::Json;
+
+/// Relative tolerance applied when a baseline is (re)generated.
+pub const REL_TOL: f64 = 0.02;
+/// Absolute band floor for integer counters (so tiny counters don't get
+/// zero-width bands).
+pub const ABS_FLOOR_COUNTER: f64 = 16.0;
+/// Absolute band floor for derived metrics (rates in `[0, 1]`).
+pub const ABS_FLOOR_DERIVED: f64 = 0.02;
+
+/// One tracked value with its tolerance band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Metric name (from [`CounterSet::all_values`]).
+    pub name: String,
+    /// Value recorded when the baseline was generated.
+    pub value: f64,
+    /// Lower band edge (inclusive).
+    pub lo: f64,
+    /// Upper band edge (inclusive).
+    pub hi: f64,
+}
+
+/// A committed counter snapshot for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Snapshot schema version.
+    pub v: u64,
+    /// Workload name the snapshot belongs to.
+    pub workload: String,
+    /// Every tracked value, in [`CounterSet::all_values`] order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// One way a run can disagree with its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A tracked value fell outside its band.
+    OutOfBand {
+        /// Metric name.
+        name: String,
+        /// Value measured in the current run.
+        value: f64,
+        /// Band lower edge.
+        lo: f64,
+        /// Band upper edge.
+        hi: f64,
+    },
+    /// The baseline tracks a metric the current run no longer reports
+    /// (a counter was removed or renamed without regenerating).
+    MissingFromRun {
+        /// Metric name.
+        name: String,
+    },
+    /// The current run reports a metric the baseline has never seen
+    /// (a counter was added without regenerating).
+    MissingFromBaseline {
+        /// Metric name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::OutOfBand { name, value, lo, hi } => {
+                write!(f, "{name}: {value:.6} outside band [{lo:.6}, {hi:.6}]")
+            }
+            Violation::MissingFromRun { name } => {
+                write!(f, "{name}: tracked in baseline but absent from this run")
+            }
+            Violation::MissingFromBaseline { name } => {
+                write!(f, "{name}: reported by this run but not in the baseline (regenerate)")
+            }
+        }
+    }
+}
+
+/// Whether a tracked value is a raw counter (integer-valued) as opposed
+/// to a derived metric. Determined by position: `all_values` lists the
+/// counters first.
+fn band(name: &str, value: f64, is_counter: bool) -> (f64, f64) {
+    let _ = name;
+    let slack = if is_counter {
+        (value.abs() * REL_TOL).max(ABS_FLOOR_COUNTER)
+    } else {
+        (value.abs() * REL_TOL).max(ABS_FLOOR_DERIVED)
+    };
+    (value - slack, value + slack)
+}
+
+impl Baseline {
+    /// Snapshot a counter set with fresh tolerance bands.
+    #[must_use]
+    pub fn capture(workload: &str, cs: &CounterSet) -> Baseline {
+        let n_counters = cs.counter_values().len();
+        let entries = cs
+            .all_values()
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, value))| {
+                let (lo, hi) = band(&name, value, i < n_counters);
+                BaselineEntry { name, value, lo, hi }
+            })
+            .collect();
+        Baseline { v: 1, workload: workload.to_string(), entries }
+    }
+
+    /// Compare a fresh run against this baseline. Returns every
+    /// violation, in baseline order first, then metrics the baseline is
+    /// missing; empty means the run is within all bands.
+    #[must_use]
+    pub fn check(&self, cs: &CounterSet) -> Vec<Violation> {
+        let current = cs.all_values();
+        let mut out = Vec::new();
+        for e in &self.entries {
+            match current.iter().find(|(n, _)| *n == e.name) {
+                None => out.push(Violation::MissingFromRun { name: e.name.clone() }),
+                Some((_, v)) => {
+                    if *v < e.lo || *v > e.hi {
+                        out.push(Violation::OutOfBand {
+                            name: e.name.clone(),
+                            value: *v,
+                            lo: e.lo,
+                            hi: e.hi,
+                        });
+                    }
+                }
+            }
+        }
+        for (name, _) in current {
+            if !self.entries.iter().any(|e| e.name == name) {
+                out.push(Violation::MissingFromBaseline { name });
+            }
+        }
+        out
+    }
+
+    /// Serialize to the on-disk JSON form (deterministic).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("v", Json::U64(self.v)),
+            ("workload", Json::Str(self.workload.clone())),
+            (
+                "entries",
+                Json::arr(self.entries.iter().map(|e| {
+                    Json::obj([
+                        ("name", Json::Str(e.name.clone())),
+                        ("value", Json::F64(e.value)),
+                        ("lo", Json::F64(e.lo)),
+                        ("hi", Json::F64(e.hi)),
+                    ])
+                })),
+            ),
+        ])
+    }
+
+    /// Parse the on-disk JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed JSON, or a synthetic error
+    /// for structurally wrong documents (missing fields, wrong types).
+    pub fn from_json(text: &str) -> Result<Baseline, JsonParseError> {
+        let bad = |msg: &str| JsonParseError { message: msg.to_string(), offset: 0 };
+        let doc = Json::parse(text)?;
+        let v = doc.get("v").and_then(Json::as_u64).ok_or_else(|| bad("missing `v`"))?;
+        if v != 1 {
+            return Err(bad(&format!("unsupported baseline version {v}")));
+        }
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `workload`"))?
+            .to_string();
+        let mut entries = Vec::new();
+        for e in
+            doc.get("entries").and_then(Json::as_arr).ok_or_else(|| bad("missing `entries`"))?
+        {
+            let field = |k: &str| {
+                e.get(k).and_then(Json::as_f64).ok_or_else(|| bad(&format!("entry missing `{k}`")))
+            };
+            entries.push(BaselineEntry {
+                name: e
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("entry missing `name`"))?
+                    .to_string(),
+                value: field("value")?,
+                lo: field("lo")?,
+                hi: field("hi")?,
+            });
+        }
+        Ok(Baseline { v, workload, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpstream_machine::{MemStats, PhaseCycles};
+
+    fn sample_set() -> CounterSet {
+        CounterSet {
+            cycles: 100_000,
+            ctx_cycles: [100_000, 80_000],
+            mem: MemStats {
+                l1_accesses: 10_000,
+                l1_hits: 9_000,
+                l1_misses: 1_000,
+                l2_accesses: 1_000,
+                l2_hits: 600,
+                l2_misses: 400,
+                bus_busy_cycles: 25_000,
+                bus_bytes: 512_000,
+                ..MemStats::default()
+            },
+            phases: [PhaseCycles::default(); 2],
+        }
+    }
+
+    #[test]
+    fn capture_then_check_is_clean() {
+        let cs = sample_set();
+        let base = Baseline::capture("unit", &cs);
+        assert!(base.check(&cs).is_empty());
+    }
+
+    #[test]
+    fn out_of_band_is_flagged() {
+        let cs = sample_set();
+        let base = Baseline::capture("unit", &cs);
+        let mut worse = cs;
+        worse.mem.l1_misses = 2_000; // +100%, way past the 2% band
+        let violations = base.check(&worse);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutOfBand { name, .. } if name == "l1_misses")));
+        // The derived l1_miss_rate moved too.
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutOfBand { name, .. } if name == "l1_miss_rate")));
+    }
+
+    #[test]
+    fn small_counters_get_the_absolute_floor() {
+        let mut cs = sample_set();
+        cs.mem.wc_flushes = 2;
+        let base = Baseline::capture("unit", &cs);
+        let mut jitter = cs;
+        jitter.mem.wc_flushes = 10; // within the ±16 floor
+        assert!(base.check(&jitter).is_empty());
+    }
+
+    #[test]
+    fn schema_drift_is_flagged_both_ways() {
+        let cs = sample_set();
+        let mut base = Baseline::capture("unit", &cs);
+        base.entries.retain(|e| e.name != "cycles");
+        base.entries.push(BaselineEntry {
+            name: "retired_unicorns".to_string(),
+            value: 1.0,
+            lo: 0.0,
+            hi: 2.0,
+        });
+        let violations = base.check(&cs);
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::MissingFromRun { name } if name == "retired_unicorns")
+        ));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingFromBaseline { name } if name == "cycles")));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let base = Baseline::capture("unit", &sample_set());
+        let text = base.to_json().to_string();
+        let back = Baseline::from_json(&text).unwrap();
+        assert_eq!(back, base);
+        assert!(Baseline::from_json("{\"v\":2,\"workload\":\"x\",\"entries\":[]}").is_err());
+    }
+}

@@ -1,0 +1,261 @@
+//! Report rendering: `perf stat`-style text, deterministic JSON, the
+//! interval-sample CSV time-series, and the native executor's
+//! wall-clock parity report.
+//!
+//! Every renderer in this module except [`native_profile_text`] is a
+//! pure function of its inputs, with fixed-width float formatting, so
+//! two runs of the same workload produce byte-identical output.
+
+use crate::counters::{mem_stats_json, CounterSet};
+use crate::topdown::{self, TopNode};
+use gpstream_core::exec::native::TaskTime;
+use gpstream_core::exec::sim::SimProfile;
+use gpstream_core::task::{ScheduledProgram, TaskKind};
+use gpstream_core::StreamGraph;
+use gpstream_machine::{CounterSample, MemStats};
+use gpstream_util::Json;
+use std::fmt::Write as _;
+
+fn thousands(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Render the counter set as a `perf stat`-style report: raw counters
+/// first (thousands-separated, right-aligned), then the derived
+/// metrics (fixed six-decimal format).
+#[must_use]
+pub fn perf_stat_text(name: &str, cs: &CounterSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, " Performance counter stats for '{name}':");
+    out.push('\n');
+    for (counter, v) in cs.counter_values() {
+        let _ = writeln!(out, "{:>18}  {}", thousands(v), counter);
+    }
+    out.push('\n');
+    for d in cs.derived() {
+        let _ = writeln!(out, "{:>18.6}  {}", d.value, d.name);
+    }
+    out
+}
+
+/// The full profile as one deterministic JSON document (schema `v: 1`):
+/// counters, derived metrics, the top-down tree, per-task attribution
+/// and the interval sample time-series.
+#[must_use]
+pub fn profile_json(workload: &str, cs: &CounterSet, tree: &TopNode, prof: &SimProfile) -> Json {
+    let phases = Json::arr(cs.phases.iter().map(|p| {
+        Json::obj([
+            ("compute", Json::U64(p.compute)),
+            ("memory", Json::U64(p.memory)),
+            ("idle_wait", Json::U64(p.idle_wait)),
+            ("dispatch", Json::U64(p.dispatch)),
+        ])
+    }));
+    let derived = Json::obj(cs.derived().into_iter().map(|d| (d.name, Json::F64(d.value))));
+    let tasks = Json::arr(prof.tasks.iter().map(|t| {
+        Json::obj([
+            ("task", Json::U64(u64::from(t.task.0))),
+            ("ctx", Json::U64(u64::from(t.ctx))),
+            ("cycles", Json::U64(t.cycles)),
+            ("counters", mem_stats_json(&t.stats)),
+        ])
+    }));
+    let samples = Json::obj([
+        ("interval", Json::U64(prof.interval)),
+        (
+            "points",
+            Json::arr(prof.samples.iter().map(|s| {
+                Json::obj([("t", Json::U64(s.t)), ("counters", mem_stats_json(&s.stats))])
+            })),
+        ),
+    ]);
+    Json::obj([
+        ("v", Json::U64(1)),
+        ("workload", Json::from(workload)),
+        ("cycles", Json::U64(cs.cycles)),
+        ("ctx_cycles", Json::arr(cs.ctx_cycles.map(Json::U64))),
+        ("phases", phases),
+        ("counters", mem_stats_json(&cs.mem)),
+        ("derived", derived),
+        ("topdown", topdown::to_json(tree)),
+        ("tasks", tasks),
+        ("samples", samples),
+    ])
+}
+
+/// Render the cumulative counter samples as a CSV time-series of
+/// **per-interval deltas**: one row per sample with the cycle stamp,
+/// the delta of every registry counter since the previous sample, and
+/// the interval's bus occupancy. Deltas sum to the run totals because
+/// the sampler always emits a final end-of-run sample.
+#[must_use]
+pub fn samples_csv(samples: &[CounterSample]) -> String {
+    let mut out = String::from("t");
+    for (name, _) in MemStats::default().fields() {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push_str(",interval_bus_occupancy\n");
+    let mut prev_t = 0u64;
+    let mut prev = MemStats::default();
+    for s in samples {
+        let d = s.stats.delta(&prev);
+        let _ = write!(out, "{}", s.t);
+        for (_, v) in d.fields() {
+            let _ = write!(out, ",{v}");
+        }
+        let dt = s.t.saturating_sub(prev_t);
+        let occ = if dt == 0 { 0.0 } else { d.bus_busy_cycles as f64 / dt as f64 };
+        let _ = writeln!(out, ",{occ:.6}");
+        prev_t = s.t;
+        prev = s.stats;
+    }
+    out
+}
+
+/// Wall-clock parity report for the native executor: the same
+/// class-grouped shape as the simulated top-down tree, but leaves carry
+/// min/median/max nanoseconds of each task's body over the repeated
+/// runs. Wall-clock times are *not* deterministic — this report exists
+/// to eyeball that the native executor's hot spots line up with the
+/// simulator's attribution.
+///
+/// # Panics
+///
+/// Panics if `runs` is empty or references task ids outside `program`.
+#[must_use]
+pub fn native_profile_text(
+    name: &str,
+    program: &ScheduledProgram,
+    graph: &StreamGraph,
+    runs: &[Vec<TaskTime>],
+) -> String {
+    assert!(!runs.is_empty(), "need at least one timed run");
+    // ns samples per task id across repeats (a task appears once per run).
+    let mut per_task: Vec<Vec<u64>> = vec![Vec::new(); program.tasks.len()];
+    for run in runs {
+        for t in run {
+            per_task[t.task.0 as usize].push(t.ns);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, " Native task timing for '{name}' ({} runs):", runs.len());
+    out.push('\n');
+    let _ = writeln!(out, "{:>12} {:>12} {:>12}  task", "min ns", "median ns", "max ns");
+    let mut current_class = String::new();
+    for task in &program.tasks {
+        let mut ns = per_task[task.id.0 as usize].clone();
+        if ns.is_empty() {
+            continue;
+        }
+        ns.sort_unstable();
+        let (class, label) = class_and_label(&task.kind, graph);
+        if class != current_class {
+            let _ = writeln!(out, "{:>12} {:>12} {:>12}  {}", "", "", "", class);
+            current_class = class;
+        }
+        let _ = writeln!(
+            out,
+            "{:>12} {:>12} {:>12}    {} #{}",
+            thousands(ns[0]),
+            thousands(ns[ns.len() / 2]),
+            thousands(ns[ns.len() - 1]),
+            label,
+            task.id.0
+        );
+    }
+    out
+}
+
+fn class_and_label(kind: &TaskKind, graph: &StreamGraph) -> (String, String) {
+    match kind {
+        TaskKind::Gather { binding, .. } => {
+            ("gather".to_string(), format!("gather s{} [{:?})", binding.stream.0, binding.elems))
+        }
+        TaskKind::Scatter { binding, .. } => {
+            ("scatter".to_string(), format!("scatter s{} [{:?})", binding.stream.0, binding.elems))
+        }
+        TaskKind::Kernel { kernel, items, .. } => (
+            format!("kernel k{} {}", kernel.0, graph.kernel(*kernel).name),
+            format!("kernel k{} [{:?})", kernel.0, items),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpstream_machine::PhaseCycles;
+
+    fn sample_set() -> CounterSet {
+        CounterSet {
+            cycles: 1000,
+            ctx_cycles: [1000, 800],
+            mem: MemStats {
+                l1_accesses: 100,
+                l1_hits: 90,
+                l1_misses: 10,
+                bus_busy_cycles: 250,
+                bus_bytes: 512,
+                ..MemStats::default()
+            },
+            phases: [PhaseCycles::default(); 2],
+        }
+    }
+
+    #[test]
+    fn perf_stat_lists_every_counter_and_metric() {
+        let cs = sample_set();
+        let text = perf_stat_text("unit", &cs);
+        for (name, _) in cs.counter_values() {
+            assert!(text.contains(&name), "missing counter {name}");
+        }
+        for d in cs.derived() {
+            assert!(text.contains(d.name), "missing metric {}", d.name);
+        }
+        assert!(text.contains("1,000  cycles"));
+    }
+
+    #[test]
+    fn samples_csv_deltas_sum_to_totals() {
+        let mk = |t, l1, bus| CounterSample {
+            t,
+            stats: MemStats { l1_accesses: l1, bus_busy_cycles: bus, ..MemStats::default() },
+        };
+        let samples = [mk(100, 40, 25), mk(200, 90, 60), mk(250, 100, 70)];
+        let csv = samples_csv(&samples);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("t,l1_accesses,"));
+        assert!(header.ends_with(",interval_bus_occupancy"));
+        let col = header.split(',').position(|c| c == "l1_accesses").unwrap();
+        let total: u64 =
+            lines.clone().map(|l| l.split(',').nth(col).unwrap().parse::<u64>().unwrap()).sum();
+        assert_eq!(total, 100, "per-interval deltas must sum to the final cumulative value");
+        // First interval: 25 busy cycles over 100 cycles.
+        assert!(lines.next().unwrap().ends_with("0.250000"));
+    }
+
+    #[test]
+    fn profile_json_is_deterministic_and_parses() {
+        let cs = sample_set();
+        let tree =
+            TopNode { name: "unit".into(), self_cycles: 0, total_cycles: 0, children: vec![] };
+        let prof = SimProfile { interval: 100, tasks: vec![], samples: vec![] };
+        let a = profile_json("unit", &cs, &tree, &prof).to_string();
+        let b = profile_json("unit", &cs, &tree, &prof).to_string();
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).unwrap();
+        assert_eq!(parsed.get("v").unwrap().as_u64(), Some(1));
+        assert_eq!(parsed.get("cycles").unwrap().as_u64(), Some(1000));
+        assert!(parsed.get("derived").unwrap().get("l1_miss_rate").is_some());
+    }
+}

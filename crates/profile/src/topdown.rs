@@ -1,0 +1,296 @@
+//! Top-down cycle accounting: run → context → op class → task.
+//!
+//! Built from the sim executor's per-task attribution
+//! ([`SimProfile`]): every leaf is one task, classes group tasks by
+//! what they do (gathers, scatters, one class per kernel), contexts add
+//! pseudo-leaves for dispatch and idle-wait cycles that no task owns,
+//! and the root totals *context*-cycles — two contexts running
+//! concurrently account up to 2× the wall clock, like CPU time vs wall
+//! time in a thread profiler.
+//!
+//! The tree renders as a self/total text table and exports in
+//! collapsed-stack format (`path;to;frame self_cycles` lines), which
+//! flamegraph tooling consumes directly.
+
+use gpstream_core::exec::sim::SimProfile;
+use gpstream_core::task::{ScheduledProgram, TaskKind};
+use gpstream_core::StreamGraph;
+
+/// One node of the top-down tree. Invariant:
+/// `total == self_cycles + Σ children.total`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopNode {
+    /// Display name of this frame.
+    pub name: String,
+    /// Cycles attributed to this frame itself.
+    pub self_cycles: u64,
+    /// Cycles of this frame and everything below it.
+    pub total_cycles: u64,
+    /// Child frames, heaviest first.
+    pub children: Vec<TopNode>,
+}
+
+impl TopNode {
+    fn leaf(name: String, cycles: u64) -> TopNode {
+        TopNode { name, self_cycles: cycles, total_cycles: cycles, children: Vec::new() }
+    }
+}
+
+/// Class key and display label for one task (the label matches the
+/// trace exporter's naming so profiles and traces cross-reference).
+fn task_class_and_label(kind: &TaskKind, graph: &StreamGraph) -> (String, String) {
+    match kind {
+        TaskKind::Gather { binding, .. } => {
+            ("gather".to_string(), format!("gather s{} [{:?})", binding.stream.0, binding.elems))
+        }
+        TaskKind::Scatter { binding, .. } => {
+            ("scatter".to_string(), format!("scatter s{} [{:?})", binding.stream.0, binding.elems))
+        }
+        TaskKind::Kernel { kernel, items, .. } => (
+            format!("kernel k{} {}", kernel.0, graph.kernel(*kernel).name),
+            format!("kernel k{} [{:?})", kernel.0, items),
+        ),
+    }
+}
+
+/// Build the top-down tree for one profiled run.
+///
+/// # Panics
+///
+/// Panics if the profile references a task id outside the program (the
+/// profile must come from running this program).
+#[must_use]
+pub fn topdown(
+    run_name: &str,
+    program: &ScheduledProgram,
+    graph: &StreamGraph,
+    prof: &SimProfile,
+    ctx_cycles: [u64; 2],
+    phases: [gpstream_machine::PhaseCycles; 2],
+) -> TopNode {
+    const CTX_NAMES: [&str; 2] = ["ctx0 compute", "ctx1 memory"];
+    let mut ctx_nodes: Vec<TopNode> = Vec::new();
+    for c in 0..2u8 {
+        // Group this context's tasks by class, preserving first-seen
+        // order inside a class (task id order — the profile is sorted).
+        let mut classes: Vec<(String, Vec<TopNode>)> = Vec::new();
+        for tp in prof.tasks.iter().filter(|tp| tp.ctx == c) {
+            let task = &program.tasks[tp.task.0 as usize];
+            let (class, label) = task_class_and_label(&task.kind, graph);
+            let leaf = TopNode::leaf(format!("{label} #{}", tp.task.0), tp.cycles);
+            match classes.iter_mut().find(|(k, _)| *k == class) {
+                Some((_, leaves)) => leaves.push(leaf),
+                None => classes.push((class, vec![leaf])),
+            }
+        }
+        let mut children: Vec<TopNode> = classes
+            .into_iter()
+            .map(|(class, leaves)| {
+                let total = leaves.iter().map(|l| l.total_cycles).sum();
+                TopNode { name: class, self_cycles: 0, total_cycles: total, children: leaves }
+            })
+            .collect();
+        let p = phases[c as usize];
+        if p.dispatch > 0 {
+            children.push(TopNode::leaf("(dispatch)".to_string(), p.dispatch));
+        }
+        if p.idle_wait > 0 {
+            children.push(TopNode::leaf("(idle wait)".to_string(), p.idle_wait));
+        }
+        children.sort_by(|a, b| b.total_cycles.cmp(&a.total_cycles).then(a.name.cmp(&b.name)));
+        let attributed: u64 = children.iter().map(|ch| ch.total_cycles).sum();
+        let ctx_total = ctx_cycles[c as usize];
+        ctx_nodes.push(TopNode {
+            name: CTX_NAMES[c as usize].to_string(),
+            // Chunk-boundary remainder no task owns.
+            self_cycles: ctx_total.saturating_sub(attributed),
+            total_cycles: ctx_total.max(attributed),
+            children,
+        });
+    }
+    ctx_nodes.retain(|n| n.total_cycles > 0 || !n.children.is_empty());
+    let total = ctx_nodes.iter().map(|n| n.total_cycles).sum();
+    TopNode { name: run_name.to_string(), self_cycles: 0, total_cycles: total, children: ctx_nodes }
+}
+
+/// Render the tree as a self/total table, one line per frame:
+///
+/// ```text
+///        total       self  frame
+///    1,234,567          0  ldstcomp
+///      800,000     12,345    ctx1 memory
+/// ```
+#[must_use]
+pub fn render(root: &TopNode) -> String {
+    fn thousands(v: u64) -> String {
+        let digits = v.to_string();
+        let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+        for (i, ch) in digits.chars().enumerate() {
+            if i > 0 && (digits.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(ch);
+        }
+        out
+    }
+    fn walk(n: &TopNode, depth: usize, grand_total: u64, out: &mut String) {
+        let pct =
+            if grand_total == 0 { 0.0 } else { 100.0 * n.total_cycles as f64 / grand_total as f64 };
+        out.push_str(&format!(
+            "{:>14} {:>12} {:>6.1}%  {:indent$}{}\n",
+            thousands(n.total_cycles),
+            thousands(n.self_cycles),
+            pct,
+            "",
+            n.name,
+            indent = depth * 2
+        ));
+        for ch in &n.children {
+            walk(ch, depth + 1, grand_total, out);
+        }
+    }
+    let mut out = String::from("         total         self   share  frame\n");
+    walk(root, 0, root.total_cycles, &mut out);
+    out
+}
+
+/// Export the tree in collapsed-stack format: one
+/// `frame;frame;frame self_cycles` line per frame with non-zero self
+/// cycles, ready for flamegraph tooling (`flamegraph.pl`, speedscope,
+/// inferno).
+#[must_use]
+pub fn collapsed(root: &TopNode) -> String {
+    fn walk(n: &TopNode, path: &str, out: &mut String) {
+        let here = if path.is_empty() { n.name.clone() } else { format!("{path};{}", n.name) };
+        if n.self_cycles > 0 {
+            out.push_str(&format!("{here} {}\n", n.self_cycles));
+        }
+        for ch in &n.children {
+            walk(ch, &here, out);
+        }
+    }
+    let mut out = String::new();
+    walk(root, "", &mut out);
+    out
+}
+
+/// The tree as deterministic JSON (`{name, self, total, children}`).
+#[must_use]
+pub fn to_json(n: &TopNode) -> gpstream_util::Json {
+    use gpstream_util::Json;
+    Json::obj([
+        ("name", Json::Str(n.name.clone())),
+        ("self", Json::U64(n.self_cycles)),
+        ("total", Json::U64(n.total_cycles)),
+        ("children", Json::arr(n.children.iter().map(to_json))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpstream_core::exec::sim::TaskProfile;
+    use gpstream_core::graph::StreamId;
+    use gpstream_core::task::{PortBinding, TaskDesc, TaskId};
+    use gpstream_machine::{MemStats, PhaseCycles};
+
+    fn tiny_program() -> (ScheduledProgram, StreamGraph) {
+        let graph = StreamGraph::from_parts(vec![], vec![]).unwrap();
+        let program = ScheduledProgram {
+            tasks: vec![
+                TaskDesc {
+                    id: TaskId(0),
+                    kind: TaskKind::Gather {
+                        binding: PortBinding {
+                            stream: StreamId(0),
+                            srf_offset: 0,
+                            elems: 0..8,
+                            elem_bytes: 4,
+                        },
+                        nt: false,
+                    },
+                    deps: vec![],
+                    strip: 0,
+                },
+                TaskDesc {
+                    id: TaskId(1),
+                    kind: TaskKind::Scatter {
+                        binding: PortBinding {
+                            stream: StreamId(1),
+                            srf_offset: 32,
+                            elems: 0..8,
+                            elem_bytes: 4,
+                        },
+                        nt: true,
+                    },
+                    deps: vec![TaskId(0)],
+                    strip: 0,
+                },
+            ],
+            srf_bytes: 64,
+            n_strips: 1,
+            strip_items: 8,
+        };
+        (program, graph)
+    }
+
+    fn tiny_profile() -> SimProfile {
+        SimProfile {
+            interval: 100,
+            tasks: vec![
+                TaskProfile { task: TaskId(0), ctx: 1, cycles: 300, stats: MemStats::default() },
+                TaskProfile { task: TaskId(1), ctx: 1, cycles: 500, stats: MemStats::default() },
+            ],
+            samples: vec![],
+        }
+    }
+
+    #[test]
+    fn tree_self_plus_children_equals_total() {
+        let (program, graph) = tiny_program();
+        let phases = [
+            PhaseCycles::default(),
+            PhaseCycles { compute: 0, memory: 800, idle_wait: 100, dispatch: 50 },
+        ];
+        let root = topdown("unit", &program, &graph, &tiny_profile(), [0, 1000], phases);
+        fn check(n: &TopNode) {
+            let kids: u64 = n.children.iter().map(|c| c.total_cycles).sum();
+            assert_eq!(n.total_cycles, n.self_cycles + kids, "node {}", n.name);
+            n.children.iter().for_each(check);
+        }
+        check(&root);
+        assert_eq!(root.total_cycles, 1000, "root totals context-cycles");
+        // ctx1: tasks 800 + dispatch 50 + idle 100 = 950; self = 50.
+        let ctx1 = &root.children[0];
+        assert_eq!(ctx1.self_cycles, 50);
+    }
+
+    #[test]
+    fn collapsed_stack_lines_carry_full_paths() {
+        let (program, graph) = tiny_program();
+        let phases = [PhaseCycles::default(); 2];
+        let root = topdown("unit", &program, &graph, &tiny_profile(), [0, 800], phases);
+        let folded = collapsed(&root);
+        assert!(
+            folded.contains("unit;ctx1 memory;gather;gather s0 [0..8) #0 300"),
+            "missing gather leaf: {folded}"
+        );
+        assert!(folded.contains("unit;ctx1 memory;scatter;scatter s1 [0..8) #1 500"));
+        // Folded self values sum to the tree total.
+        let sum: u64 =
+            folded.lines().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+        assert_eq!(sum, root.total_cycles);
+    }
+
+    #[test]
+    fn render_is_aligned_and_deterministic() {
+        let (program, graph) = tiny_program();
+        let phases = [PhaseCycles::default(); 2];
+        let root = topdown("unit", &program, &graph, &tiny_profile(), [0, 800], phases);
+        let a = render(&root);
+        let b = render(&root);
+        assert_eq!(a, b);
+        assert!(a.contains("frame"));
+        assert!(a.contains("100.0%"), "root share: {a}");
+    }
+}

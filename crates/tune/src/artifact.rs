@@ -29,6 +29,10 @@ pub fn artifact_json(outcome: &TuneOutcome) -> Json {
         ("baseline", outcome.baseline.to_json()),
         ("best_cycles", Json::U64(outcome.best_cycles)),
         ("best", outcome.best.to_json()),
+        (
+            "winner_counters",
+            Json::obj(outcome.winner_profile.iter().map(|(n, v)| (n.clone(), Json::F64(*v)))),
+        ),
     ])
 }
 
@@ -88,6 +92,10 @@ mod tests {
             machine_fp: 0x0bad_cafe,
             budget: 8,
             seed: 42,
+            winner_profile: vec![
+                ("cycles".to_string(), 1500.0),
+                ("l1_miss_rate".to_string(), 0.25),
+            ],
         }
     }
 

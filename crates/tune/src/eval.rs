@@ -71,6 +71,36 @@ pub fn evaluate(
     Evaluated::Cycles(report.timing.cycles)
 }
 
+/// Full counter profile of one accepted point: compile and simulate it
+/// once more and collect every tracked counter and derived metric. Used
+/// to record the winner's profile in the tuning artifact. Deterministic
+/// for a fixed workload and point.
+///
+/// # Panics
+///
+/// Panics if the point fails to compile or breaks the oracle — callers
+/// profile points that already evaluated cleanly during the search.
+#[must_use]
+pub fn counter_profile(
+    wl: &Workload,
+    base_copts: &CompilerOptions,
+    base_mcfg: &MachineConfig,
+    point: &TunedConfig,
+) -> Vec<(String, f64)> {
+    let copts = base_copts.apply_tuned(point);
+    let compiled =
+        gpstream_compiler::compile(&wl.graph, &copts).expect("profiled point compiled before");
+    let mut world = wl.world.clone();
+    let report = SimExecutor::new()
+        .with_machine(base_mcfg.clone())
+        .with_srf(copts.srf)
+        .with_warmup(wl.warmup)
+        .with_tuned(point)
+        .run(&compiled.schedule, &compiled.graph, &mut world);
+    assert!(wl.matches_oracle(&world), "profiled point must reproduce the oracle");
+    gpstream_profile::CounterSet::from(&report.timing).all_values()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -109,6 +109,13 @@ pub struct TuneOutcome {
     pub budget: usize,
     /// Sampling seed the run was given.
     pub seed: u64,
+    /// Full counter profile of the winning configuration (every tracked
+    /// value from [`gpstream_profile::CounterSet::all_values`]), recorded
+    /// so the artifact explains *why* the winner won — lower miss rate,
+    /// better overlap — not just by how many cycles. Obtained from one
+    /// extra (deterministic) simulator run of the winner; this reporting
+    /// run is not counted in `sim_runs`, which tracks search evaluations.
+    pub winner_profile: Vec<(String, f64)>,
 }
 
 impl TuneOutcome {
@@ -316,6 +323,8 @@ impl Tuner {
 
         let (best, best_cycles) = run.best().expect("baseline guarantees a valid point");
         let rejected = run.results.iter().filter(|(_, c)| c.is_none()).count();
+        let winner_profile =
+            crate::eval::counter_profile(wl, &self.base_copts, &self.base_mcfg, &best);
         TuneOutcome {
             workload: wl.name.clone(),
             strategy,
@@ -331,6 +340,7 @@ impl Tuner {
             machine_fp: run.machine_fp,
             budget: self.budget,
             seed: self.seed,
+            winner_profile,
         }
     }
 

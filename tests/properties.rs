@@ -8,6 +8,7 @@ use gpstream::compiler::passes::strip::{choose_strip_items, max_items, srf_bytes
 use gpstream::compiler::{compile, CompilerOptions};
 use gpstream::core::exec::functional::FunctionalExecutor;
 use gpstream::core::exec::native::{NativeExecutor, NativeWaitPolicy};
+use gpstream::core::exec::sim::{SimExecutor, SimReport};
 use gpstream::core::pod::{cast_slice, AlignedBytes};
 use gpstream::core::srf::{SrfAllocator, SrfConfig};
 use gpstream::core::task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};
@@ -16,6 +17,8 @@ use gpstream::core::GraphBuilder;
 use gpstream::machine::cache::{Cache, FillPolicy};
 use gpstream::machine::tlb::Tlb;
 use gpstream::machine::CacheGeometry;
+use gpstream::microbench::kernels;
+use gpstream_profile::{report, topdown, CounterSet};
 use gpstream_util::check::{run_cases, DEFAULT_CASES};
 use gpstream_util::Rng64;
 use std::collections::{HashMap, HashSet};
@@ -529,6 +532,151 @@ fn srf_allocator_disjoint() {
                 Err(e) => assert_eq!(e.requested, s),
             }
         }
+    });
+}
+
+/// Compile a random micro-benchmark and run it under the simulating
+/// executor with full profiling at a random sampling interval.
+fn profiled_micro_run(rng: &mut Rng64) -> SimReport {
+    let n = rng.range_usize_inclusive(128, 1024);
+    let comp = rng.range_usize_inclusive(1, 4);
+    let mb = match rng.below(3) {
+        0 => kernels::ld_st_comp(n, comp),
+        1 => kernels::gat_scat_comp(n, comp),
+        _ => kernels::prod_con(n, comp),
+    };
+    let copts = CompilerOptions::paper();
+    let compiled = compile(&mb.graph, &copts).unwrap();
+    let mut world = mb.stream_world.clone();
+    SimExecutor::new()
+        .with_srf(copts.srf)
+        .with_profile(true)
+        .with_sample_interval(rng.range_u64(256, 65_536))
+        .run(&compiled.schedule, &compiled.graph, &mut world)
+}
+
+/// Counter conservation: hits and misses partition accesses at both
+/// cache levels, prefetch coverage never exceeds the misses it could
+/// cover, the bus is never busy for more cycles than the run lasts, and
+/// both per-task attribution and interval-sample deltas account exactly
+/// for the run totals.
+#[test]
+fn profiling_counters_are_conserved() {
+    run_cases("profiling_counters_are_conserved", 0xc0117e5, 16, |rng| {
+        let r = profiled_micro_run(rng);
+        let m = &r.timing.mem;
+        assert_eq!(m.l1_hits + m.l1_misses, m.l1_accesses, "L1 hits+misses != accesses");
+        assert_eq!(m.l2_hits + m.l2_misses, m.l2_accesses, "L2 hits+misses != accesses");
+        assert!(
+            m.hw_prefetch_covered + m.sw_prefetch_covered <= m.l2_misses,
+            "prefetch covered more L2 misses than occurred"
+        );
+        assert!(m.bus_busy_cycles <= r.timing.cycles, "bus busy beyond end of run");
+        assert!(
+            r.timing.cycles >= r.timing.ctx_cycles[0].max(r.timing.ctx_cycles[1]),
+            "run ended before a context retired"
+        );
+
+        let prof = r.profile.as_ref().expect("profiling was enabled");
+        // Per-task attribution accounts for the totals: exactly for the
+        // in-core counters (every increment happens inside a stepped op),
+        // and bounded for the bus counters (the final drain after the
+        // last op has no owning task).
+        let mut summed = gpstream::machine::MemStats::default();
+        for t in &prof.tasks {
+            summed.accumulate(&t.stats);
+        }
+        for ((name, total), (_, attributed)) in m.fields().iter().zip(summed.fields()) {
+            if name.starts_with("bus_") {
+                assert!(attributed <= *total, "{name}: attributed {attributed} > total {total}");
+            } else {
+                assert_eq!(attributed, *total, "{name}: attribution must be exact");
+            }
+        }
+        let task_cycles: u64 = prof.tasks.iter().map(|t| t.cycles).sum();
+        assert!(
+            task_cycles <= r.timing.ctx_cycles[0] + r.timing.ctx_cycles[1],
+            "attributed more cycles than the contexts ran"
+        );
+
+        // Samples are cumulative and monotone, and the final sample
+        // equals the run totals — so interval deltas sum to the totals.
+        for w in prof.samples.windows(2) {
+            assert!(w[0].t < w[1].t, "sample timestamps must increase");
+            for ((name, a), (_, b)) in w[0].stats.fields().iter().zip(w[1].stats.fields()) {
+                assert!(a <= &b, "{name} decreased between samples");
+            }
+        }
+        let last = prof.samples.last().expect("at least the end-of-run sample");
+        assert_eq!(last.t, r.timing.cycles, "final sample must land on end of run");
+        assert_eq!(&last.stats, m, "final sample must equal the run totals");
+    });
+}
+
+/// Every rendered profiler artifact is byte-deterministic: profiling the
+/// same workload twice yields identical reports, trees, folded stacks,
+/// sample CSVs and JSON documents.
+#[test]
+fn profile_reports_are_byte_deterministic() {
+    run_cases("profile_reports_are_byte_deterministic", 0xb17e5, 8, |rng| {
+        let seed = rng.next_u64();
+        let render = |seed: u64| {
+            let mut r = Rng64::seed_from_u64(seed);
+            let report = profiled_micro_run(&mut r);
+            let prof = report.profile.as_ref().unwrap();
+            let cs = CounterSet::from(&report.timing);
+            // The tree only needs task kinds; reuse any graph with the
+            // kernel ids of the program — rebuild the same micro.
+            (
+                report::perf_stat_text("prop", &cs),
+                report::samples_csv(&prof.samples),
+                cs.all_values(),
+            )
+        };
+        let (a1, a2, a3) = render(seed);
+        let (b1, b2, b3) = render(seed);
+        assert_eq!(a1, b1, "perf-stat text must be byte-identical");
+        assert_eq!(a2, b2, "samples CSV must be byte-identical");
+        assert_eq!(a3, b3, "tracked values must be identical");
+    });
+}
+
+/// The top-down tree built from a real profiled run keeps its structural
+/// invariant (`total == self + Σ children.total` at every node) and its
+/// collapsed-stack export's self times sum to the root total.
+#[test]
+fn topdown_tree_invariants_hold_on_real_runs() {
+    run_cases("topdown_tree_invariants", 0x70bd0, 8, |rng| {
+        let n = rng.range_usize_inclusive(128, 1024);
+        let comp = rng.range_usize_inclusive(1, 4);
+        let mb = kernels::gat_scat_comp(n, comp);
+        let copts = CompilerOptions::paper();
+        let compiled = compile(&mb.graph, &copts).unwrap();
+        let mut world = mb.stream_world.clone();
+        let r = SimExecutor::new().with_srf(copts.srf).with_profile(true).run(
+            &compiled.schedule,
+            &compiled.graph,
+            &mut world,
+        );
+        let prof = r.profile.as_ref().unwrap();
+        let tree = topdown::topdown(
+            "prop",
+            &compiled.schedule,
+            &compiled.graph,
+            prof,
+            r.timing.ctx_cycles,
+            r.timing.phases,
+        );
+        fn check(n: &gpstream_profile::TopNode) {
+            let kids: u64 = n.children.iter().map(|c| c.total_cycles).sum();
+            assert_eq!(n.total_cycles, n.self_cycles + kids, "node `{}` breaks total", n.name);
+            n.children.iter().for_each(check);
+        }
+        check(&tree);
+        let folded = topdown::collapsed(&tree);
+        let folded_sum: u64 =
+            folded.lines().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+        assert_eq!(folded_sum, tree.total_cycles, "folded self times must sum to the root");
     });
 }
 

@@ -1,0 +1,156 @@
+//! `figures diff`: compare two artifacts (baseline, profile or
+//! analysis JSON) metric by metric, with tolerance-band awareness and a
+//! structural critical-path diff when both sides carry one.
+
+use gpstream_profile::artifact::{Artifact, PathTask};
+use gpstream_util::render::thousands;
+use std::fmt::Write as _;
+
+/// One metric compared across the two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// Value in artifact A (`None` when A doesn't track it).
+    pub a: Option<f64>,
+    /// Value in artifact B (`None` when B doesn't track it).
+    pub b: Option<f64>,
+    /// `b − a` when both sides have the metric.
+    pub delta: Option<f64>,
+    /// Whether B falls inside A's tolerance band (A's stored band, or
+    /// the default band around A's value). `None` when either side is
+    /// missing.
+    pub within_band: bool,
+}
+
+/// Structural critical-path comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathDiff {
+    /// Tasks on B's path but not A's (they *entered* the path).
+    pub entered: Vec<PathTask>,
+    /// Tasks on A's path but not B's (they *left* the path).
+    pub left: Vec<PathTask>,
+    /// Number of tasks on both paths.
+    pub common: usize,
+}
+
+/// The full comparison of two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// A-side description (`workload (kind)`).
+    pub a: String,
+    /// B-side description.
+    pub b: String,
+    /// Every metric either side tracks, in A's order then B-only ones.
+    pub metrics: Vec<MetricDelta>,
+    /// Critical-path diff, when both artifacts carry a path.
+    pub path: Option<PathDiff>,
+}
+
+impl DiffReport {
+    /// Metrics where B left A's tolerance band.
+    #[must_use]
+    pub fn out_of_band(&self) -> Vec<&MetricDelta> {
+        self.metrics.iter().filter(|m| !m.within_band).collect()
+    }
+}
+
+/// Compare two parsed artifacts.
+#[must_use]
+pub fn diff(a: &Artifact, b: &Artifact) -> DiffReport {
+    let mut metrics = Vec::new();
+    for ma in &a.metrics {
+        let mb = b.metric(&ma.name);
+        let (lo, hi) = ma.effective_band();
+        metrics.push(MetricDelta {
+            name: ma.name.clone(),
+            a: Some(ma.value),
+            b: mb.map(|m| m.value),
+            delta: mb.map(|m| m.value - ma.value),
+            within_band: mb.is_some_and(|m| m.value >= lo && m.value <= hi),
+        });
+    }
+    for mb in &b.metrics {
+        if a.metric(&mb.name).is_none() {
+            metrics.push(MetricDelta {
+                name: mb.name.clone(),
+                a: None,
+                b: Some(mb.value),
+                delta: None,
+                within_band: false,
+            });
+        }
+    }
+    let path = match (&a.critical_path, &b.critical_path) {
+        (Some(pa), Some(pb)) => {
+            let on = |p: &[PathTask], t: u64| p.iter().any(|x| x.task == t);
+            let entered = pb.iter().filter(|x| !on(pa, x.task)).cloned().collect::<Vec<_>>();
+            let left = pa.iter().filter(|x| !on(pb, x.task)).cloned().collect::<Vec<_>>();
+            let common = pa.iter().filter(|x| on(pb, x.task)).count();
+            Some(PathDiff { entered, left, common })
+        }
+        _ => None,
+    };
+    DiffReport {
+        a: format!("{} ({})", a.workload, a.kind.name()),
+        b: format!("{} ({})", b.workload, b.kind.name()),
+        metrics,
+        path,
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e18 {
+        thousands(v.abs() as u64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// Render a diff as a text report. Within-band metrics print compactly;
+/// out-of-band and one-sided metrics are flagged.
+#[must_use]
+pub fn render(r: &DiffReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, " diff: A = {}   B = {}", r.a, r.b);
+    out.push('\n');
+    let _ = writeln!(out, "{:>16} {:>16} {:>14}  metric", "A", "B", "delta");
+    for m in &r.metrics {
+        let (a, b) = (m.a.map(fmt_value), m.b.map(fmt_value));
+        let delta = m.delta.map_or("—".to_string(), |d| {
+            let sign = if d >= 0.0 { "+" } else { "-" };
+            format!("{sign}{}", fmt_value(d.abs()))
+        });
+        let flag = match (m.a.is_some(), m.b.is_some()) {
+            (true, false) => "  [only in A]",
+            (false, true) => "  [only in B]",
+            _ if !m.within_band => "  [out of band]",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "{:>16} {:>16} {:>14}  {}{flag}",
+            a.unwrap_or_else(|| "—".to_string()),
+            b.unwrap_or_else(|| "—".to_string()),
+            delta,
+            m.name
+        );
+    }
+    if let Some(p) = &r.path {
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            " critical path: {} tasks common, {} entered, {} left",
+            p.common,
+            p.entered.len(),
+            p.left.len()
+        );
+        for t in &p.entered {
+            let _ = writeln!(out, "   + #{} {} ({})", t.task, t.label, t.cause);
+        }
+        for t in &p.left {
+            let _ = writeln!(out, "   - #{} {} ({})", t.task, t.label, t.cause);
+        }
+    }
+    out
+}

@@ -1,0 +1,256 @@
+//! Critical-path extraction, slack, and cycle attribution.
+//!
+//! The critical path is the binding chain: starting from the task that
+//! finishes last, repeatedly step to whatever *bound* the current
+//! task's start — the previous task on its own context when the context
+//! cursor was the limiter (the task paid a dequeue), or the
+//! latest-finishing dependency when the task idled for it (it paid a
+//! wake-up dispatch). The chain's task costs plus edge overheads sum
+//! exactly to the makespan; with the bus-drain tail added back they sum
+//! to the run's total cycles.
+
+use crate::model::{Replay, RunModel};
+
+/// What bound one path task's start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// First task on its context with no dependencies: started at 0.
+    Start,
+    /// The previous task on the same context (issue-bound: the queue
+    /// was the limiter, the task paid a dequeue).
+    Ctx(usize),
+    /// A dependency on the other context (the task idled until the
+    /// dependency signaled, then paid a wake-up dispatch).
+    Dep(usize),
+}
+
+/// One segment of the critical path, in execution order.
+#[derive(Debug, Clone)]
+pub struct PathSegment {
+    /// Model index of the task.
+    pub task: usize,
+    /// What bound this task's start.
+    pub binding: Binding,
+    /// Issue-overhead cycles between the binding predecessor's end and
+    /// this task's start (0 for the chain head).
+    pub edge_cycles: u64,
+    /// Root cause of the edge: `"issue-bound"`, `"dependency-bound"`
+    /// or `"srf-capacity-bound"`.
+    pub edge_cause: &'static str,
+    /// Root cause of the task's own cycles: `"bus-bound"` when bus and
+    /// TLB-walk cycles dominate the cost, else `"issue-bound"` for a
+    /// memory op (the context could have started it sooner) or
+    /// `"compute-bound"` for a kernel.
+    pub task_cause: &'static str,
+}
+
+/// The extracted critical path with its attributions.
+#[derive(Debug, Clone)]
+pub struct PathReport {
+    /// Path segments in execution order.
+    pub segments: Vec<PathSegment>,
+    /// Σ segment task costs.
+    pub task_cycles: u64,
+    /// Σ segment edge overheads.
+    pub edge_cycles: u64,
+    /// Bus-drain tail after the last task.
+    pub drain: u64,
+    /// `task_cycles + edge_cycles` — when the replay is the identity,
+    /// this equals the makespan and `+ drain` equals the run's cycles.
+    pub makespan: u64,
+    /// Path cycles per op class (`gather`, `scatter`, `kernel …`), plus
+    /// pseudo-classes `(wait)` for edge overheads and `(drain)`.
+    pub by_class: Vec<(String, u64)>,
+    /// Path cycles per root cause.
+    pub by_cause: Vec<(String, u64)>,
+    /// Fraction of total cycles spent in memory ops (gathers, scatters,
+    /// the drain) on the path.
+    pub memory_share: f64,
+    /// Fraction of total cycles spent in kernels on the path.
+    pub compute_share: f64,
+    /// Fraction of total cycles spent in issue overhead on the path.
+    pub wait_share: f64,
+}
+
+fn accumulate(table: &mut Vec<(String, u64)>, key: &str, cycles: u64) {
+    if cycles == 0 {
+        return;
+    }
+    match table.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v += cycles,
+        None => table.push((key.to_string(), cycles)),
+    }
+}
+
+/// What bound task `i`'s start in `r`, with the paid edge overhead.
+fn binding_of(model: &RunModel, r: &Replay, i: usize) -> (Binding, u64) {
+    let t = &model.tasks[i];
+    let c = t.ctx as usize;
+    let pos = model.ctx_order[c].iter().position(|&j| j == i).expect("task is in its ctx order");
+    let ctx_pred = (pos > 0).then(|| model.ctx_order[c][pos - 1]);
+    let avail = ctx_pred.map_or(0, |p| r.end[p]);
+    let ready = t.deps.iter().map(|&d| r.end[d]).max().unwrap_or(0);
+    if t.deps.is_empty() || avail >= ready {
+        match ctx_pred {
+            Some(p) => (Binding::Ctx(p), r.start[i] - avail),
+            None => (Binding::Start, r.start[i]),
+        }
+    } else {
+        let dep = *t
+            .deps
+            .iter()
+            .filter(|&&d| r.end[d] == ready)
+            .min()
+            .expect("some dependency realizes ready");
+        (Binding::Dep(dep), r.start[i] - ready)
+    }
+}
+
+/// Extract the critical path of a replay (normally the identity replay).
+#[must_use]
+pub fn critical_path(model: &RunModel, r: &Replay) -> PathReport {
+    let mut segments = Vec::new();
+    if !model.tasks.is_empty() {
+        // Chain tail: the last task of the context that realizes the
+        // makespan (ties break to the lower context index).
+        let mut cur = (0..2)
+            .filter_map(|c| model.ctx_order[c].last().copied())
+            .min_by_key(|&i| (std::cmp::Reverse(r.end[i]), model.tasks[i].ctx))
+            .expect("some context ran a task");
+        loop {
+            let (binding, edge_cycles) = binding_of(model, r, cur);
+            let t = &model.tasks[cur];
+            let task_cause = if t.bus + t.walk >= t.cost.div_ceil(2) {
+                "bus-bound"
+            } else if t.is_memory {
+                "issue-bound"
+            } else {
+                "compute-bound"
+            };
+            let edge_cause = match binding {
+                // A chain head normally has no edge; a dequeue paid at
+                // cycle 0 attributes as issue overhead like any other.
+                Binding::Start => "issue-bound",
+                Binding::Ctx(_) => "issue-bound",
+                Binding::Dep(d) => {
+                    let k = t.deps.iter().position(|&x| x == d).expect("dep index");
+                    if t.srf_reuse_dep[k] {
+                        "srf-capacity-bound"
+                    } else {
+                        "dependency-bound"
+                    }
+                }
+            };
+            segments.push(PathSegment { task: cur, binding, edge_cycles, edge_cause, task_cause });
+            match binding {
+                Binding::Start => break,
+                Binding::Ctx(p) | Binding::Dep(p) => cur = p,
+            }
+        }
+        segments.reverse();
+    }
+
+    let task_cycles: u64 = segments.iter().map(|s| model.tasks[s.task].cost).sum();
+    let edge_cycles: u64 = segments.iter().map(|s| s.edge_cycles).sum();
+    let mut by_class = Vec::new();
+    let mut by_cause = Vec::new();
+    let mut memory = 0u64;
+    let mut compute = 0u64;
+    for s in &segments {
+        let t = &model.tasks[s.task];
+        accumulate(&mut by_class, &t.class, t.cost);
+        accumulate(&mut by_cause, s.task_cause, t.cost);
+        if s.edge_cycles > 0 {
+            accumulate(&mut by_class, "(wait)", s.edge_cycles);
+            accumulate(&mut by_cause, s.edge_cause, s.edge_cycles);
+        }
+        if t.is_memory {
+            memory += t.cost;
+        } else {
+            compute += t.cost;
+        }
+    }
+    accumulate(&mut by_class, "(drain)", model.drain);
+    accumulate(&mut by_cause, "bus-bound", model.drain);
+    memory += model.drain;
+    let total = (task_cycles + edge_cycles + model.drain).max(1);
+    PathReport {
+        segments,
+        task_cycles,
+        edge_cycles,
+        drain: model.drain,
+        makespan: task_cycles + edge_cycles,
+        by_class,
+        by_cause,
+        memory_share: memory as f64 / total as f64,
+        compute_share: compute as f64 / total as f64,
+        wait_share: edge_cycles as f64 / total as f64,
+    }
+}
+
+/// Every task that lies on *some* critical path of the replay: the
+/// fixpoint of the binding-predecessor relation with ties included —
+/// at an exact tie between the context cursor and the latest
+/// dependency, lengthening either delays the task, so both are
+/// critical; likewise every dependency tied at `ready`.
+#[must_use]
+pub fn critical_members(model: &RunModel, r: &Replay) -> Vec<bool> {
+    let n = model.tasks.len();
+    let mut member = vec![false; n];
+    let mut stack: Vec<usize> = (0..2)
+        .filter_map(|c| model.ctx_order[c].last().copied())
+        .filter(|&i| r.end[i] == r.makespan)
+        .collect();
+    while let Some(i) = stack.pop() {
+        if std::mem::replace(&mut member[i], true) {
+            continue;
+        }
+        let t = &model.tasks[i];
+        let c = t.ctx as usize;
+        let pos = model.ctx_order[c].iter().position(|&j| j == i).expect("in ctx order");
+        let ctx_pred = (pos > 0).then(|| model.ctx_order[c][pos - 1]);
+        let avail = ctx_pred.map_or(0, |p| r.end[p]);
+        let ready = t.deps.iter().map(|&d| r.end[d]).max().unwrap_or(0);
+        if t.deps.is_empty() {
+            stack.extend(ctx_pred);
+        } else {
+            if avail >= ready {
+                stack.extend(ctx_pred);
+            }
+            if ready >= avail {
+                stack.extend(t.deps.iter().copied().filter(|&d| r.end[d] == ready));
+            }
+        }
+    }
+    member
+}
+
+/// Per-task slack: the largest extra cycles the task's cost can absorb
+/// without growing the run beyond its recorded cycles, found by binary
+/// search over replays. Tasks on a critical path have slack 0.
+#[must_use]
+pub fn slack(model: &RunModel, i: usize) -> u64 {
+    let base = model.identity_replay().makespan;
+    let mut costs = model.recorded_costs();
+    let grows = |costs: &mut Vec<u64>, delta: u64| {
+        costs[i] = model.tasks[i].cost + delta;
+        let m = model.replay(costs, model.dequeue, model.dispatch).makespan;
+        m > base
+    };
+    if grows(&mut costs, 1) {
+        return 0;
+    }
+    // Invariant: +lo does not grow the makespan, +hi does. `base + 1`
+    // always grows: the task's context retires at or after
+    // `start + cost + delta ≥ delta > base`.
+    let (mut lo, mut hi) = (1u64, base + 1);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if grows(&mut costs, mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}

@@ -1,0 +1,144 @@
+//! Render an [`Analysis`] as a text report and as the deterministic
+//! `kind: "analysis"` JSON artifact `figures diff` consumes.
+
+use crate::path::Binding;
+use crate::runner::Analysis;
+use gpstream_util::render::thousands;
+use gpstream_util::Json;
+use std::fmt::Write as _;
+
+/// Longest critical path printed in full; longer paths elide the middle
+/// (the JSON artifact always carries every segment).
+const MAX_PRINTED_SEGMENTS: usize = 40;
+
+/// The analysis as a human-readable report.
+#[must_use]
+pub fn text(a: &Analysis) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, " Critical-path analysis for '{}':", a.workload);
+    out.push('\n');
+    let _ = writeln!(out, "{:>14}  cycles", thousands(a.cycles));
+    let _ = writeln!(
+        out,
+        "{:>14}  critical-path task cycles ({} tasks)",
+        thousands(a.path.task_cycles),
+        a.path.segments.len()
+    );
+    let _ = writeln!(out, "{:>14}  critical-path wait cycles", thousands(a.path.edge_cycles));
+    let _ = writeln!(out, "{:>14}  bus drain", thousands(a.path.drain));
+    let _ = writeln!(
+        out,
+        "{:>13.1}%  memory share   {:.1}% compute share   {:.1}% wait share",
+        100.0 * a.path.memory_share,
+        100.0 * a.path.compute_share,
+        100.0 * a.path.wait_share
+    );
+    out.push('\n');
+    let _ = writeln!(out, " path cycles by op class:");
+    for (class, cycles) in &a.path.by_class {
+        let _ = writeln!(out, "{:>14}  {class}", thousands(*cycles));
+    }
+    out.push('\n');
+    let _ = writeln!(out, " path cycles by root cause:");
+    for (cause, cycles) in &a.path.by_cause {
+        let _ = writeln!(out, "{:>14}  {cause}", thousands(*cycles));
+    }
+    out.push('\n');
+    let _ = writeln!(out, " critical path (execution order):");
+    let n = a.path.segments.len();
+    for (k, s) in a.path.segments.iter().enumerate() {
+        if n > MAX_PRINTED_SEGMENTS
+            && k >= MAX_PRINTED_SEGMENTS / 2
+            && k < n - MAX_PRINTED_SEGMENTS / 2
+        {
+            if k == MAX_PRINTED_SEGMENTS / 2 {
+                let _ = writeln!(out, "   … {} segments elided …", n - MAX_PRINTED_SEGMENTS);
+            }
+            continue;
+        }
+        let t = &a.model.tasks[s.task];
+        let edge = match s.binding {
+            Binding::Start => String::new(),
+            _ if s.edge_cycles == 0 => String::new(),
+            _ => format!(" (+{} {})", thousands(s.edge_cycles), s.edge_cause),
+        };
+        let _ = writeln!(
+            out,
+            "   ctx{} {:>12}..{:<12} {:<16} {} #{}{edge}",
+            t.ctx,
+            thousands(t.start),
+            thousands(t.end),
+            s.task_cause,
+            t.label,
+            t.id.0
+        );
+    }
+    out.push('\n');
+    let _ = writeln!(out, " what-if (virtual speedups, upper bounds):");
+    let _ = writeln!(out, "{:>14} {:>9}  {:<10} scenario", "predicted", "speedup", "bound");
+    for row in &a.whatif {
+        let bound = row.bound.map_or("—".to_string(), |b| format!("±{:.0}%", b * 100.0));
+        let _ = writeln!(
+            out,
+            "{:>14} {:>8.3}x  {:<10} {}",
+            thousands(row.predicted_cycles),
+            row.speedup,
+            bound,
+            row.scenario
+        );
+    }
+    out
+}
+
+/// The analysis as the deterministic JSON artifact (`kind: "analysis"`)
+/// that [`gpstream_profile::Artifact::parse`] understands.
+#[must_use]
+pub fn to_json(a: &Analysis) -> Json {
+    let counters = Json::obj([
+        ("cycles", Json::U64(a.cycles)),
+        ("path_task_cycles", Json::U64(a.path.task_cycles)),
+        ("path_edge_cycles", Json::U64(a.path.edge_cycles)),
+        ("drain_cycles", Json::U64(a.path.drain)),
+        ("path_tasks", Json::U64(a.path.segments.len() as u64)),
+    ]);
+    let derived = Json::obj([
+        ("memory_share", Json::F64(a.path.memory_share)),
+        ("compute_share", Json::F64(a.path.compute_share)),
+        ("wait_share", Json::F64(a.path.wait_share)),
+    ]);
+    let critical_path = Json::arr(a.path.segments.iter().map(|s| {
+        let t = &a.model.tasks[s.task];
+        Json::obj([
+            ("task", Json::U64(u64::from(t.id.0))),
+            ("ctx", Json::U64(u64::from(t.ctx))),
+            ("class", Json::Str(t.class.clone())),
+            ("label", Json::Str(t.label.clone())),
+            ("cause", Json::from(s.task_cause)),
+            ("cycles", Json::U64(t.cost + s.edge_cycles)),
+            ("edge_cycles", Json::U64(s.edge_cycles)),
+            ("edge_cause", Json::from(s.edge_cause)),
+        ])
+    }));
+    let whatif = Json::arr(a.whatif.iter().map(|row| {
+        let mut pairs = vec![
+            ("scenario".to_string(), Json::Str(row.scenario.clone())),
+            ("predicted_cycles".to_string(), Json::U64(row.predicted_cycles)),
+            ("speedup".to_string(), Json::F64(row.speedup)),
+        ];
+        if let Some(b) = row.bound {
+            pairs.push(("bound".to_string(), Json::F64(b)));
+        }
+        Json::Obj(pairs)
+    }));
+    Json::obj([
+        ("kind", Json::from("analysis")),
+        ("v", Json::U64(1)),
+        ("workload", Json::Str(a.workload.clone())),
+        ("counters", counters),
+        ("derived", derived),
+        ("by_class", Json::obj(a.path.by_class.iter().map(|(k, v)| (k.clone(), Json::U64(*v))))),
+        ("by_cause", Json::obj(a.path.by_cause.iter().map(|(k, v)| (k.clone(), Json::U64(*v))))),
+        ("critical_path", critical_path),
+        ("whatif", whatif),
+    ])
+}

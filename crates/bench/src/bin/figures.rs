@@ -4,8 +4,10 @@
 //!
 //! ```text
 //! figures [SELECTOR] [--in-order] [--json PATH] [--trace PATH]
-//! figures profile WORKLOAD [--out DIR] [--interval N] [--check]
+//! figures profile WORKLOAD [--out DIR] [--interval N] [--in-order] [--check]
 //!                 [--update-baseline] [--baselines DIR] [--native [REPEATS]]
+//! figures analyze WORKLOAD [--out FILE]
+//! figures diff A.json B.json [--strict]
 //! figures --list
 //! ```
 //!
@@ -38,12 +40,29 @@
 //! prints a `perf stat`-style report plus the top-down cycle tree.
 //! With `--out DIR` it also writes `perfstat.txt`, `topdown.txt`,
 //! `profile.json`, `WORKLOAD.folded` (flamegraph collapsed-stack) and
-//! `samples.csv` (interval counter time-series). `--check` compares
-//! the run against the committed baseline in `--baselines DIR`
-//! (default `profiles/baselines`) and exits non-zero on any
-//! out-of-band counter; `--update-baseline` regenerates the snapshot.
+//! `samples.csv` (interval counter time-series). `--in-order` profiles
+//! with head-blocking work queues instead of the default out-of-order
+//! issue (diff the two artifacts to see what the OoO queues buy).
+//! `--check` compares the run against the committed baseline in
+//! `--baselines DIR` (default `profiles/baselines`) and exits non-zero
+//! on any out-of-band counter — or, when the baseline is missing or
+//! unparseable, after listing every current counter value so the run
+//! is still inspectable; `--update-baseline` regenerates the snapshot.
 //! `--native [REPEATS]` appends the native executor's wall-clock
 //! parity report (not deterministic, never written to `--out`).
+//!
+//! `analyze WORKLOAD` runs one catalog workload with task logging on
+//! and prints the critical-path report: per-segment cycle attribution
+//! (op class + root cause), the by-class/by-cause tables, and the
+//! Coz-style what-if speedup table. `--out FILE` also writes the
+//! analysis as a canonical one-line JSON artifact.
+//!
+//! `diff A.json B.json` compares two artifacts — committed baselines,
+//! `profile --out` documents, `analyze --out` reports, in any
+//! combination — with per-metric deltas flagged against A's tolerance
+//! bands and, when both sides carry one, a structural critical-path
+//! diff. Informational by default (exit 0); `--strict` exits non-zero
+//! when any shared metric lands out of band.
 
 use gpstream_apps::fem;
 use gpstream_bench as fig;
@@ -204,6 +223,7 @@ fn profile_main(args: &[String]) -> ! {
     let mut out_dir: Option<String> = None;
     let mut interval: Option<u64> = None;
     let mut check = false;
+    let mut in_order = false;
     let mut update_baseline = false;
     let mut baselines = "profiles/baselines".to_string();
     let mut native: Option<usize> = None;
@@ -211,7 +231,7 @@ fn profile_main(args: &[String]) -> ! {
     let usage = |msg: &str| -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: figures profile WORKLOAD [--out DIR] [--interval N] [--check] \
+            "usage: figures profile WORKLOAD [--out DIR] [--interval N] [--in-order] [--check] \
              [--update-baseline] [--baselines DIR] [--native [REPEATS]]"
         );
         eprintln!("workloads: {}", gpstream_tune::workloads::CATALOG.join(" "));
@@ -235,6 +255,7 @@ fn profile_main(args: &[String]) -> ! {
                 interval = Some(v.parse().unwrap_or_else(|_| usage("--interval needs a number")));
             }
             "--check" => check = true,
+            "--in-order" => in_order = true,
             "--update-baseline" => update_baseline = true,
             "--baselines" => baselines = value(args, &mut i, "--baselines"),
             "--native" => {
@@ -255,7 +276,7 @@ fn profile_main(args: &[String]) -> ! {
         i += 1;
     }
     let Some(workload) = workload else { usage("missing WORKLOAD") };
-    let Some(out) = fig::profiling::profile_workload(&workload, interval) else {
+    let Some(out) = fig::profiling::profile_workload(&workload, interval, in_order) else {
         usage(&format!("unknown workload `{workload}`"))
     };
 
@@ -279,20 +300,34 @@ fn profile_main(args: &[String]) -> ! {
     if update_baseline {
         let base = gpstream_profile::Baseline::capture(&workload, &out.counters);
         std::fs::create_dir_all(&baselines).expect("create baselines directory");
-        std::fs::write(&baseline_path, base.to_json().to_string() + "\n").expect("write baseline");
+        std::fs::write(&baseline_path, base.to_json().to_doc_string()).expect("write baseline");
         println!("updated baseline {}", baseline_path.display());
     }
     if check {
-        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        // A broken baseline still gets a per-metric listing of the run
+        // that was checked, so CI logs show what `--update-baseline`
+        // would snapshot.
+        let no_baseline = |why: String| -> ! {
+            eprintln!("{why}");
             eprintln!(
-                "cannot read baseline {} ({e}); run with --update-baseline first",
-                baseline_path.display()
+                "current values for `{workload}` ({} metrics):",
+                out.counters.all_values().len()
             );
+            for (name, value) in out.counters.all_values() {
+                if value == value.trunc() && value.abs() < 1e15 {
+                    eprintln!("  {name} = {value}");
+                } else {
+                    eprintln!("  {name} = {value:.6}");
+                }
+            }
+            eprintln!("run with --update-baseline to (re)create the snapshot");
             std::process::exit(1);
+        };
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            no_baseline(format!("cannot read baseline {} ({e})", baseline_path.display()))
         });
         let base = gpstream_profile::Baseline::from_json(&text).unwrap_or_else(|e| {
-            eprintln!("malformed baseline {}: {e}", baseline_path.display());
-            std::process::exit(1);
+            no_baseline(format!("malformed baseline {}: {e}", baseline_path.display()))
         });
         let violations = base.check(&out.counters);
         if violations.is_empty() {
@@ -314,10 +349,108 @@ fn profile_main(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `figures analyze` subcommand. Exits the process: 0 on success, 2 on
+/// usage errors.
+fn analyze_main(args: &[String]) -> ! {
+    let mut workload: Option<String> = None;
+    let mut out_file: Option<String> = None;
+    let usage = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: figures analyze WORKLOAD [--out FILE]");
+        eprintln!("workloads: {}", gpstream_tune::workloads::CATALOG.join(" "));
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for w in gpstream_tune::workloads::CATALOG {
+                    println!("{w}");
+                }
+                std::process::exit(0);
+            }
+            "--out" => {
+                i += 1;
+                out_file =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--out needs a file path")));
+            }
+            other if workload.is_none() && !other.starts_with('-') => {
+                workload = Some(other.to_string());
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(workload) = workload else { usage("missing WORKLOAD") };
+    let Some(analysis) = gpstream_analyze::analyze_workload(&workload) else {
+        usage(&format!("unknown workload `{workload}`"))
+    };
+    print!("{}", gpstream_analyze::render::text(&analysis));
+    if let Some(path) = out_file {
+        std::fs::write(&path, gpstream_analyze::render::to_json(&analysis).to_doc_string())
+            .expect("write analysis JSON");
+        println!("\nwrote analysis artifact to {path}");
+    }
+    std::process::exit(0);
+}
+
+/// `figures diff` subcommand. Exits the process: 0 on success (even
+/// with out-of-band deltas, unless `--strict`), 1 on unreadable or
+/// unparseable artifacts or strict out-of-band deltas, 2 on usage
+/// errors.
+fn diff_main(args: &[String]) -> ! {
+    let mut paths: Vec<String> = Vec::new();
+    let mut strict = false;
+    for a in args {
+        match a.as_str() {
+            "--strict" => strict = true,
+            other if !other.starts_with('-') => paths.push(other.to_string()),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: figures diff A.json B.json [--strict]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: figures diff A.json B.json [--strict]");
+        std::process::exit(2);
+    }
+    let load = |path: &str| -> gpstream_profile::Artifact {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        gpstream_profile::Artifact::parse(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let a = load(&paths[0]);
+    let b = load(&paths[1]);
+    let d = gpstream_analyze::diff::diff(&a, &b);
+    print!("{}", gpstream_analyze::diff::render(&d));
+    let out_of_band = d.out_of_band();
+    if !out_of_band.is_empty() {
+        println!(
+            "{} metric(s) out of band{}",
+            out_of_band.len(),
+            if strict { " (strict: failing)" } else { "" }
+        );
+        if strict {
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    if raw.first().map(String::as_str) == Some("profile") {
-        profile_main(&raw[1..]);
+    match raw.first().map(String::as_str) {
+        Some("profile") => profile_main(&raw[1..]),
+        Some("analyze") => analyze_main(&raw[1..]),
+        Some("diff") => diff_main(&raw[1..]),
+        _ => {}
     }
     let cli = parse_args();
     let cfg = MachineConfig::prescott();

@@ -30,15 +30,22 @@ pub struct ProfileOutputs {
 }
 
 /// Profile one catalog workload (see
-/// [`workloads::CATALOG`]) at the given sampling interval. Returns
-/// `None` for an unknown workload name.
+/// [`workloads::CATALOG`]) at the given sampling interval. `in_order`
+/// profiles the run with head-blocking work queues instead of the
+/// default out-of-order `tail_depend` issue — diffing the two
+/// artifacts shows what the out-of-order queues buy. Returns `None`
+/// for an unknown workload name.
 ///
 /// # Panics
 ///
 /// Panics if the workload fails to compile under the paper's default
 /// options or the run does not reproduce the functional oracle.
 #[must_use]
-pub fn profile_workload(name: &str, interval: Option<u64>) -> Option<ProfileOutputs> {
+pub fn profile_workload(
+    name: &str,
+    interval: Option<u64>,
+    in_order: bool,
+) -> Option<ProfileOutputs> {
     let wl = workloads::named(name)?;
     let copts = CompilerOptions::paper();
     let compiled = compile(&wl.graph, &copts).expect("catalog workload compiles");
@@ -47,6 +54,7 @@ pub fn profile_workload(name: &str, interval: Option<u64>) -> Option<ProfileOutp
         .with_machine(MachineConfig::prescott())
         .with_srf(copts.srf)
         .with_warmup(wl.warmup)
+        .in_order(in_order)
         .with_profile(true)
         .with_sample_interval(interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL))
         .run(&compiled.schedule, &compiled.graph, &mut world);
@@ -68,7 +76,7 @@ pub fn profile_workload(name: &str, interval: Option<u64>) -> Option<ProfileOutp
         topdown: topdown::render(&tree),
         folded: topdown::collapsed(&tree),
         samples_csv: report::samples_csv(&prof.samples),
-        json: report::profile_json(name, &counters, &tree, &prof).to_string(),
+        json: report::profile_json(name, &counters, &tree, &prof).to_doc_string(),
     })
 }
 
@@ -104,13 +112,13 @@ mod tests {
 
     #[test]
     fn unknown_workload_is_none() {
-        assert!(profile_workload("not-a-workload", None).is_none());
+        assert!(profile_workload("not-a-workload", None, false).is_none());
     }
 
     #[test]
     fn profile_outputs_are_deterministic() {
-        let a = profile_workload("ldstcomp", None).unwrap();
-        let b = profile_workload("ldstcomp", None).unwrap();
+        let a = profile_workload("ldstcomp", None, false).unwrap();
+        let b = profile_workload("ldstcomp", None, false).unwrap();
         assert_eq!(a.perf_stat, b.perf_stat);
         assert_eq!(a.topdown, b.topdown);
         assert_eq!(a.folded, b.folded);

@@ -51,6 +51,39 @@ pub struct SimReport {
     /// timing run (present when [`SimExecutor::with_profile`] enabled
     /// profiling).
     pub profile: Option<SimProfile>,
+    /// The executed task DAG of the timing run: one record per issued
+    /// work-queue entry with its start/end cycles and induced edges
+    /// (present when [`SimExecutor::with_task_log`] enabled logging on
+    /// the default out-of-order two-context mapping; the in-order and
+    /// single-context lowerings have no work queues to log).
+    pub task_runs: Option<Vec<TaskRun>>,
+}
+
+/// Start/end cycles and induced-edge record of one executed task,
+/// translated from the machine's task-issue log (queue indices mapped
+/// back to schedule task ids). See `gpstream_machine::TaskIssue` for
+/// field semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskRun {
+    /// The task.
+    pub task: TaskId,
+    /// Hardware context it ran on (0 = compute, 1 = memory).
+    pub ctx: u8,
+    /// Context-local cycle when the issuer picked the task.
+    pub issue_t: u64,
+    /// Cycle its dependencies had all been signaled (0 when none).
+    pub ready_t: u64,
+    /// The dependency whose completion signal gated issue, if any —
+    /// the dependency edge the run actually waited on.
+    pub wake: Option<TaskId>,
+    /// Dequeue or wake-up dispatch cycles paid before the ops began.
+    pub overhead: u64,
+    /// Whether `overhead` was a wake-up dispatch (idle wait preceded).
+    pub dispatch_paid: bool,
+    /// Cycle the task's first op started.
+    pub start: u64,
+    /// Cycle the task's last op retired (its completion signal time).
+    pub end: u64,
 }
 
 /// Cycles and counter deltas attributed to one task of the schedule by
@@ -103,6 +136,7 @@ pub struct SimExecutor {
     in_order: bool,
     trace: bool,
     profile: bool,
+    task_log: bool,
     sample_interval: u64,
 }
 
@@ -121,6 +155,7 @@ impl Default for SimExecutor {
             in_order: false,
             trace: false,
             profile: false,
+            task_log: false,
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
         }
     }
@@ -221,6 +256,20 @@ impl SimExecutor {
         self
     }
 
+    /// Record the executed task DAG during the timing run: one
+    /// [`TaskRun`] per issued work-queue entry, in issue order, in the
+    /// report's `task_runs` field. Only the default out-of-order
+    /// two-context mapping has work queues to log — the in-order and
+    /// single-context lowerings leave `task_runs` as `None`. When a
+    /// warm-up run is configured, only the measured iteration is logged.
+    /// Logging reads issue-time state without touching the model, so
+    /// timing is identical with it on or off.
+    #[must_use]
+    pub fn with_task_log(mut self, on: bool) -> Self {
+        self.task_log = on;
+        self
+    }
+
     /// Override the interval (in cycles) between counter samples taken
     /// while profiling.
     ///
@@ -276,6 +325,9 @@ impl SimExecutor {
             machine.enable_profile();
             machine.enable_sampling(self.sample_interval);
         }
+        if self.task_log && !self.single_context && !self.in_order {
+            machine.enable_task_log();
+        }
         let (lowered, timing) = if self.single_context {
             let lowered = self.lower_single(program, graph, world);
             if self.warmup {
@@ -308,7 +360,25 @@ impl SimExecutor {
             tasks: attribute_profile(machine.take_profile(), &lowered),
             samples: machine.take_samples(),
         });
-        SimReport { timing, tasks: program.tasks.len(), trace, profile }
+        let task_runs = (self.task_log && !self.single_context && !self.in_order).then(|| {
+            machine
+                .take_task_log()
+                .into_iter()
+                .map(|rec| TaskRun {
+                    task: lowered.owners[rec.ctx as usize][rec.queue_index as usize],
+                    ctx: rec.ctx,
+                    issue_t: rec.issue_t,
+                    ready_t: rec.ready_t,
+                    // Signal ids on the task-form lowering *are* task ids.
+                    wake: rec.wake.map(TaskId),
+                    overhead: rec.overhead,
+                    dispatch_paid: rec.dispatch_paid,
+                    start: rec.start_t,
+                    end: rec.end_t,
+                })
+                .collect()
+        });
+        SimReport { timing, tasks: program.tasks.len(), trace, profile, task_runs }
     }
 
     /// Lower the whole schedule onto one context in task order (the

@@ -20,7 +20,7 @@ use crate::cache::{Cache, FillPolicy};
 use crate::config::MachineConfig;
 use crate::ops::{BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 use crate::prefetch::Prefetcher;
-use crate::stats::{CounterSample, MemStats, OpProfile, RunResult};
+use crate::stats::{CounterSample, MemStats, OpProfile, RunResult, TaskIssue};
 use crate::tlb::Tlb;
 use crate::trace::{MachineEvent, MachineEventKind, PhaseCycles};
 use std::collections::{BTreeMap, VecDeque};
@@ -201,6 +201,9 @@ pub struct Machine {
     profile: Option<BTreeMap<(u8, u32), (u64, MemStats)>>,
     /// Interval counter sampler; `None` (the default) records nothing.
     sampler: Option<Sampler>,
+    /// Task-issue log for `run_tasks`; `None` (the default) records
+    /// nothing.
+    task_log: Option<Vec<TaskIssue>>,
 }
 
 /// Interval-sampler state: cumulative counter snapshots every `interval`
@@ -221,8 +224,10 @@ const CHUNK_CYCLES: u64 = 256;
 /// How far ahead of the bus posted non-temporal stores may run, in line
 /// transfers, before the store queue backpressures the context.
 const WC_WINDOW_LINES: u64 = 4;
-/// Cycles to dequeue a task that is already available (no wake-up needed).
-const DEQUEUE_CYCLES: u64 = 30;
+/// Cycles to dequeue a task that is already available (no wake-up
+/// needed). Public so the analytical DAG replay in `gpstream-analyze`
+/// can reproduce the issue arithmetic exactly.
+pub const DEQUEUE_CYCLES: u64 = 30;
 
 impl Machine {
     /// Build a machine from a configuration.
@@ -255,6 +260,7 @@ impl Machine {
             trace: None,
             profile: None,
             sampler: None,
+            task_log: None,
         }
     }
 
@@ -327,6 +333,26 @@ impl Machine {
         }
     }
 
+    /// Start recording one [`TaskIssue`] per work-queue entry issued by
+    /// [`Machine::run_tasks`] (the in-order `run` paths record nothing —
+    /// their issue order carries no information beyond the op streams).
+    /// Recording only reads the issue-time state, so timing is identical
+    /// with it on or off.
+    pub fn enable_task_log(&mut self) {
+        if self.task_log.is_none() {
+            self.task_log = Some(Vec::new());
+        }
+    }
+
+    /// Drain the recorded task-issue log, in issue order (empty if the
+    /// log was never enabled). Logging stays enabled afterwards.
+    pub fn take_task_log(&mut self) -> Vec<TaskIssue> {
+        match self.task_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
     /// The counters as of "now", with the live bus totals folded in (the
     /// run loops only publish bus totals into `stats` at end of run).
     #[must_use]
@@ -388,6 +414,9 @@ impl Machine {
         if let Some(s) = self.sampler.as_mut() {
             s.samples.clear();
             s.next_t = s.interval;
+        }
+        if let Some(log) = self.task_log.as_mut() {
+            log.clear();
         }
     }
 
@@ -494,6 +523,9 @@ impl Machine {
         let mut signals: BTreeMap<u32, u64> = BTreeMap::new();
         self.phases = [PhaseCycles::default(); 2];
         let window = window.max(1);
+        // Index into `task_log` of each context's open (issued, not yet
+        // completed) record, when logging is enabled.
+        let mut log_open: [Option<usize>; 2] = [None, None];
 
         loop {
             // Earliest time each context could act: step its active task,
@@ -529,6 +561,9 @@ impl Machine {
                 // Issue the chosen entry, paying the dequeue / wake-up
                 // cost exactly as `run` does for a resolved `Wait`.
                 let (i, ready_t, wake) = cand[c].expect("picked context has a candidate");
+                let issue_t = cur[c].t;
+                let mut overhead = 0u64;
+                let mut dispatch_paid = false;
                 st[c].issued[i] = true;
                 while st[c].head < st[c].issued.len() && st[c].issued[st[c].head] {
                     st[c].head += 1;
@@ -541,9 +576,11 @@ impl Machine {
                     } else {
                         self.phases[c].idle_wait += ready_t - cur[c].t;
                         cur[c].t = ready_t + dispatch;
+                        dispatch_paid = true;
                         dispatch
                     };
                     self.phases[c].dispatch += paid;
+                    overhead = paid;
                     let t = cur[c].t;
                     self.emit(t, c, || MachineEventKind::Wakeup {
                         id: wake,
@@ -555,6 +592,20 @@ impl Machine {
                 cur[c].progress = 0;
                 cur[c].progress_bytes = 0;
                 st[c].active = Some(i);
+                if let Some(log) = self.task_log.as_mut() {
+                    log_open[c] = Some(log.len());
+                    log.push(TaskIssue {
+                        ctx: c as u8,
+                        queue_index: i as u32,
+                        issue_t,
+                        ready_t,
+                        wake: (!st[c].tasks[i].deps.is_empty()).then_some(wake),
+                        overhead,
+                        dispatch_paid,
+                        start_t: cur[c].t,
+                        end_t: cur[c].t,
+                    });
+                }
             }
 
             let i = st[c].active.expect("active task set above");
@@ -565,6 +616,11 @@ impl Machine {
             if cur[c].idx >= st[c].tasks[i].ops.end {
                 if let Some(id) = st[c].tasks[i].signal {
                     signals.insert(id, cur[c].t);
+                }
+                if let Some(k) = log_open[c].take() {
+                    if let Some(log) = self.task_log.as_mut() {
+                        log[k].end_t = cur[c].t;
+                    }
                 }
                 st[c].active = None;
                 st[c].n_done += 1;
@@ -1354,6 +1410,81 @@ mod tests {
         }]);
         assert!(r.cycles >= r.ctx_cycles[0]);
         assert!(r.mem.bus_busy_cycles <= r.cycles, "bus occupancy cannot exceed the wall clock");
+    }
+
+    /// A two-context task program with a cross-context dependency chain:
+    /// ctx1 gathers (signal 0), ctx0 computes after it (signal 1), ctx1
+    /// scatters after that.
+    fn task_program() -> [ContextProgram; 2] {
+        let gather = AccessPattern::Seq { base: 0x1000_0000, elem: 4, count: 16 * 1024 };
+        let scatter = AccessPattern::Seq { base: 0x2000_0000, elem: 4, count: 16 * 1024 };
+        let compute = ContextProgram {
+            ops: vec![BulkOp::Compute { uops: 20_000 }],
+            tasks: vec![TaskNode {
+                ops: 0..1,
+                deps: vec![0],
+                signal: Some(1),
+                feeds_partner: true,
+            }],
+        };
+        let memory = ContextProgram {
+            ops: vec![
+                BulkOp::Copy {
+                    mem: gather,
+                    srf_base: 0x8000_0000,
+                    dir: CopyDir::GatherToSrf,
+                    nt: false,
+                },
+                BulkOp::Copy {
+                    mem: scatter,
+                    srf_base: 0x8000_0000,
+                    dir: CopyDir::ScatterFromSrf,
+                    nt: true,
+                },
+            ],
+            tasks: vec![
+                TaskNode { ops: 0..1, deps: vec![], signal: Some(0), feeds_partner: true },
+                TaskNode { ops: 1..2, deps: vec![1], signal: None, feeds_partner: false },
+            ],
+        };
+        [compute, memory]
+    }
+
+    #[test]
+    fn task_log_records_issues_without_perturbing_timing() {
+        let mut plain = machine();
+        let bare = plain.run_tasks(task_program(), WaitPolicy::Mwait, 16);
+        assert!(plain.take_task_log().is_empty(), "no log when disabled");
+
+        let mut logged = machine();
+        logged.enable_task_log();
+        let r = logged.run_tasks(task_program(), WaitPolicy::Mwait, 16);
+        assert_eq!(r, bare, "task logging must not change the model");
+
+        let log = logged.take_task_log();
+        assert_eq!(log.len(), 3, "one record per issued entry: {log:?}");
+        for rec in &log {
+            assert_eq!(rec.issue_t.max(rec.ready_t) + rec.overhead, rec.start_t, "{rec:?}");
+            assert!(rec.end_t >= rec.start_t, "{rec:?}");
+        }
+        // Records of one context are disjoint and ordered, and the last
+        // end matches the context's retire cycle.
+        for c in 0..2u8 {
+            let mine: Vec<_> = log.iter().filter(|rec| rec.ctx == c).collect();
+            for w in mine.windows(2) {
+                assert!(w[0].end_t <= w[1].issue_t, "{:?} then {:?}", w[0], w[1]);
+            }
+            assert_eq!(mine.last().unwrap().end_t, r.ctx_cycles[c as usize]);
+        }
+        // The compute task waited on the gather: its waking dependency is
+        // recorded and it paid the MWAIT dispatch.
+        let compute = log.iter().find(|rec| rec.ctx == 0).unwrap();
+        assert_eq!(compute.wake, Some(0));
+        assert!(compute.dispatch_paid);
+        assert_eq!(compute.start_t, compute.ready_t + 680);
+
+        // A drained log stays enabled but starts empty.
+        assert!(logged.take_task_log().is_empty());
     }
 
     #[test]

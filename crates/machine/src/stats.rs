@@ -139,6 +139,43 @@ pub struct OpProfile {
     pub stats: MemStats,
 }
 
+/// One issued work-queue entry, recorded by the task-issue log
+/// (`Machine::enable_task_log`) during `Machine::run_tasks`.
+///
+/// Records capture the *executed* task DAG: `wake` is the dependency
+/// edge that actually gated issue, consecutive records of one context
+/// form the induced queue-occupancy edges, and `start_t`/`end_t` bound
+/// the cycles the entry occupied its context. The critical-path
+/// analyzer rebuilds the run from nothing but these records (plus the
+/// schedule), which is what makes its what-if replays exact when
+/// nothing is scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskIssue {
+    /// Hardware context that issued the entry.
+    pub ctx: u8,
+    /// Index of the entry in its context's work queue.
+    pub queue_index: u32,
+    /// Context-local cycle when the issuer picked the entry (before any
+    /// dequeue / wake-up overhead was paid).
+    pub issue_t: u64,
+    /// Cycle the entry's dependencies had all been signaled (0 when it
+    /// has none).
+    pub ready_t: u64,
+    /// The dependency event whose signal determined `ready_t` — the
+    /// dependency edge that actually gated issue (`None` when the entry
+    /// has no dependencies).
+    pub wake: Option<u32>,
+    /// Dequeue or wake-up dispatch cycles paid before the ops began.
+    pub overhead: u64,
+    /// Whether `overhead` was a wake-up dispatch (the context sat idle
+    /// until `ready_t`) rather than a plain dequeue.
+    pub dispatch_paid: bool,
+    /// Cycle the entry's first op started (after overhead).
+    pub start_t: u64,
+    /// Cycle the entry's last op retired (its completion signal time).
+    pub end_t: u64,
+}
+
 /// Result of running one or two op streams to completion.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunResult {

@@ -1,0 +1,335 @@
+//! The shared artifact schema behind `figures diff`.
+//!
+//! Three kinds of JSON files come out of this repo's tooling: committed
+//! counter [`Baseline`](crate::Baseline)s, `figures profile --out`
+//! documents (schema `v: 1`), and the analyzer's `figures analyze`
+//! reports (`kind: "analysis"`). [`Artifact::parse`] folds all three
+//! into one comparable shape — a named-metric list with optional
+//! tolerance bands, plus the critical path when the artifact carries
+//! one — so the differ never needs to know which tool produced a file.
+
+use crate::baseline::default_band;
+use gpstream_util::json::JsonParseError;
+use gpstream_util::Json;
+
+/// Which tool produced an artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A committed counter baseline (`figures profile --save-baseline`).
+    Baseline,
+    /// A full profile document (`figures profile --out`).
+    Profile,
+    /// A critical-path analysis report (`figures analyze --out`).
+    Analysis,
+}
+
+impl ArtifactKind {
+    /// Short lower-case name used in diff headers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Baseline => "baseline",
+            ArtifactKind::Profile => "profile",
+            ArtifactKind::Analysis => "analysis",
+        }
+    }
+}
+
+/// One tracked value from an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (shared vocabulary with
+    /// [`CounterSet::all_values`](crate::CounterSet::all_values)).
+    pub name: String,
+    /// Recorded value.
+    pub value: f64,
+    /// Tolerance band, when the artifact stores one (baselines do).
+    pub band: Option<(f64, f64)>,
+    /// Raw integer counter (vs a derived rate) — decides the default
+    /// band floor when no band is stored.
+    pub is_counter: bool,
+}
+
+impl Metric {
+    /// The band to diff against: the stored one, or the default band
+    /// around this artifact's value.
+    #[must_use]
+    pub fn effective_band(&self) -> (f64, f64) {
+        self.band.unwrap_or_else(|| default_band(self.value, self.is_counter))
+    }
+}
+
+/// One task on an analysis artifact's critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathTask {
+    /// Task id within the scheduled program.
+    pub task: u64,
+    /// Op class (`"gather"`, `"scatter"`, `"kernel k0 …"`, …).
+    pub class: String,
+    /// Display label.
+    pub label: String,
+    /// Root cause of this task's presence on the path.
+    pub cause: String,
+    /// Cycles this path segment contributes (edge + task body).
+    pub cycles: u64,
+}
+
+/// A parsed artifact, ready to diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Which tool produced the file.
+    pub kind: ArtifactKind,
+    /// Workload the artifact describes.
+    pub workload: String,
+    /// Every tracked metric, in document order.
+    pub metrics: Vec<Metric>,
+    /// Critical path, when the artifact is an analysis report.
+    pub critical_path: Option<Vec<PathTask>>,
+}
+
+/// Derived-metric names — everything else in a profile/analysis
+/// document is an integer counter. Kept in sync with
+/// [`CounterSet::derived`](crate::CounterSet::derived) by a test.
+pub const DERIVED_NAMES: &[&str] = &[
+    "l1_miss_rate",
+    "l2_miss_rate",
+    "dtlb_miss_rate",
+    "walk_cycles_per_miss",
+    "bus_occupancy",
+    "bus_bytes_per_cycle",
+    "hw_prefetch_coverage",
+    "sw_prefetch_coverage",
+    "prefetch_coverage",
+    "srf_eviction_rate",
+    "writeback_rate",
+    "overlap_efficiency",
+];
+
+fn is_derived(name: &str) -> bool {
+    DERIVED_NAMES.contains(&name) || name.ends_with("_share") || name.ends_with("_speedup")
+}
+
+fn bad(msg: &str) -> JsonParseError {
+    JsonParseError { message: msg.to_string(), offset: 0 }
+}
+
+impl Artifact {
+    /// Parse any of the three artifact kinds, detecting which one this
+    /// is from its structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed JSON, or a
+    /// synthetic error when the document matches none of the known
+    /// artifact shapes (or matches one but is structurally broken).
+    pub fn parse(text: &str) -> Result<Artifact, JsonParseError> {
+        let doc = Json::parse(text)?;
+        if doc.get("kind").and_then(Json::as_str) == Some("analysis") {
+            return Self::from_analysis(&doc);
+        }
+        if doc.get("entries").is_some() {
+            return Self::from_baseline(text);
+        }
+        if doc.get("counters").is_some() && doc.get("derived").is_some() {
+            return Self::from_profile(&doc);
+        }
+        Err(bad("not a recognized artifact (baseline, profile or analysis JSON)"))
+    }
+
+    fn from_baseline(text: &str) -> Result<Artifact, JsonParseError> {
+        let base = crate::Baseline::from_json(text)?;
+        let metrics = base
+            .entries
+            .into_iter()
+            .map(|e| Metric {
+                is_counter: !is_derived(&e.name),
+                band: Some((e.lo, e.hi)),
+                name: e.name,
+                value: e.value,
+            })
+            .collect();
+        Ok(Artifact {
+            kind: ArtifactKind::Baseline,
+            workload: base.workload,
+            metrics,
+            critical_path: None,
+        })
+    }
+
+    fn from_profile(doc: &Json) -> Result<Artifact, JsonParseError> {
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("profile missing `workload`"))?
+            .to_string();
+        let mut metrics = Vec::new();
+        let mut counter = |name: String, value: f64| {
+            metrics.push(Metric { name, value, band: None, is_counter: true });
+        };
+        let cycles = doc
+            .get("cycles")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("profile missing `cycles`"))?;
+        counter("cycles".to_string(), cycles);
+        let ctx = doc
+            .get("ctx_cycles")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("profile missing `ctx_cycles`"))?;
+        for (c, v) in ctx.iter().enumerate() {
+            counter(format!("ctx{c}_cycles"), v.as_f64().unwrap_or(0.0));
+        }
+        if let Some(phases) = doc.get("phases").and_then(Json::as_arr) {
+            for (c, p) in phases.iter().enumerate() {
+                for key in ["compute", "memory", "idle_wait", "dispatch"] {
+                    let v = p.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                    counter(format!("ctx{c}_{key}_cycles"), v);
+                }
+            }
+        }
+        let counters = doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("profile missing `counters`"))?;
+        for (name, v) in counters {
+            counter(name.clone(), v.as_f64().unwrap_or(0.0));
+        }
+        let derived = doc
+            .get("derived")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("profile missing `derived`"))?;
+        for (name, v) in derived {
+            metrics.push(Metric {
+                name: name.clone(),
+                value: v.as_f64().unwrap_or(0.0),
+                band: None,
+                is_counter: false,
+            });
+        }
+        Ok(Artifact { kind: ArtifactKind::Profile, workload, metrics, critical_path: None })
+    }
+
+    fn from_analysis(doc: &Json) -> Result<Artifact, JsonParseError> {
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("analysis missing `workload`"))?
+            .to_string();
+        let mut metrics = Vec::new();
+        let counters = doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("analysis missing `counters`"))?;
+        for (name, v) in counters {
+            metrics.push(Metric {
+                name: name.clone(),
+                value: v.as_f64().unwrap_or(0.0),
+                band: None,
+                is_counter: true,
+            });
+        }
+        if let Some(derived) = doc.get("derived").and_then(Json::as_obj) {
+            for (name, v) in derived {
+                metrics.push(Metric {
+                    name: name.clone(),
+                    value: v.as_f64().unwrap_or(0.0),
+                    band: None,
+                    is_counter: false,
+                });
+            }
+        }
+        let path = doc
+            .get("critical_path")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("analysis missing `critical_path`"))?;
+        let mut critical_path = Vec::new();
+        for seg in path {
+            critical_path.push(PathTask {
+                task: seg
+                    .get("task")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("path segment missing `task`"))?,
+                class: seg.get("class").and_then(Json::as_str).unwrap_or("").to_string(),
+                label: seg.get("label").and_then(Json::as_str).unwrap_or("").to_string(),
+                cause: seg.get("cause").and_then(Json::as_str).unwrap_or("").to_string(),
+                cycles: seg.get("cycles").and_then(Json::as_u64).unwrap_or(0),
+            });
+        }
+        Ok(Artifact {
+            kind: ArtifactKind::Analysis,
+            workload,
+            metrics,
+            critical_path: Some(critical_path),
+        })
+    }
+
+    /// Look up one metric by name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterSet;
+    use gpstream_machine::{MemStats, PhaseCycles};
+
+    fn sample_set() -> CounterSet {
+        CounterSet {
+            cycles: 1000,
+            ctx_cycles: [1000, 800],
+            mem: MemStats { l1_accesses: 100, l1_hits: 90, l1_misses: 10, ..MemStats::default() },
+            phases: [PhaseCycles::default(); 2],
+        }
+    }
+
+    #[test]
+    fn derived_names_match_counter_set() {
+        let derived = sample_set().derived();
+        let names: Vec<&str> = derived.iter().map(|d| d.name).collect();
+        assert_eq!(names, DERIVED_NAMES, "keep DERIVED_NAMES in sync with CounterSet::derived");
+    }
+
+    #[test]
+    fn baseline_round_trips_through_artifact() {
+        let base = crate::Baseline::capture("unit", &sample_set());
+        let art = Artifact::parse(&base.to_json().to_string()).unwrap();
+        assert_eq!(art.kind, ArtifactKind::Baseline);
+        assert_eq!(art.workload, "unit");
+        let cycles = art.metric("cycles").unwrap();
+        assert_eq!(cycles.value, 1000.0);
+        assert!(cycles.band.is_some());
+        assert!(cycles.is_counter);
+        let rate = art.metric("l1_miss_rate").unwrap();
+        assert!(!rate.is_counter);
+    }
+
+    #[test]
+    fn profile_json_parses_with_all_values_names() {
+        let cs = sample_set();
+        let tree = crate::TopNode {
+            name: "unit".into(),
+            self_cycles: 0,
+            total_cycles: 0,
+            children: vec![],
+        };
+        let prof =
+            gpstream_core::exec::sim::SimProfile { interval: 0, tasks: vec![], samples: vec![] };
+        let text = crate::report::profile_json("unit", &cs, &tree, &prof).to_doc_string();
+        let art = Artifact::parse(&text).unwrap();
+        assert_eq!(art.kind, ArtifactKind::Profile);
+        // Every name the regression gate tracks is present, same values.
+        for (name, value) in cs.all_values() {
+            let m = art.metric(&name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!((m.value - value).abs() < 1e-9, "{name}: {} vs {value}", m.value);
+        }
+        assert!(art.metric("cycles").unwrap().effective_band().1 > 1000.0);
+    }
+
+    #[test]
+    fn unknown_documents_are_rejected() {
+        assert!(Artifact::parse("{\"v\":1}").is_err());
+        assert!(Artifact::parse("not json").is_err());
+    }
+}

@@ -93,11 +93,13 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Whether a tracked value is a raw counter (integer-valued) as opposed
-/// to a derived metric. Determined by position: `all_values` lists the
-/// counters first.
-fn band(name: &str, value: f64, is_counter: bool) -> (f64, f64) {
-    let _ = name;
+/// Default tolerance band around a tracked value: ±[`REL_TOL`] with the
+/// appropriate absolute floor ([`ABS_FLOOR_COUNTER`] for raw integer
+/// counters, [`ABS_FLOOR_DERIVED`] for derived rates). Shared with the
+/// analyzer's `figures diff`, which reuses the same bands when one side
+/// of a comparison carries none.
+#[must_use]
+pub fn default_band(value: f64, is_counter: bool) -> (f64, f64) {
     let slack = if is_counter {
         (value.abs() * REL_TOL).max(ABS_FLOOR_COUNTER)
     } else {
@@ -116,7 +118,7 @@ impl Baseline {
             .into_iter()
             .enumerate()
             .map(|(i, (name, value))| {
-                let (lo, hi) = band(&name, value, i < n_counters);
+                let (lo, hi) = default_band(value, i < n_counters);
                 BaselineEntry { name, value, lo, hi }
             })
             .collect();

@@ -1,0 +1,28 @@
+//! Shared task naming: one class key and display label per task.
+//!
+//! The top-down tree, the native parity report and the critical-path
+//! analyzer all name tasks; keeping the naming here (matching the trace
+//! exporter's convention) lets profiles, traces and path reports
+//! cross-reference by label.
+
+use gpstream_core::task::TaskKind;
+use gpstream_core::StreamGraph;
+
+/// Class key and display label for one task. The class groups tasks by
+/// what they do (`"gather"`, `"scatter"`, one class per kernel); the
+/// label additionally pins down the element range.
+#[must_use]
+pub fn task_class_and_label(kind: &TaskKind, graph: &StreamGraph) -> (String, String) {
+    match kind {
+        TaskKind::Gather { binding, .. } => {
+            ("gather".to_string(), format!("gather s{} [{:?})", binding.stream.0, binding.elems))
+        }
+        TaskKind::Scatter { binding, .. } => {
+            ("scatter".to_string(), format!("scatter s{} [{:?})", binding.stream.0, binding.elems))
+        }
+        TaskKind::Kernel { kernel, items, .. } => (
+            format!("kernel k{} {}", kernel.0, graph.kernel(*kernel).name),
+            format!("kernel k{} [{:?})", kernel.0, items),
+        ),
+    }
+}

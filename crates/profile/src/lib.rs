@@ -28,11 +28,14 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod baseline;
 pub mod counters;
+pub mod labels;
 pub mod report;
 pub mod topdown;
 
+pub use artifact::{Artifact, ArtifactKind, Metric};
 pub use baseline::{Baseline, Violation};
 pub use counters::{CounterSet, DerivedMetric};
 pub use topdown::TopNode;

@@ -10,23 +10,12 @@ use crate::counters::{mem_stats_json, CounterSet};
 use crate::topdown::{self, TopNode};
 use gpstream_core::exec::native::TaskTime;
 use gpstream_core::exec::sim::SimProfile;
-use gpstream_core::task::{ScheduledProgram, TaskKind};
+use gpstream_core::task::ScheduledProgram;
 use gpstream_core::StreamGraph;
 use gpstream_machine::{CounterSample, MemStats};
+use gpstream_util::render::thousands;
 use gpstream_util::Json;
 use std::fmt::Write as _;
-
-fn thousands(v: u64) -> String {
-    let digits = v.to_string();
-    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
-    for (i, ch) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i).is_multiple_of(3) {
-            out.push(',');
-        }
-        out.push(ch);
-    }
-    out
-}
 
 /// Render the counter set as a `perf stat`-style report: raw counters
 /// first (thousands-separated, right-aligned), then the derived
@@ -157,7 +146,7 @@ pub fn native_profile_text(
             continue;
         }
         ns.sort_unstable();
-        let (class, label) = class_and_label(&task.kind, graph);
+        let (class, label) = crate::labels::task_class_and_label(&task.kind, graph);
         if class != current_class {
             let _ = writeln!(out, "{:>12} {:>12} {:>12}  {}", "", "", "", class);
             current_class = class;
@@ -173,21 +162,6 @@ pub fn native_profile_text(
         );
     }
     out
-}
-
-fn class_and_label(kind: &TaskKind, graph: &StreamGraph) -> (String, String) {
-    match kind {
-        TaskKind::Gather { binding, .. } => {
-            ("gather".to_string(), format!("gather s{} [{:?})", binding.stream.0, binding.elems))
-        }
-        TaskKind::Scatter { binding, .. } => {
-            ("scatter".to_string(), format!("scatter s{} [{:?})", binding.stream.0, binding.elems))
-        }
-        TaskKind::Kernel { kernel, items, .. } => (
-            format!("kernel k{} {}", kernel.0, graph.kernel(*kernel).name),
-            format!("kernel k{} [{:?})", kernel.0, items),
-        ),
-    }
 }
 
 #[cfg(test)]

@@ -12,8 +12,9 @@
 //! collapsed-stack format (`path;to;frame self_cycles` lines), which
 //! flamegraph tooling consumes directly.
 
+use crate::labels::task_class_and_label;
 use gpstream_core::exec::sim::SimProfile;
-use gpstream_core::task::{ScheduledProgram, TaskKind};
+use gpstream_core::task::ScheduledProgram;
 use gpstream_core::StreamGraph;
 
 /// One node of the top-down tree. Invariant:
@@ -33,23 +34,6 @@ pub struct TopNode {
 impl TopNode {
     fn leaf(name: String, cycles: u64) -> TopNode {
         TopNode { name, self_cycles: cycles, total_cycles: cycles, children: Vec::new() }
-    }
-}
-
-/// Class key and display label for one task (the label matches the
-/// trace exporter's naming so profiles and traces cross-reference).
-fn task_class_and_label(kind: &TaskKind, graph: &StreamGraph) -> (String, String) {
-    match kind {
-        TaskKind::Gather { binding, .. } => {
-            ("gather".to_string(), format!("gather s{} [{:?})", binding.stream.0, binding.elems))
-        }
-        TaskKind::Scatter { binding, .. } => {
-            ("scatter".to_string(), format!("scatter s{} [{:?})", binding.stream.0, binding.elems))
-        }
-        TaskKind::Kernel { kernel, items, .. } => (
-            format!("kernel k{} {}", kernel.0, graph.kernel(*kernel).name),
-            format!("kernel k{} [{:?})", kernel.0, items),
-        ),
     }
 }
 
@@ -122,17 +106,7 @@ pub fn topdown(
 /// ```
 #[must_use]
 pub fn render(root: &TopNode) -> String {
-    fn thousands(v: u64) -> String {
-        let digits = v.to_string();
-        let mut out = String::with_capacity(digits.len() + digits.len() / 3);
-        for (i, ch) in digits.chars().enumerate() {
-            if i > 0 && (digits.len() - i).is_multiple_of(3) {
-                out.push(',');
-            }
-            out.push(ch);
-        }
-        out
-    }
+    use gpstream_util::render::thousands;
     fn walk(n: &TopNode, depth: usize, grand_total: u64, out: &mut String) {
         let pct =
             if grand_total == 0 { 0.0 } else { 100.0 * n.total_cycles as f64 / grand_total as f64 };
@@ -191,7 +165,7 @@ mod tests {
     use super::*;
     use gpstream_core::exec::sim::TaskProfile;
     use gpstream_core::graph::StreamId;
-    use gpstream_core::task::{PortBinding, TaskDesc, TaskId};
+    use gpstream_core::task::{PortBinding, TaskDesc, TaskId, TaskKind};
     use gpstream_machine::{MemStats, PhaseCycles};
 
     fn tiny_program() -> (ScheduledProgram, StreamGraph) {

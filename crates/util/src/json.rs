@@ -87,6 +87,19 @@ impl Json {
             }
         }
     }
+
+    /// Serialize as an on-disk document: the canonical single-line form
+    /// plus a trailing newline. Every JSON artifact writer in the
+    /// workspace (profile baselines, `profile.json`, the analyzer's
+    /// `analysis.json`, tuner artifacts) goes through this one function,
+    /// so two crates writing the same value produce byte-identical files.
+    #[must_use]
+    pub fn to_doc_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out.push('\n');
+        out
+    }
 }
 
 /// Error from [`Json::parse`]: what went wrong and the byte offset.
@@ -180,6 +193,15 @@ impl Json {
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's key/value pairs, in document order.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
             _ => None,
         }
     }

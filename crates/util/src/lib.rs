@@ -17,6 +17,7 @@ pub mod bench;
 pub mod check;
 pub mod hash;
 pub mod json;
+pub mod render;
 pub mod rng;
 
 pub use hash::Fingerprint;

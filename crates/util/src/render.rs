@@ -1,0 +1,34 @@
+//! Shared report-rendering helpers.
+//!
+//! Every human-readable report in the workspace (profiler tables,
+//! analyzer path reports, figure dumps) formats large cycle counts the
+//! same way; keeping the formatter here means they cannot drift apart
+//! and a byte-determinism test in one place covers all of them.
+
+/// Format an integer with thousands separators: `1234567` → `"1,234,567"`.
+#[must_use]
+pub fn thousands(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_of_three() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_000), "1,000");
+        assert_eq!(thousands(1_234_567), "1,234,567");
+        assert_eq!(thousands(100_000_000), "100,000,000");
+    }
+}

@@ -41,6 +41,12 @@ pub struct DiffReport {
     pub a: String,
     /// B-side description.
     pub b: String,
+    /// Set when the two artifacts are of different kinds (say a profile
+    /// against an analysis report): `(a_kind, b_kind)` short names. Such
+    /// a diff only covers the metrics the kinds share, so it cannot
+    /// vouch for the artifacts as a whole — strict callers must fail on
+    /// it rather than report a clean comparison.
+    pub kind_mismatch: Option<(&'static str, &'static str)>,
     /// Every metric either side tracks, in A's order then B-only ones.
     pub metrics: Vec<MetricDelta>,
     /// Critical-path diff, when both artifacts carry a path.
@@ -94,6 +100,7 @@ pub fn diff(a: &Artifact, b: &Artifact) -> DiffReport {
     DiffReport {
         a: format!("{} ({})", a.workload, a.kind.name()),
         b: format!("{} ({})", b.workload, b.kind.name()),
+        kind_mismatch: (a.kind != b.kind).then(|| (a.kind.name(), b.kind.name())),
         metrics,
         path,
     }
@@ -113,6 +120,12 @@ fn fmt_value(v: f64) -> String {
 pub fn render(r: &DiffReport) -> String {
     let mut out = String::new();
     let _ = writeln!(out, " diff: A = {}   B = {}", r.a, r.b);
+    if let Some((ka, kb)) = r.kind_mismatch {
+        let _ = writeln!(
+            out,
+            " WARNING: artifact kinds differ ({ka} vs {kb}) — only shared metrics are covered"
+        );
+    }
     out.push('\n');
     let _ = writeln!(out, "{:>16} {:>16} {:>14}  metric", "A", "B", "delta");
     for m in &r.metrics {

@@ -290,15 +290,23 @@ fn diff_against_baseline_and_missing_metrics() {
     let base_art = Artifact::parse(&base.to_json().to_doc_string()).unwrap();
     let d = diff(&base_art, &art);
     assert!(d.out_of_band().is_empty(), "same run must diff clean: {:?}", d.out_of_band());
+    // Baseline vs profile is a cross-kind diff: flagged, so `--strict`
+    // can refuse to vouch for it (regression: it used to pass silently
+    // after comparing only the shared fields).
+    assert_eq!(d.kind_mismatch, Some(("baseline", "profile")));
     // An analysis artifact tracks different metrics; the diff lists
     // them as one-sided instead of erroring.
     let an = analyze(&wl);
     let an_art = Artifact::parse(&render::to_json(&an).to_doc_string()).unwrap();
     let d = diff(&art, &an_art);
+    assert_eq!(d.kind_mismatch, Some(("profile", "analysis")));
     assert!(d.metrics.iter().any(|m| m.a.is_some() && m.b.is_none()));
     assert!(d.metrics.iter().any(|m| m.name == "memory_share" && m.a.is_none()));
     let text = gpstream_analyze::diff::render(&d);
     assert!(text.contains("[only in A]") && text.contains("[only in B]"));
+    assert!(text.contains("WARNING: artifact kinds differ (profile vs analysis)"), "{text}");
+    // Same-kind diffs stay unflagged.
+    assert_eq!(diff(&art, &art).kind_mismatch, None);
 }
 
 #[test]

@@ -1,0 +1,16 @@
+//! Simulator-throughput bench: how many cycles per wall-clock second
+//! the timing engine simulates in each step mode.
+//!
+//! Unlike the other benches this one does not time *simulated* cycles —
+//! it times the simulator itself, via
+//! [`gpstream_microbench::simspeed`]: each row captures one warmed
+//! snapshot per step mode and reports best-of-reps wall time of the
+//! measured iteration. `figures simspeed --check` gates on the same
+//! measurement in CI.
+
+use gpstream_microbench::simspeed;
+
+fn main() {
+    let rows = simspeed::default_rows(3);
+    print!("{}", simspeed::render(&rows));
+}

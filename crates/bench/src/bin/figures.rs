@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! figures [SELECTOR] [--in-order] [--json PATH] [--trace PATH]
-//! figures profile WORKLOAD [--out DIR] [--interval N] [--in-order] [--check]
-//!                 [--update-baseline] [--baselines DIR] [--native [REPEATS]]
-//! figures analyze WORKLOAD [--out FILE]
+//! figures profile WORKLOAD [--out DIR] [--interval N] [--in-order] [--fast-sim]
+//!                 [--check] [--update-baseline] [--baselines DIR] [--native [REPEATS]]
+//! figures analyze WORKLOAD [--out FILE] [--fast-sim]
 //! figures diff A.json B.json [--strict]
+//! figures simspeed [--reps N] [--out FILE] [--check]
 //! figures --list
 //! ```
 //!
@@ -50,6 +51,10 @@
 //! is still inspectable; `--update-baseline` regenerates the snapshot.
 //! `--native [REPEATS]` appends the native executor's wall-clock
 //! parity report (not deterministic, never written to `--out`).
+//! `--fast-sim` runs the timing pass in the event-driven step mode —
+//! every artifact is byte-identical to the cycle-stepped default (the
+//! differential suite asserts it), the run is just faster, so baseline
+//! checks are valid in either mode.
 //!
 //! `analyze WORKLOAD` runs one catalog workload with task logging on
 //! and prints the critical-path report: per-segment cycle attribution
@@ -62,7 +67,18 @@
 //! combination — with per-metric deltas flagged against A's tolerance
 //! bands and, when both sides carry one, a structural critical-path
 //! diff. Informational by default (exit 0); `--strict` exits non-zero
-//! when any shared metric lands out of band.
+//! when any shared metric lands out of band, or when the two artifacts
+//! are of different kinds (a cross-kind diff only covers the shared
+//! metrics, so it cannot vouch for the artifacts as a whole).
+//!
+//! `simspeed` measures the simulator itself: simulated cycles per
+//! wall-clock second for the cycle-stepped vs event-driven engines on
+//! the probe workloads (see `gpstream_microbench::simspeed`), as a
+//! speedup table. `--reps N` takes the best of N timed iterations
+//! (default 3), `--out FILE` writes the table as a canonical JSON
+//! artifact, and `--check` exits non-zero unless the event-driven mode
+//! reaches a ≥ 10x speedup on at least one workload (the PR's
+//! acceptance gate, enforced in CI).
 
 use gpstream_apps::fem;
 use gpstream_bench as fig;
@@ -71,6 +87,7 @@ use gpstream_core::exec::sim::SimExecutor;
 use gpstream_core::metrics::Comparison;
 use gpstream_core::{chrome_trace, StreamGraph, TraceRun, World};
 use gpstream_machine::{MachineConfig, PhaseCycles, WaitPolicy};
+use gpstream_microbench::simspeed::SimSpeedRow;
 use gpstream_util::Json;
 
 struct Cli {
@@ -224,6 +241,7 @@ fn profile_main(args: &[String]) -> ! {
     let mut interval: Option<u64> = None;
     let mut check = false;
     let mut in_order = false;
+    let mut fast_sim = false;
     let mut update_baseline = false;
     let mut baselines = "profiles/baselines".to_string();
     let mut native: Option<usize> = None;
@@ -231,8 +249,8 @@ fn profile_main(args: &[String]) -> ! {
     let usage = |msg: &str| -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: figures profile WORKLOAD [--out DIR] [--interval N] [--in-order] [--check] \
-             [--update-baseline] [--baselines DIR] [--native [REPEATS]]"
+            "usage: figures profile WORKLOAD [--out DIR] [--interval N] [--in-order] \
+             [--fast-sim] [--check] [--update-baseline] [--baselines DIR] [--native [REPEATS]]"
         );
         eprintln!("workloads: {}", gpstream_tune::workloads::CATALOG.join(" "));
         std::process::exit(2);
@@ -256,6 +274,7 @@ fn profile_main(args: &[String]) -> ! {
             }
             "--check" => check = true,
             "--in-order" => in_order = true,
+            "--fast-sim" => fast_sim = true,
             "--update-baseline" => update_baseline = true,
             "--baselines" => baselines = value(args, &mut i, "--baselines"),
             "--native" => {
@@ -276,7 +295,8 @@ fn profile_main(args: &[String]) -> ! {
         i += 1;
     }
     let Some(workload) = workload else { usage("missing WORKLOAD") };
-    let Some(out) = fig::profiling::profile_workload(&workload, interval, in_order) else {
+    let Some(out) = fig::profiling::profile_workload(&workload, interval, in_order, fast_sim)
+    else {
         usage(&format!("unknown workload `{workload}`"))
     };
 
@@ -354,9 +374,10 @@ fn profile_main(args: &[String]) -> ! {
 fn analyze_main(args: &[String]) -> ! {
     let mut workload: Option<String> = None;
     let mut out_file: Option<String> = None;
+    let mut fast_sim = false;
     let usage = |msg: &str| -> ! {
         eprintln!("{msg}");
-        eprintln!("usage: figures analyze WORKLOAD [--out FILE]");
+        eprintln!("usage: figures analyze WORKLOAD [--out FILE] [--fast-sim]");
         eprintln!("workloads: {}", gpstream_tune::workloads::CATALOG.join(" "));
         std::process::exit(2);
     };
@@ -374,6 +395,7 @@ fn analyze_main(args: &[String]) -> ! {
                 out_file =
                     Some(args.get(i).cloned().unwrap_or_else(|| usage("--out needs a file path")));
             }
+            "--fast-sim" => fast_sim = true,
             other if workload.is_none() && !other.starts_with('-') => {
                 workload = Some(other.to_string());
             }
@@ -382,7 +404,7 @@ fn analyze_main(args: &[String]) -> ! {
         i += 1;
     }
     let Some(workload) = workload else { usage("missing WORKLOAD") };
-    let Some(analysis) = gpstream_analyze::analyze_workload(&workload) else {
+    let Some(analysis) = gpstream_analyze::analyze_workload_with(&workload, fast_sim) else {
         usage(&format!("unknown workload `{workload}`"))
     };
     print!("{}", gpstream_analyze::render::text(&analysis));
@@ -430,6 +452,16 @@ fn diff_main(args: &[String]) -> ! {
     let b = load(&paths[1]);
     let d = gpstream_analyze::diff::diff(&a, &b);
     print!("{}", gpstream_analyze::diff::render(&d));
+    let mut failing = false;
+    if let Some((ka, kb)) = d.kind_mismatch {
+        // A cross-kind diff compares only the metrics the kinds share,
+        // so strict mode must not report it as a clean pass.
+        println!(
+            "artifact kinds differ ({ka} vs {kb}){}",
+            if strict { " (strict: failing)" } else { "" }
+        );
+        failing = true;
+    }
     let out_of_band = d.out_of_band();
     if !out_of_band.is_empty() {
         println!(
@@ -437,9 +469,62 @@ fn diff_main(args: &[String]) -> ! {
             out_of_band.len(),
             if strict { " (strict: failing)" } else { "" }
         );
-        if strict {
+        failing = true;
+    }
+    if strict && failing {
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `figures simspeed` subcommand. Exits the process: 0 on success, 1
+/// when `--check` finds no ≥ 10x workload, 2 on usage errors.
+fn simspeed_main(args: &[String]) -> ! {
+    let mut reps: u32 = 3;
+    let mut out_file: Option<String> = None;
+    let mut check = false;
+    let usage = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: figures simspeed [--reps N] [--out FILE] [--check]");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a positive number"));
+                if reps == 0 {
+                    usage("--reps needs a positive number");
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_file =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--out needs a file path")));
+            }
+            "--check" => check = true,
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let rows = gpstream_microbench::simspeed::default_rows(reps);
+    print!("{}", gpstream_microbench::simspeed::render(&rows));
+    if let Some(path) = &out_file {
+        let doc = gpstream_microbench::simspeed::to_json(&rows).to_doc_string();
+        std::fs::write(path, doc).expect("write simspeed JSON");
+        println!("wrote speedup table to {path}");
+    }
+    if check {
+        let best = rows.iter().map(SimSpeedRow::speedup).fold(0.0f64, f64::max);
+        if best < 10.0 {
+            eprintln!("simspeed check FAILED: best event-driven speedup {best:.2}x < 10x");
             std::process::exit(1);
         }
+        println!("simspeed check passed: best event-driven speedup {best:.2}x >= 10x");
     }
     std::process::exit(0);
 }
@@ -450,6 +535,7 @@ fn main() {
         Some("profile") => profile_main(&raw[1..]),
         Some("analyze") => analyze_main(&raw[1..]),
         Some("diff") => diff_main(&raw[1..]),
+        Some("simspeed") => simspeed_main(&raw[1..]),
         _ => {}
     }
     let cli = parse_args();

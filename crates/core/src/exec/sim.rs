@@ -26,7 +26,7 @@ use crate::world::World;
 use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 use gpstream_machine::{
     ContextProgram, CounterSample, Machine, MachineConfig, MachineEventKind, MemStats, RunResult,
-    TaskNode,
+    StepMode, TaskNode,
 };
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -120,6 +120,7 @@ pub struct SimProfile {
 
 /// Per-context lowering: the op streams plus, per op, the task that
 /// produced it (for trace attribution).
+#[derive(Debug)]
 struct Lowered {
     ops: [Vec<BulkOp>; 2],
     owners: [Vec<TaskId>; 2],
@@ -134,6 +135,27 @@ pub struct SimExecutor {
     warmup: bool,
     single_context: bool,
     in_order: bool,
+    trace: bool,
+    profile: bool,
+    task_log: bool,
+    fast_sim: bool,
+    sample_interval: u64,
+}
+
+/// Warmed engine state captured after the functional pass, lowering, and
+/// (if configured) the warm-up timing iteration. Cloning the contained
+/// machine and running only the measured iteration via
+/// [`SimExecutor::resume_from`] yields a report byte-identical to
+/// [`SimExecutor::run`] on the same executor — successive tuner rungs
+/// and what-if replays share the warmed prefix instead of re-simulating
+/// it.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    machine: Machine,
+    lowered: Arc<Lowered>,
+    progs: Option<[ContextProgram; 2]>,
+    task_ids: Arc<[TaskId]>,
+    wait_policy: WaitPolicy,
     trace: bool,
     profile: bool,
     task_log: bool,
@@ -156,6 +178,7 @@ impl Default for SimExecutor {
             trace: false,
             profile: false,
             task_log: false,
+            fast_sim: false,
             sample_interval: DEFAULT_SAMPLE_INTERVAL,
         }
     }
@@ -270,6 +293,18 @@ impl SimExecutor {
         self
     }
 
+    /// Run the timing pass in the event-driven fast mode
+    /// ([`StepMode::Event`]): blocked-partner spans and provably-hitting
+    /// reference runs are replayed arithmetically instead of chunk by
+    /// chunk. Results are byte-identical to the default cycle-stepped
+    /// mode (the differential suite in `tests/differential.rs` asserts
+    /// this across the workload catalog); only wall-clock time changes.
+    #[must_use]
+    pub fn fast_sim(mut self, on: bool) -> Self {
+        self.fast_sim = on;
+        self
+    }
+
     /// Override the interval (in cycles) between counter samples taken
     /// while profiling.
     ///
@@ -301,6 +336,24 @@ impl SimExecutor {
         graph: &StreamGraph,
         world: &mut World,
     ) -> SimReport {
+        let snap = self.snapshot(program, graph, world);
+        self.resume_from(&snap)
+    }
+
+    /// Run the functional pass, lower the schedule, and (when a warm-up
+    /// is configured) run the warm-up timing iteration, capturing the
+    /// warmed engine just before the measured iteration. Array results
+    /// land in `world` exactly as with [`SimExecutor::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation or does not fit the SRF.
+    pub fn snapshot(
+        &self,
+        program: &ScheduledProgram,
+        graph: &StreamGraph,
+        world: &mut World,
+    ) -> SimSnapshot {
         program.check(graph).expect("scheduled program must be consistent");
         assert!(
             program.srf_bytes <= self.srf_cfg.capacity,
@@ -315,9 +368,10 @@ impl SimExecutor {
             execute_task(task, graph, world, &mut srf);
         }
 
-        // Timing pass.
+        // Timing-pass setup.
         let mut machine = Machine::new(self.machine_cfg.clone());
         machine.install_srf(self.srf_cfg.range());
+        machine.set_step_mode(if self.fast_sim { StepMode::Event } else { StepMode::Stepped });
         if self.trace {
             machine.enable_trace();
         }
@@ -325,42 +379,69 @@ impl SimExecutor {
             machine.enable_profile();
             machine.enable_sampling(self.sample_interval);
         }
-        if self.task_log && !self.single_context && !self.in_order {
+        let task_log = self.task_log && !self.single_context && !self.in_order;
+        if task_log {
             machine.enable_task_log();
         }
-        let (lowered, timing) = if self.single_context {
-            let lowered = self.lower_single(program, graph, world);
-            if self.warmup {
-                let _ = machine.run(lowered.ops.clone());
-                machine.reset_time(); // also drops the warm-up's trace events
-            }
-            let timing = machine.run(lowered.ops.clone());
-            (lowered, timing)
+        let (lowered, progs) = if self.single_context {
+            (self.lower_single(program, graph, world), None)
         } else if self.in_order {
-            let lowered = self.lower(program, graph, world);
-            if self.warmup {
-                let _ = machine.run(lowered.ops.clone());
-                machine.reset_time();
-            }
-            let timing = machine.run(lowered.ops.clone());
-            (lowered, timing)
+            (self.lower(program, graph, world), None)
         } else {
             let (lowered, progs) = self.lower_tasks(program, graph, world);
-            let window = crate::workqueue::WINDOW;
-            if self.warmup {
-                let _ = machine.run_tasks(progs.clone(), self.wait_policy, window);
-                machine.reset_time();
-            }
-            let timing = machine.run_tasks(progs, self.wait_policy, window);
-            (lowered, timing)
+            (lowered, Some(progs))
         };
-        let trace = self.trace.then(|| attribute_events(machine.take_trace(), &lowered, program));
-        let profile = self.profile.then(|| SimProfile {
-            interval: self.sample_interval,
-            tasks: attribute_profile(machine.take_profile(), &lowered),
+        if self.warmup {
+            match &progs {
+                Some(progs) => {
+                    let _ = machine.run_tasks(
+                        progs.clone(),
+                        self.wait_policy,
+                        crate::workqueue::WINDOW,
+                    );
+                }
+                None => {
+                    let _ = machine.run(lowered.ops.clone());
+                }
+            }
+            machine.reset_time(); // also drops the warm-up's trace events
+        }
+        SimSnapshot {
+            machine,
+            lowered: Arc::new(lowered),
+            progs,
+            task_ids: program.tasks.iter().map(|t| t.id).collect(),
+            wait_policy: self.wait_policy,
+            trace: self.trace,
+            profile: self.profile,
+            task_log,
+            sample_interval: self.sample_interval,
+        }
+    }
+
+    /// Run the measured timing iteration from a warmed snapshot. The
+    /// snapshot is not consumed — its machine state is cloned — so many
+    /// variants (tuner rungs, what-if replays) can resume from one
+    /// snapshot. `self.run(..)` and `self.resume_from(&self.snapshot(..))`
+    /// produce byte-identical reports.
+    #[must_use]
+    pub fn resume_from(&self, snap: &SimSnapshot) -> SimReport {
+        let mut machine = snap.machine.clone();
+        let timing = match &snap.progs {
+            Some(progs) => {
+                machine.run_tasks(progs.clone(), snap.wait_policy, crate::workqueue::WINDOW)
+            }
+            None => machine.run(snap.lowered.ops.clone()),
+        };
+        let lowered = &*snap.lowered;
+        let trace =
+            snap.trace.then(|| attribute_events(machine.take_trace(), lowered, &snap.task_ids));
+        let profile = snap.profile.then(|| SimProfile {
+            interval: snap.sample_interval,
+            tasks: attribute_profile(machine.take_profile(), lowered),
             samples: machine.take_samples(),
         });
-        let task_runs = (self.task_log && !self.single_context && !self.in_order).then(|| {
+        let task_runs = snap.task_log.then(|| {
             machine
                 .take_task_log()
                 .into_iter()
@@ -378,7 +459,7 @@ impl SimExecutor {
                 })
                 .collect()
         });
-        SimReport { timing, tasks: program.tasks.len(), trace, profile, task_runs }
+        SimReport { timing, tasks: snap.task_ids.len(), trace, profile, task_runs }
     }
 
     /// Lower the whole schedule onto one context in task order (the
@@ -641,20 +722,20 @@ fn attribute_profile(ops: Vec<gpstream_machine::OpProfile>, lowered: &Lowered) -
 fn attribute_events(
     events: Vec<gpstream_machine::MachineEvent>,
     lowered: &Lowered,
-    program: &ScheduledProgram,
+    task_ids: &[TaskId],
 ) -> Vec<ExecEvent> {
-    let mut out: Vec<ExecEvent> = Vec::with_capacity(events.len() + program.tasks.len());
+    let mut out: Vec<ExecEvent> = Vec::with_capacity(events.len() + task_ids.len());
     for (c, owners) in lowered.owners.iter().enumerate() {
         if owners.is_empty() {
             continue;
         }
         let owned: HashSet<TaskId> = owners.iter().copied().collect();
-        for t in &program.tasks {
-            if owned.contains(&t.id) {
+        for id in task_ids {
+            if owned.contains(id) {
                 out.push(ExecEvent {
                     ts: 0,
                     who: c as u8,
-                    task: Some(t.id),
+                    task: Some(*id),
                     kind: ExecEventKind::Enqueue,
                 });
             }

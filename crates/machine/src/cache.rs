@@ -193,6 +193,41 @@ impl Cache {
         AccessOutcome { hit: false, writeback, evicted_srf }
     }
 
+    /// Replay `reps` repetitions of a cyclic *hit* sequence in one
+    /// arithmetic update: each `(addr, write)` item is referenced once per
+    /// repetition, in order. Equivalent to calling [`Cache::access`]
+    /// `reps` times over the cycle when every line is resident: the clock
+    /// advances once per reference, each line ends with the stamp of its
+    /// last position in the final repetition, dirty bits accumulate, and
+    /// every reference counts as a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced line is absent — callers must probe with
+    /// [`Cache::contains`] first (the event-driven engine only batches
+    /// references it has proven will hit).
+    pub fn touch_cycle(&mut self, items: &[(u64, bool)], reps: u64) {
+        if items.is_empty() || reps == 0 {
+            return;
+        }
+        let len = items.len() as u64;
+        let clock0 = self.clock;
+        self.clock += len * reps;
+        self.hits += len * reps;
+        for (j, &(addr, write)) in items.iter().enumerate() {
+            let stamp = clock0 + (reps - 1) * len + j as u64 + 1;
+            let (set, tag) = self.index_of(addr);
+            let base = (set * self.geom.ways) as usize;
+            let ways = self.geom.ways as usize;
+            let line = self.lines[base..base + ways]
+                .iter_mut()
+                .find(|l| l.valid && l.tag == tag)
+                .expect("touch_cycle requires resident lines");
+            line.stamp = stamp;
+            line.dirty |= write;
+        }
+    }
+
     /// Probe without updating state: is the line containing `addr` present?
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
@@ -313,6 +348,26 @@ mod tests {
             evicted |= out.evicted_srf;
         }
         assert!(evicted, "plain fills must be able to evict the SRF");
+    }
+
+    #[test]
+    fn touch_cycle_matches_repeated_access() {
+        let mk = || {
+            let mut c = small();
+            for a in [0x100u64, 0x200, 0x300] {
+                c.access(a, false, FillPolicy::Normal);
+            }
+            c
+        };
+        let mut stepped = mk();
+        for _ in 0..7 {
+            for (a, w) in [(0x100u64, false), (0x200, true), (0x100, false)] {
+                assert!(stepped.access(a, w, FillPolicy::Normal).hit);
+            }
+        }
+        let mut batched = mk();
+        batched.touch_cycle(&[(0x100, false), (0x200, true), (0x100, false)], 7);
+        assert_eq!(format!("{stepped:?}"), format!("{batched:?}"));
     }
 
     #[test]

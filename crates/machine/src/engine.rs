@@ -18,7 +18,7 @@
 use crate::bus::Bus;
 use crate::cache::{Cache, FillPolicy};
 use crate::config::MachineConfig;
-use crate::ops::{BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
+use crate::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 use crate::prefetch::Prefetcher;
 use crate::stats::{CounterSample, MemStats, OpProfile, RunResult, TaskIssue};
 use crate::tlb::Tlb;
@@ -164,8 +164,24 @@ impl IssueState {
     }
 }
 
+/// How the run loops advance simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Reference mode: advance in fixed element/cycle chunks, re-picking
+    /// the context and re-resolving waits between every chunk.
+    #[default]
+    Stepped,
+    /// Event-driven fast path: while the partner context is blocked, run
+    /// the picked context's current op to completion in one span, and
+    /// replay provably-hitting cache/TLB reference runs arithmetically.
+    /// Produces bit-identical results, counters, traces, profiles and
+    /// samples to [`StepMode::Stepped`] (asserted by the differential
+    /// equivalence suite).
+    Event,
+}
+
 /// The simulated machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     cfg: MachineConfig,
     l1: [Cache; 2],
@@ -204,12 +220,19 @@ pub struct Machine {
     /// Task-issue log for `run_tasks`; `None` (the default) records
     /// nothing.
     task_log: Option<Vec<TaskIssue>>,
+    /// Time-advance strategy; see [`StepMode`].
+    mode: StepMode,
+    /// `(line_shift, page_shift)` when the geometry admits the batched
+    /// fast path (power-of-two line and page sizes, L1 and L2 lines
+    /// equal, line no larger than a page); `None` falls back to stepped
+    /// inner loops even in [`StepMode::Event`].
+    fast_shifts: Option<(u32, u32)>,
 }
 
 /// Interval-sampler state: cumulative counter snapshots every `interval`
 /// cycles of the stepped context's local clock, plus one final snapshot
 /// at end of run.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Sampler {
     interval: u64,
     next_t: u64,
@@ -229,6 +252,11 @@ const WC_WINDOW_LINES: u64 = 4;
 /// can reproduce the issue arithmetic exactly.
 pub const DEQUEUE_CYCLES: u64 = 30;
 
+/// Most patterns a [`BulkOp::Loop`] may have for its iterations to be
+/// batch-replayed (fixed-size scratch buffers keep the fast path
+/// allocation-free); loops with more patterns fall back to exact stepping.
+const LOOP_FAST_MAX_PATTERNS: usize = 8;
+
 impl Machine {
     /// Build a machine from a configuration.
     #[must_use]
@@ -241,6 +269,11 @@ impl Machine {
         ];
         let pf = Prefetcher::new(cfg.l2.line, cfg.hw_pf_streams);
         let bus = Bus::new(cfg.bus_bytes_per_cycle, cfg.mem_lat, cfg.bus_turnaround);
+        let fast_shifts = (cfg.l2.line.is_power_of_two()
+            && cfg.page_bytes.is_power_of_two()
+            && cfg.l1.line == cfg.l2.line
+            && cfg.l2.line <= cfg.page_bytes)
+            .then(|| (cfg.l2.line.trailing_zeros(), cfg.page_bytes.trailing_zeros()));
         Machine {
             cfg,
             l1,
@@ -261,7 +294,28 @@ impl Machine {
             profile: None,
             sampler: None,
             task_log: None,
+            mode: StepMode::default(),
+            fast_shifts,
         }
+    }
+
+    /// Select the time-advance strategy for subsequent runs.
+    pub fn set_step_mode(&mut self, mode: StepMode) {
+        self.mode = mode;
+    }
+
+    /// The current time-advance strategy.
+    #[must_use]
+    pub fn step_mode(&self) -> StepMode {
+        self.mode
+    }
+
+    /// Clone the machine's complete state (caches, TLBs, prefetcher, bus
+    /// schedule, clocks, counters and instrumentation sinks) so a warmed
+    /// prefix can be resumed later without re-simulating it.
+    #[must_use]
+    pub fn snapshot(&self) -> Machine {
+        self.clone()
     }
 
     /// Start recording [`MachineEvent`]s. Events accumulate across runs
@@ -485,7 +539,14 @@ impl Machine {
             };
 
             let other_activity = self.activity_of(&cur[1 - pick]);
-            self.step_instrumented(&mut cur, pick, other_activity, &mut signals);
+            if self.mode == StepMode::Event && !runnable(&cur[1 - pick]) {
+                // The partner is finished or waiting on an event only this
+                // context can signal: nothing it observes can change until
+                // the current op completes, so run the op out in one span.
+                self.step_op_span(&mut cur, pick, other_activity, &mut signals);
+            } else {
+                self.step_instrumented(&mut cur, pick, other_activity, &mut signals);
+            }
         }
 
         self.finish_run([cur[0].t, cur[1].t])
@@ -529,8 +590,15 @@ impl Machine {
 
         loop {
             // Earliest time each context could act: step its active task,
-            // or issue its best ready queue entry.
-            let cand = [st[0].pick(&signals, window), st[1].pick(&signals, window)];
+            // or issue its best ready queue entry. The event-driven mode
+            // skips the queue scan for contexts mid-task: `avail` ignores
+            // their candidate and `pick` is a pure function of (signals,
+            // issued), so laziness cannot change the schedule.
+            let lazy = self.mode == StepMode::Event;
+            let cand = [
+                if lazy && st[0].active.is_some() { None } else { st[0].pick(&signals, window) },
+                if lazy && st[1].active.is_some() { None } else { st[1].pick(&signals, window) },
+            ];
             let avail = |c: usize| -> Option<u64> {
                 if st[c].active.is_some() {
                     Some(cur[c].t)
@@ -611,7 +679,17 @@ impl Machine {
             let i = st[c].active.expect("active task set above");
             if cur[c].idx < st[c].tasks[i].ops.end {
                 let other_activity = self.task_activity(&cur[1 - c], &st[1 - c], policy);
-                self.step_instrumented(&mut cur, c, other_activity, &mut signals);
+                if self.mode == StepMode::Event
+                    && st[1 - c].active.is_none()
+                    && cand[1 - c].is_none()
+                {
+                    // The partner has no issueable entry and can only get
+                    // one when this task completes and signals: run the
+                    // current op out in one span.
+                    self.step_op_span(&mut cur, c, other_activity, &mut signals);
+                } else {
+                    self.step_instrumented(&mut cur, c, other_activity, &mut signals);
+                }
             }
             if cur[c].idx >= st[c].tasks[i].ops.end {
                 if let Some(id) = st[c].tasks[i].signal {
@@ -663,13 +741,13 @@ impl Machine {
         signals: &mut BTreeMap<u32, u64>,
     ) {
         if self.profile.is_none() && self.sampler.is_none() {
-            self.step(cur, c, other, signals);
+            self.step_dispatch(cur, c, other, signals);
             return;
         }
         let op = cur[c].idx as u32;
         let t0 = cur[c].t;
         let before = self.stats_now();
-        self.step(cur, c, other, signals);
+        self.step_dispatch(cur, c, other, signals);
         let now = cur[c].t;
         if self.profile.is_some() || self.sampler.as_ref().is_some_and(|s| s.next_t <= now) {
             let after = self.stats_now();
@@ -683,6 +761,70 @@ impl Machine {
                     s.samples.push(CounterSample { t: s.next_t, stats: after });
                     s.next_t += s.interval;
                 }
+            }
+        }
+    }
+
+    /// One chunk step under the active [`StepMode`].
+    fn step_dispatch(
+        &mut self,
+        cur: &mut [Cursor; 2],
+        c: usize,
+        other: Activity,
+        signals: &mut BTreeMap<u32, u64>,
+    ) {
+        match self.mode {
+            StepMode::Stepped => self.step(cur, c, other, signals),
+            // Not greedy: outside a span the partner interleaves at chunk
+            // granularity, and shared-structure (bus, L2) access order
+            // across contexts must match the stepped loop exactly.
+            StepMode::Event => self.step_chunk_fast(cur, c, other, signals, false),
+        }
+    }
+
+    /// Event-mode span: run the picked context's *current op* to
+    /// completion without re-picking or re-resolving waits in between.
+    /// Legal only while the partner cannot act (finished, waiting on an
+    /// unsignaled event, or holding no issueable task): its observable
+    /// state — and hence every SMT factor, pick decision and wait
+    /// resolution the stepped loop would recompute per chunk — is frozen
+    /// until this op retires. Chunk boundaries are preserved inside the
+    /// span so interval samples land on the same ticks with the same
+    /// counter snapshots as the stepped loop.
+    fn step_op_span(
+        &mut self,
+        cur: &mut [Cursor; 2],
+        c: usize,
+        other: Activity,
+        signals: &mut BTreeMap<u32, u64>,
+    ) {
+        let op0 = cur[c].idx;
+        let t0 = cur[c].t;
+        let before = self.profile.is_some().then(|| self.stats_now());
+        // With no sampler attached, chunk boundaries inside the span are
+        // unobservable (profile deltas telescope over the whole op, hits
+        // emit no trace events), so ops may be processed whole.
+        let greedy = self.sampler.is_none();
+        while cur[c].idx == op0 {
+            self.step_chunk_fast(cur, c, other, signals, greedy);
+            let now = cur[c].t;
+            if self.sampler.as_ref().is_some_and(|s| s.next_t <= now) {
+                let after = self.stats_now();
+                if let Some(s) = self.sampler.as_mut() {
+                    while s.next_t <= now {
+                        s.samples.push(CounterSample { t: s.next_t, stats: after });
+                        s.next_t += s.interval;
+                    }
+                }
+            }
+        }
+        if let Some(before) = before {
+            let after = self.stats_now();
+            let now = cur[c].t;
+            if let Some(map) = self.profile.as_mut() {
+                let slot = map.entry((c as u8, op0 as u32)).or_insert((0, MemStats::default()));
+                slot.0 += now.saturating_sub(t0);
+                slot.1.accumulate(&after.delta(&before));
             }
         }
     }
@@ -925,6 +1067,501 @@ impl Machine {
             2 => self.phases[c].idle_wait += dt,
             _ => self.phases[c].dispatch += dt,
         }
+    }
+
+    /// One chunk step with batched inner loops. Byte-identical to
+    /// [`Machine::step`] over the same chunk: it advances the same number
+    /// of elements/iterations, and replaces only *provably hitting*
+    /// reference runs (single-line elements whose lines and pages are
+    /// resident right now) with arithmetic replays; everything else goes
+    /// through the exact stepped code path.
+    fn step_chunk_fast(
+        &mut self,
+        cur: &mut [Cursor; 2],
+        c: usize,
+        other: Activity,
+        signals: &mut BTreeMap<u32, u64>,
+        greedy: bool,
+    ) {
+        if self.fast_shifts.is_none() {
+            self.step(cur, c, other, signals);
+            return;
+        }
+        match &cur[c].ops[cur[c].idx] {
+            BulkOp::Copy { .. } | BulkOp::Loop { .. } => {}
+            _ => {
+                // Compute / Signal / Wait / Delay steps are already O(1)
+                // per chunk; the stepped body is the fast path.
+                self.step(cur, c, other, signals);
+                return;
+            }
+        }
+        let op = cur[c].ops[cur[c].idx].clone();
+        if cur[c].progress == 0 && cur[c].progress_bytes == 0 {
+            let (t0, op_idx) = (cur[c].t, cur[c].idx as u32);
+            self.emit(t0, c, || MachineEventKind::OpStart { op: op_idx });
+        }
+        let bucket = match &op {
+            BulkOp::Loop { class: OpClass::Compute, .. } => 0u8,
+            _ => 1,
+        };
+        let t_before = cur[c].t;
+        match op {
+            BulkOp::Copy { mem, srf_base, dir, nt } => {
+                self.copy_chunk_fast(cur, c, other, &mem, srf_base, dir, nt, greedy);
+            }
+            BulkOp::Loop { patterns, uops_per_iter, .. } => {
+                self.loop_chunk_fast(cur, c, other, &patterns, uops_per_iter, greedy);
+            }
+            _ => unreachable!("matched above"),
+        }
+        let dt = cur[c].t - t_before;
+        match bucket {
+            0 => self.phases[c].compute += dt,
+            _ => self.phases[c].memory += dt,
+        }
+    }
+
+    /// One [`BulkOp::Copy`] chunk with same-line runs batched.
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
+    fn copy_chunk_fast(
+        &mut self,
+        cur: &mut [Cursor; 2],
+        c: usize,
+        other: Activity,
+        mem: &AccessPattern,
+        srf_base: u64,
+        dir: CopyDir,
+        nt: bool,
+        greedy: bool,
+    ) {
+        let (line_shift, page_shift) = self.fast_shifts.expect("checked by step_chunk_fast");
+        let f = self.mem_factor(other);
+        self.bus_contended = other == Activity::Memory;
+        let total = mem.count();
+        let remaining = total - cur[c].progress;
+        let take = if greedy { remaining } else { remaining.min(CHUNK_ELEMS) };
+        let issue = self.uop_cycles(self.cfg.copy_uops_per_elem, f);
+        // Per-element cycles of a fully hitting NT gather: prefetch uops
+        // plus the one-cycle L1-bypass tax `line_access` charges NT loads.
+        let nt_gather_extra = if nt && dir == CopyDir::GatherToSrf {
+            self.uop_cycles(self.cfg.sw_prefetch_uops, f) + 1
+        } else {
+            0
+        };
+        let affine = match mem {
+            AccessPattern::Seq { elem, .. } => Some((*elem, *elem)),
+            AccessPattern::Strided { record, field_bytes, .. } => Some((*record, *field_bytes)),
+            AccessPattern::Indexed { .. } => None,
+        };
+        let start = cur[c].progress;
+        let end = start + take;
+        let mut i = start;
+        let mut srf_off = cur[c].progress_bytes;
+        let mut t = cur[c].t;
+        // Consecutive batches over the same page pair merge their TLB
+        // accounting: `touch_cycle` stamps depend only on the final clock,
+        // so touching (pair, r1) then (pair, r2) leaves the TLB in the
+        // same state as one (pair, r1 + r2) touch. While a merge is
+        // pending the pair is known resident (touches never evict), so
+        // `copy_fast_run` skips its residency probes for matching pairs.
+        let mut pend: Option<([u64; 2], u64)> = None;
+        // Lines proven resident by the most recent exact element: its
+        // accesses fill both sides' lines (every miss path installs the
+        // line) and translate both pages, so a batch over the same lines
+        // needs no residency probes at all. This is the dominant regime
+        // for L2-resident streams: the first element of each line misses
+        // the L1 and steps exactly, then the rest of the line batches.
+        let mut known: Option<(u64, u64)> = None;
+        while i < end {
+            let run = match affine {
+                Some((stride, b)) if b > 0 => self.copy_fast_run(
+                    c,
+                    mem,
+                    i,
+                    end,
+                    srf_base + srf_off,
+                    stride,
+                    b,
+                    dir,
+                    nt,
+                    pend.map(|(p, _)| p),
+                    known,
+                ),
+                _ => 0,
+            };
+            if run >= 2 {
+                let (addr, bytes) = mem.element(i);
+                let srf_addr = srf_base + srf_off;
+                let mem_page = addr >> page_shift;
+                let srf_page = srf_addr >> page_shift;
+                // Pages in the order the stepped path translates them.
+                let pages = match dir {
+                    CopyDir::GatherToSrf => [mem_page, srf_page],
+                    CopyDir::ScatterFromSrf => [srf_page, mem_page],
+                };
+                pend = match pend {
+                    Some((p, reps)) if p == pages => Some((p, reps + run)),
+                    other => {
+                        if let Some((p, reps)) = other {
+                            self.tlb[c].touch_cycle(&p, reps);
+                            self.stats.tlb_hits += 2 * reps;
+                        }
+                        Some((pages, run))
+                    }
+                };
+                match (dir, nt) {
+                    (CopyDir::GatherToSrf, false) => {
+                        self.l1[c].touch_cycle(&[(addr, false)], run);
+                        self.stats.l1_accesses += run;
+                        self.stats.l1_hits += run;
+                        self.l2.touch_cycle(&[(srf_addr, true)], run);
+                        self.stats.l2_accesses += run;
+                        self.stats.l2_hits += run;
+                        self.last_page[c] = srf_page;
+                        t += run * issue;
+                    }
+                    (CopyDir::GatherToSrf, true) => {
+                        self.l2.touch_cycle(&[(addr, false), (srf_addr, true)], run);
+                        self.stats.l2_accesses += 2 * run;
+                        self.stats.l2_hits += 2 * run;
+                        self.last_page[c] = srf_page;
+                        t += run * (issue + nt_gather_extra);
+                    }
+                    (CopyDir::ScatterFromSrf, false) => {
+                        self.l1[c].touch_cycle(&[(srf_addr, false)], run);
+                        self.stats.l1_accesses += run;
+                        self.stats.l1_hits += run;
+                        self.l2.touch_cycle(&[(addr, true)], run);
+                        self.stats.l2_accesses += run;
+                        self.stats.l2_hits += run;
+                        self.last_page[c] = mem_page;
+                        t += run * issue;
+                    }
+                    (CopyDir::ScatterFromSrf, true) => {
+                        // Write-combining stores that stay in the open line
+                        // and below the flush threshold: time does not move
+                        // beyond issue, bytes accumulate.
+                        self.l1[c].touch_cycle(&[(srf_addr, false)], run);
+                        self.stats.l1_accesses += run;
+                        self.stats.l1_hits += run;
+                        self.wc[c].len += run * bytes;
+                        self.last_page[c] = mem_page;
+                        t += run * issue;
+                    }
+                }
+                srf_off += run * bytes;
+                i += run;
+            } else {
+                // The pending TLB touches must land before this element's
+                // real translations read the clock.
+                if let Some((p, reps)) = pend.take() {
+                    self.tlb[c].touch_cycle(&p, reps);
+                    self.stats.tlb_hits += 2 * reps;
+                }
+                // Exact stepped element.
+                let (addr, bytes) = mem.element(i);
+                let srf_addr = srf_base + srf_off;
+                let mlp = if mem.is_sequential() { self.cfg.mshrs.max(1) as usize } else { 1 };
+                t += issue;
+                match dir {
+                    CopyDir::GatherToSrf => {
+                        if nt {
+                            t += self.uop_cycles(self.cfg.sw_prefetch_uops, f);
+                        }
+                        t = self.mem_access(c, t, addr, bytes, Rw::Read, nt, nt, mlp);
+                        t = self.mem_access(c, t, srf_addr, bytes, Rw::Write, false, false, mlp);
+                    }
+                    CopyDir::ScatterFromSrf => {
+                        t = self.mem_access(c, t, srf_addr, bytes, Rw::Read, false, false, mlp);
+                        t = self.mem_access(c, t, addr, bytes, Rw::Write, nt, nt, mlp);
+                    }
+                }
+                known =
+                    Some(((addr + bytes - 1) >> line_shift, (srf_addr + bytes - 1) >> line_shift));
+                srf_off += bytes;
+                i += 1;
+            }
+        }
+        if let Some((p, reps)) = pend {
+            self.tlb[c].touch_cycle(&p, reps);
+            self.stats.tlb_hits += 2 * reps;
+        }
+        cur[c].t = t;
+        cur[c].progress += take;
+        cur[c].progress_bytes = srf_off;
+        if cur[c].progress >= total {
+            self.flush_wc(c, cur[c].t);
+            self.advance(c, &mut cur[c]);
+        }
+    }
+
+    /// Longest run of copy elements starting at `i` that provably hit
+    /// everywhere (TLB, caches, open write-combining line) and stay in
+    /// one cache line per side. Returns 0 when element `i` must take the
+    /// exact stepped path.
+    #[allow(clippy::too_many_arguments)]
+    fn copy_fast_run(
+        &self,
+        c: usize,
+        mem: &AccessPattern,
+        i: u64,
+        end: u64,
+        srf_addr: u64,
+        stride: u64,
+        b: u64,
+        dir: CopyDir,
+        nt: bool,
+        pend_pages: Option<[u64; 2]>,
+        known: Option<(u64, u64)>,
+    ) -> u64 {
+        let (line_shift, page_shift) = self.fast_shifts.expect("checked by caller");
+        let line = self.cfg.l2.line;
+        let (addr, _) = mem.element(i);
+        let mem_off = addr & (line - 1);
+        let srf_line_off = srf_addr & (line - 1);
+        if mem_off + b > line || srf_line_off + b > line {
+            return 0;
+        }
+        let mem_page = addr >> page_shift;
+        let srf_page = srf_addr >> page_shift;
+        if mem_page == srf_page {
+            return 0;
+        }
+        // Lines the most recent exact element just accessed need no
+        // probes: that element installed both lines (and translated both
+        // pages, evicting nothing since), so residency is settled.
+        let lines_known = known == Some((addr >> line_shift, srf_addr >> line_shift));
+        let pages = match dir {
+            CopyDir::GatherToSrf => [mem_page, srf_page],
+            CopyDir::ScatterFromSrf => [srf_page, mem_page],
+        };
+        if !lines_known && pend_pages != Some(pages) {
+            // The stepped path's consecutive-same-page shortcut must not
+            // trigger inside the batch: the first page translated per
+            // element has to differ from the sticky `last_page`. (A
+            // pending merge or known-lines element over this pair implies
+            // `last_page == pages[1] != pages[0]`, and the pages stay
+            // resident, so both checks are settled.)
+            if self.last_page[c] == pages[0] {
+                return 0;
+            }
+            if !self.tlb[c].contains_page(mem_page) || !self.tlb[c].contains_page(srf_page) {
+                return 0;
+            }
+        }
+        let mut cap = end - i;
+        if let Some(q) = (line - mem_off - b).checked_div(stride) {
+            cap = cap.min(q + 1);
+        }
+        cap = cap.min((line - srf_line_off - b) / b + 1);
+        match (dir, nt) {
+            (CopyDir::GatherToSrf, false) => {
+                if !lines_known && (!self.l1[c].contains(addr) || !self.l2.contains(srf_addr)) {
+                    return 0;
+                }
+            }
+            (CopyDir::GatherToSrf, true) => {
+                if !lines_known && (!self.l2.contains(addr) || !self.l2.contains(srf_addr)) {
+                    return 0;
+                }
+            }
+            (CopyDir::ScatterFromSrf, false) => {
+                if !lines_known && (!self.l1[c].contains(srf_addr) || !self.l2.contains(addr)) {
+                    return 0;
+                }
+            }
+            (CopyDir::ScatterFromSrf, true) => {
+                if !lines_known && !self.l1[c].contains(srf_addr) {
+                    return 0;
+                }
+                let wc = &self.wc[c];
+                if wc.len == 0 || wc.start != addr >> line_shift || wc.len + b >= line {
+                    return 0;
+                }
+                // Stop before the element whose store fills the buffer
+                // (that one flushes and must take the stepped path).
+                cap = cap.min((line - 1 - wc.len) / b);
+            }
+        }
+        cap
+    }
+
+    /// One [`BulkOp::Loop`] chunk with fully-hitting iterations batched.
+    fn loop_chunk_fast(
+        &mut self,
+        cur: &mut [Cursor; 2],
+        c: usize,
+        other: Activity,
+        patterns: &[(AccessPattern, Rw)],
+        uops_per_iter: u64,
+        greedy: bool,
+    ) {
+        let total = patterns.first().map_or(0, |(p, _)| p.count());
+        debug_assert!(
+            patterns.iter().all(|(p, _)| p.count() == total),
+            "all loop patterns must have the same element count"
+        );
+        let remaining = total - cur[c].progress;
+        let per_iter = uops_per_iter.max(1);
+        let iters_budget = (CHUNK_CYCLES / per_iter).clamp(1, CHUNK_ELEMS);
+        let take = if greedy { remaining } else { remaining.min(iters_budget) };
+        let (fc, fm) = (self.comp_factor(other), self.mem_factor(other));
+        self.bus_contended = other == Activity::Memory;
+        let reads = patterns.iter().filter(|(_, rw)| *rw == Rw::Read).count();
+        let mlp = reads.clamp(1, self.cfg.mshrs.max(1) as usize);
+        let issue = self.uop_cycles(self.cfg.copy_uops_per_elem, fm);
+        let iter_cycles = self.uop_cycles(uops_per_iter, fc);
+        let line_shift = self.fast_shifts.map(|(ls, _)| ls);
+        let mut t = cur[c].t;
+        let mut i = cur[c].progress;
+        let end = cur[c].progress + take;
+        // Per-pattern lines proven resident by the most recent exact
+        // iteration (see the matching comment in `copy_chunk_fast`).
+        let mut known: Option<[u64; LOOP_FAST_MAX_PATTERNS]> = None;
+        while i < end {
+            let run = self.loop_fast_run(c, patterns, i, end, known.as_ref());
+            if run >= 2 {
+                t += run * (patterns.len() as u64 * issue + iter_cycles);
+                self.loop_fast_flush(c, patterns, i, run);
+                i += run;
+            } else {
+                // Exact stepped iteration.
+                let mut lines = [u64::MAX; LOOP_FAST_MAX_PATTERNS];
+                for (k, (p, rw)) in patterns.iter().enumerate() {
+                    let (addr, bytes) = p.element(i);
+                    t += issue;
+                    self.loop_window = true;
+                    self.dependent = !p.is_sequential();
+                    t = self.mem_access(c, t, addr, bytes, *rw, false, false, mlp);
+                    if let (Some(ls), true) = (line_shift, k < LOOP_FAST_MAX_PATTERNS) {
+                        lines[k] = (addr + bytes - 1) >> ls;
+                    }
+                }
+                self.loop_window = false;
+                self.dependent = false;
+                t += iter_cycles;
+                i += 1;
+                known = Some(lines);
+            }
+        }
+        cur[c].t = t;
+        cur[c].progress += take;
+        if cur[c].progress >= total {
+            self.advance(c, &mut cur[c]);
+        }
+    }
+
+    /// Longest run of loop iterations starting at `i` in which every
+    /// pattern provably hits (lines and pages resident, single-line
+    /// elements) and the TLB's same-page-shortcut pattern is stationary.
+    /// Returns 0 when iteration `i` must take the exact stepped path.
+    fn loop_fast_run(
+        &self,
+        c: usize,
+        patterns: &[(AccessPattern, Rw)],
+        i: u64,
+        end: u64,
+        known: Option<&[u64; LOOP_FAST_MAX_PATTERNS]>,
+    ) -> u64 {
+        let Some((line_shift, page_shift)) = self.fast_shifts else { return 0 };
+        if patterns.is_empty() || patterns.len() > LOOP_FAST_MAX_PATTERNS {
+            return 0;
+        }
+        let line = self.cfg.l2.line;
+        let mut cap = end - i;
+        let mut prev_page = self.last_page[c];
+        for (k, (p, rw)) in patterns.iter().enumerate() {
+            let (stride, b) = match p {
+                AccessPattern::Seq { elem, .. } => (*elem, *elem),
+                AccessPattern::Strided { record, field_bytes, .. } => (*record, *field_bytes),
+                AccessPattern::Indexed { .. } => return 0,
+            };
+            if b == 0 {
+                return 0;
+            }
+            let (addr, _) = p.element(i);
+            let off = addr & (line - 1);
+            if off + b > line {
+                return 0;
+            }
+            if let Some(q) = (line - off - b).checked_div(stride) {
+                cap = cap.min(q + 1);
+            }
+            let q = addr >> page_shift;
+            // Lines the most recent exact iteration accessed for this
+            // pattern slot are settled: that iteration installed the line
+            // and translated its page (see `copy_fast_run`).
+            let line_known = known.is_some_and(|kn| kn[k] == addr >> line_shift);
+            // Pages equal to the sticky previous page take the stepped
+            // shortcut and never consult the TLB; only the rest must be
+            // resident.
+            if q != prev_page && !line_known && !self.tlb[c].contains_page(q) {
+                return 0;
+            }
+            prev_page = q;
+            if !line_known {
+                let resident = match rw {
+                    Rw::Read => self.l1[c].contains(addr),
+                    Rw::Write => self.l2.contains(addr),
+                };
+                if !resident {
+                    return 0;
+                }
+            }
+        }
+        // Stationarity: the page carry entering each iteration must equal
+        // the carry leaving it, so every batched iteration shares one
+        // shortcut/translate pattern. A single stepped iteration
+        // establishes this, after which runs extend.
+        if self.last_page[c] != prev_page {
+            return 0;
+        }
+        cap
+    }
+
+    /// Apply the state updates of `run` fully-hitting loop iterations.
+    fn loop_fast_flush(&mut self, c: usize, patterns: &[(AccessPattern, Rw)], i: u64, run: u64) {
+        let (_, page_shift) = self.fast_shifts.expect("checked by loop_fast_run");
+        let mut tlb_pages = [0u64; LOOP_FAST_MAX_PATTERNS];
+        let mut n_tlb = 0usize;
+        let mut l1_items = [(0u64, false); LOOP_FAST_MAX_PATTERNS];
+        let mut n_l1 = 0usize;
+        let mut l2_items = [(0u64, false); LOOP_FAST_MAX_PATTERNS];
+        let mut n_l2 = 0usize;
+        let mut prev_page = self.last_page[c];
+        let mut shortcut_hits = 0u64;
+        for (p, rw) in patterns {
+            let (addr, _) = p.element(i);
+            let q = addr >> page_shift;
+            if q == prev_page {
+                shortcut_hits += 1;
+            } else {
+                tlb_pages[n_tlb] = q;
+                n_tlb += 1;
+                prev_page = q;
+            }
+            match rw {
+                Rw::Read => {
+                    l1_items[n_l1] = (addr, false);
+                    n_l1 += 1;
+                }
+                Rw::Write => {
+                    l2_items[n_l2] = (addr, true);
+                    n_l2 += 1;
+                }
+            }
+        }
+        self.tlb[c].touch_cycle(&tlb_pages[..n_tlb], run);
+        self.stats.tlb_hits += (n_tlb as u64 + shortcut_hits) * run;
+        self.l1[c].touch_cycle(&l1_items[..n_l1], run);
+        self.stats.l1_accesses += n_l1 as u64 * run;
+        self.stats.l1_hits += n_l1 as u64 * run;
+        self.l2.touch_cycle(&l2_items[..n_l2], run);
+        self.stats.l2_accesses += n_l2 as u64 * run;
+        self.stats.l2_hits += n_l2 as u64 * run;
+        self.last_page[c] = prev_page;
     }
 
     fn advance(&mut self, ctx: usize, c: &mut Cursor) {

@@ -54,7 +54,7 @@ pub mod tlb;
 pub mod trace;
 
 pub use config::{CacheGeometry, MachineConfig, SmtFactors, WaitCosts};
-pub use engine::{ContextProgram, Machine, TaskNode, DEQUEUE_CYCLES};
+pub use engine::{ContextProgram, Machine, StepMode, TaskNode, DEQUEUE_CYCLES};
 pub use ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 pub use stats::{CounterSample, MemStats, OpProfile, RunResult, TaskIssue};
 pub use trace::{MachineEvent, MachineEventKind, PhaseCycles};

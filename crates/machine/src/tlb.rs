@@ -57,6 +57,47 @@ impl Tlb {
         false
     }
 
+    /// Probe without updating state: is `page` (a page *number*, not an
+    /// address) currently resident?
+    #[must_use]
+    pub fn contains_page(&self, page: u64) -> bool {
+        self.slots.iter().any(|(p, _)| *p == page)
+    }
+
+    /// Replay `reps` repetitions of a cyclic hit sequence over `pages`
+    /// (page numbers) in one arithmetic update. Equivalent to calling
+    /// [`Tlb::access`] `reps` times over the cycle when every page is
+    /// resident: the clock advances once per access, each page ends with
+    /// the stamp of its last position in the final repetition, and every
+    /// access counts as a hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any page is not resident — callers must probe with
+    /// [`Tlb::contains_page`] first (the event-driven engine only batches
+    /// accesses it has proven will hit).
+    pub fn touch_cycle(&mut self, pages: &[u64], reps: u64) {
+        if pages.is_empty() || reps == 0 {
+            return;
+        }
+        let len = pages.len() as u64;
+        let clock0 = self.clock;
+        self.clock += len * reps;
+        self.hits += len * reps;
+        // Stamps from the final repetition; assigning in position order
+        // lets a later occurrence of a repeated page win, exactly as the
+        // stepped interleaving would.
+        for (j, page) in pages.iter().enumerate() {
+            let stamp = clock0 + (reps - 1) * len + j as u64 + 1;
+            let slot = self
+                .slots
+                .iter_mut()
+                .find(|(p, _)| p == page)
+                .expect("touch_cycle requires resident pages");
+            slot.1 = stamp;
+        }
+    }
+
     /// Reach of the TLB in bytes (entries x page size).
     #[must_use]
     pub fn reach(&self) -> u64 {
@@ -108,6 +149,28 @@ mod tests {
         let (h, m) = t.stats();
         assert_eq!(h, 0);
         assert_eq!(m, 128);
+    }
+
+    #[test]
+    fn touch_cycle_matches_repeated_access() {
+        let mk = || {
+            let mut t = Tlb::new(4, 4096);
+            for p in [3u64, 7, 9] {
+                t.access(p * 4096);
+            }
+            t
+        };
+        let mut stepped = mk();
+        for _ in 0..5 {
+            for p in [7u64, 9, 7] {
+                assert!(stepped.access(p * 4096));
+            }
+        }
+        let mut batched = mk();
+        batched.touch_cycle(&[7, 9, 7], 5);
+        assert_eq!(format!("{stepped:?}"), format!("{batched:?}"));
+        assert!(batched.contains_page(3));
+        assert!(!batched.contains_page(4));
     }
 
     #[test]

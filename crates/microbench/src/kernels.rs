@@ -240,6 +240,74 @@ pub fn ld_st_comp(n: usize, comp: usize) -> Microbench {
     }
 }
 
+/// Build TRIAD: `d[i] = a[i] + s * b[i]` over `n` packed `f32` elements —
+/// the fine-grained end of the record-size spectrum (Figure 5's smallest
+/// records), where the program is purely bandwidth-bound: almost no
+/// computation per element and every access part of a dense sequential
+/// sweep.
+#[must_use]
+pub fn stream_triad(n: usize) -> Microbench {
+    let mut rng = Rng64::seed_from_u64(0x7e1a_d000);
+    let a_data: Vec<f32> = (0..n).map(|_| rng.f32_range(-1.0, 1.0)).collect();
+    let b_data: Vec<f32> = (0..n).map(|_| rng.f32_range(-1.0, 1.0)).collect();
+    const S: f32 = 3.0;
+    // A fused multiply-add per element: issue-bound, not compute-bound.
+    let uops = 4;
+
+    // Stream version.
+    let mut bld = GraphBuilder::new();
+    let a = bld.array("a", &a_data);
+    let b = bld.array("b", &b_data);
+    let d = bld.array_zeroed::<f32>("d", n);
+    let as_ = bld.gather_seq("as", a);
+    let bs = bld.gather_seq("bs", b);
+    let ds = bld.stream::<f32>("ds", n);
+    bld.kernel("triad", &[as_.id(), bs.id()], &[ds.id()], uops, move |args| {
+        let xa: Vec<f32> = args.input::<f32>(0).to_vec();
+        let xb: Vec<f32> = args.input::<f32>(1).to_vec();
+        for (o, (va, vb)) in args.output::<f32>(0).iter_mut().zip(xa.iter().zip(&xb)) {
+            *o = va + S * vb;
+        }
+    });
+    bld.scatter_seq(ds, d);
+    let (graph, stream_world) = bld.build().expect("valid TRIAD graph");
+
+    // Regular twin.
+    let mut regular_world = World::new();
+    let ra = regular_world.add_array("a", &a_data);
+    let rb = regular_world.add_array("b", &b_data);
+    let rd = regular_world.add_array_zeroed::<f32>("d", n);
+    let mut regular = RegularProgram::new();
+    regular.phase(
+        "triad",
+        n,
+        vec![
+            RegularAccess::seq(ra, 4, Rw::Read),
+            RegularAccess::seq(rb, 4, Rw::Read),
+            RegularAccess::seq(rd, 4, Rw::Write),
+        ],
+        uops,
+        move |w| {
+            let xa: Vec<f32> = w.slice::<f32>(ra).to_vec();
+            let xb: Vec<f32> = w.slice::<f32>(rb).to_vec();
+            let out = w.slice_mut::<f32>(rd);
+            for i in 0..xa.len() {
+                out[i] = xa[i] + S * xb[i];
+            }
+        },
+    );
+
+    Microbench {
+        name: "TRIAD".to_string(),
+        graph,
+        stream_world,
+        stream_output: d.id(),
+        regular,
+        regular_world,
+        regular_output: rd,
+    }
+}
+
 /// Build GAT-SCAT-COMP: as LD-ST-COMP but with random gathers/scatters.
 #[must_use]
 pub fn gat_scat_comp(n: usize, comp: usize) -> Microbench {

@@ -16,7 +16,7 @@ use gpstream::core::workqueue::{DependencyWindow, WINDOW};
 use gpstream::core::GraphBuilder;
 use gpstream::machine::cache::{Cache, FillPolicy};
 use gpstream::machine::tlb::Tlb;
-use gpstream::machine::CacheGeometry;
+use gpstream::machine::{CacheGeometry, MachineConfig, WaitPolicy};
 use gpstream::microbench::kernels;
 use gpstream_profile::{report, topdown, CounterSet};
 use gpstream_util::check::{run_cases, DEFAULT_CASES};
@@ -728,5 +728,189 @@ fn compiled_pipeline_always_correct() {
         compiled.schedule.check(&compiled.graph).unwrap();
         FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut world);
         assert_eq!(world.slice::<f32>(y.id()), expected.as_slice());
+    });
+}
+
+/// A random but legal machine for the sim-equivalence property: cache
+/// lines and pages stay powers of two (the timing model assumes that),
+/// but everything else — capacities, ways, latencies, TLB reach,
+/// prefetchers, miss buffers — is drawn at random. About one case in
+/// five gives L1 and L2 different line sizes, which disables the
+/// event engine's batched fast path entirely and exercises its
+/// step-delegating fallback.
+fn random_machine(rng: &mut Rng64) -> MachineConfig {
+    let l1_line = 32u64 << rng.below(3); // 32 / 64 / 128
+    let l2_line = if rng.bool_with(0.8) {
+        l1_line
+    } else {
+        // A deliberately mismatched (still pow2) L2 line.
+        if l1_line == 32 {
+            128
+        } else {
+            l1_line / 2
+        }
+    };
+    let l1_ways = 4u64 << rng.below(2); // 4 / 8
+    let l2_ways = 4u64 << rng.below(2);
+    MachineConfig {
+        copy_uops_per_elem: rng.range_u64(2, 4),
+        l1: CacheGeometry {
+            capacity: l1_line * l1_ways * (1 << rng.range_u64(2, 5)),
+            line: l1_line,
+            ways: l1_ways,
+        },
+        l1_lat: rng.range_u64(2, 6),
+        l2: CacheGeometry {
+            capacity: l2_line * l2_ways * (1 << rng.range_u64(5, 8)),
+            line: l2_line,
+            ways: l2_ways,
+        },
+        l2_lat: rng.range_u64(10, 40),
+        nt_ways: rng.range_u64(1, 2),
+        dtlb_entries: rng.range_usize_inclusive(8, 64),
+        page_bytes: 1024 << rng.below(3), // 1 / 2 / 4 KiB
+        walk_cycles: rng.range_u64(50, 200),
+        mem_lat: rng.range_u64(100, 300),
+        bus_turnaround: rng.range_u64(0, 20),
+        hw_pf_streams: rng.range_usize_inclusive(0, 2),
+        hw_pf_depth: rng.range_u64(4, 12),
+        sw_pf_depth: rng.range_u64(0, 8),
+        mshrs: rng.range_u64(1, 4),
+        store_miss_exposed: rng.range_u64(0, 100),
+        ooo_window_cycles: rng.range_u64(0, 150),
+        l2_dep_exposed: rng.range_u64(0, 20),
+        ..MachineConfig::prescott()
+    }
+}
+
+/// Event-driven time skipping is byte-identical to cycle stepping on
+/// *random* machines, pipelines and executor configurations — not just
+/// the curated catalog the differential suite covers. Skipping K cycles
+/// must be indistinguishable from K single steps: the entire `SimReport`
+/// (timing counters, phase split, memory stats, trace, task log, profile
+/// with samples) and the computed output bits have to match exactly.
+#[test]
+fn event_mode_equals_stepped_on_random_machines() {
+    run_cases("event_mode_equals_stepped", 0xe7e57, 24, |rng| {
+        let n = rng.range_usize_inclusive(64, 512);
+        let data: Vec<f32> = (0..n).map(|_| rng.f32_range(-8.0, 8.0)).collect();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut idx);
+
+        let mut b = GraphBuilder::new();
+        let a = b.array("a", &data);
+        let y = b.array_zeroed::<f32>("y", n);
+        let xs = b.gather_seq("xs", a);
+        let gs = b.gather_indexed("gs", a, Arc::new(idx));
+        let mid = b.stream::<f32>("mid", n);
+        let out = b.stream::<f32>("out", n);
+        b.kernel("inc", &[xs.id()], &[mid.id()], 2, |args| {
+            let x: Vec<f32> = args.input::<f32>(0).to_vec();
+            for (o, v) in args.output::<f32>(0).iter_mut().zip(x) {
+                *o = v + 1.0;
+            }
+        });
+        b.kernel("mul", &[mid.id(), gs.id()], &[out.id()], 2, |args| {
+            let xm: Vec<f32> = args.input::<f32>(0).to_vec();
+            let xg: Vec<f32> = args.input::<f32>(1).to_vec();
+            for (o, (vm, vg)) in args.output::<f32>(0).iter_mut().zip(xm.iter().zip(&xg)) {
+                *o = vm * vg;
+            }
+        });
+        b.scatter_seq(out, y);
+        let (graph, world) = b.build().unwrap();
+
+        let copts = CompilerOptions {
+            strip_items: Some(rng.range_usize_inclusive(16, 256)),
+            double_buffer: rng.bool(),
+            fuse_kernels: rng.bool(),
+            nt_gather: rng.bool(),
+            nt_scatter: rng.bool(),
+            ..CompilerOptions::paper()
+        };
+        let compiled = compile(&graph, &copts).unwrap();
+
+        let mcfg = random_machine(rng);
+        let warmup = rng.bool();
+        let in_order = rng.bool();
+        let single = rng.bool_with(0.2);
+        let policy = match rng.below(3) {
+            0 => WaitPolicy::SpinPause,
+            1 => WaitPolicy::Mwait,
+            _ => WaitPolicy::OsBlock,
+        };
+        // Profiling attaches the sampler, which forces the event engine
+        // onto its chunk-granular path; without it the engine runs whole
+        // ops greedily inside blocked-partner spans. Cover both.
+        let profile = rng.bool();
+        let interval = rng.range_u64(128, 8192);
+
+        let run = |fast: bool| {
+            let mut w = world.clone();
+            let mut exec = SimExecutor::new()
+                .with_machine(mcfg.clone())
+                .with_srf(copts.srf)
+                .with_wait_policy(policy)
+                .with_warmup(warmup)
+                .in_order(in_order)
+                .single_context(single)
+                .with_trace(true)
+                .with_task_log(true)
+                .fast_sim(fast);
+            if profile {
+                exec = exec.with_profile(true).with_sample_interval(interval);
+            }
+            let r = exec.run(&compiled.schedule, &compiled.graph, &mut w);
+            let bits: Vec<u32> = w.slice::<f32>(y.id()).iter().map(|v| v.to_bits()).collect();
+            (format!("{r:?}"), bits)
+        };
+        let (stepped, stepped_bits) = run(false);
+        let (event, event_bits) = run(true);
+        assert_eq!(event_bits, stepped_bits, "output bits diverged (n={n} mcfg={mcfg:?})");
+        assert_eq!(
+            event, stepped,
+            "event-driven report diverged from stepped \
+             (n={n} warmup={warmup} in_order={in_order} single={single} \
+             policy={policy:?} profile={profile} mcfg={mcfg:?})"
+        );
+    });
+}
+
+/// `run()` is exactly `snapshot()` followed by `resume_from()`, and a
+/// snapshot is immutable: resuming from it twice gives the same report
+/// both times and matches a straight run — the property the tuner's
+/// shared warmed prefix and the analyzer's what-if replays rely on.
+#[test]
+fn snapshot_resume_replays_equal_straight_runs() {
+    run_cases("snapshot_resume_replays", 0x54a9, 12, |rng| {
+        let n = rng.range_usize_inclusive(128, 1024);
+        let comp = rng.range_usize_inclusive(1, 4);
+        let mb = match rng.below(3) {
+            0 => kernels::ld_st_comp(n, comp),
+            1 => kernels::gat_scat_comp(n, comp),
+            _ => kernels::prod_con(n, comp),
+        };
+        let copts = CompilerOptions::paper();
+        let compiled = compile(&mb.graph, &copts).unwrap();
+        let mut exec = SimExecutor::new()
+            .with_srf(copts.srf)
+            .with_warmup(rng.bool())
+            .in_order(rng.bool())
+            .with_task_log(true)
+            .fast_sim(rng.bool());
+        if rng.bool() {
+            exec = exec.with_profile(true).with_sample_interval(rng.range_u64(256, 65_536));
+        }
+
+        let mut w1 = mb.stream_world.clone();
+        let straight = exec.run(&compiled.schedule, &compiled.graph, &mut w1);
+        let mut w2 = mb.stream_world.clone();
+        let snap = exec.snapshot(&compiled.schedule, &compiled.graph, &mut w2);
+        let replay_a = exec.resume_from(&snap);
+        let replay_b = exec.resume_from(&snap);
+
+        let (s, a, b) = (format!("{straight:?}"), format!("{replay_a:?}"), format!("{replay_b:?}"));
+        assert_eq!(a, s, "snapshot+resume diverged from the straight run (n={n} comp={comp})");
+        assert_eq!(b, a, "second resume diverged: resume_from mutated the snapshot");
     });
 }

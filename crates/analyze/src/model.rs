@@ -200,7 +200,12 @@ impl RunModel {
             cycles: report.timing.cycles,
             dequeue: gpstream_machine::DEQUEUE_CYCLES,
             dispatch,
-            comp_floor: cfg.smt.comp_vs_comp.min(cfg.smt.comp_vs_mem).min(cfg.smt.comp_vs_pause),
+            comp_floor: cfg
+                .smt
+                .factors
+                .comp_vs_comp
+                .min(cfg.smt.factors.comp_vs_mem)
+                .min(cfg.smt.factors.comp_vs_pause),
         }
     }
 

@@ -239,8 +239,8 @@ fn profile_artifact(wl: &Workload, in_order: bool) -> String {
         &compiled.schedule,
         &compiled.graph,
         prof,
-        rep.timing.ctx_cycles,
-        rep.timing.phases,
+        &rep.timing.ctx_cycles,
+        &rep.timing.phases,
     );
     report::profile_json(&wl.name, &counters, &tree, prof).to_doc_string()
 }

@@ -7,6 +7,7 @@
 //! figures profile WORKLOAD [--out DIR] [--interval N] [--in-order] [--fast-sim]
 //!                 [--check] [--update-baseline] [--baselines DIR] [--native [REPEATS]]
 //! figures analyze WORKLOAD [--out FILE] [--fast-sim]
+//! figures scale [WORKLOAD] [--max N] [--out FILE] [--fast-sim]
 //! figures diff A.json B.json [--strict]
 //! figures simspeed [--reps N] [--out FILE] [--check]
 //! figures --list
@@ -61,6 +62,15 @@
 //! (op class + root cause), the by-class/by-cause tables, and the
 //! Coz-style what-if speedup table. `--out FILE` also writes the
 //! analysis as a canonical one-line JSON artifact.
+//!
+//! `scale [WORKLOAD]` measures context-scaling curves: every catalog
+//! workload (or just `WORKLOAD`) runs on the simulated machine at 1,
+//! 2, 4, … contexts under the scaled pipeline topology, and the table
+//! reports total cycles plus the speedup over one context per point.
+//! `--max N` caps the context count (the sweep doubles from 1 up to
+//! `N`, default 8); `--out FILE` also writes the curves as a
+//! deterministic JSON artifact; `--fast-sim` uses the event-driven
+//! step mode (identical numbers, faster runs).
 //!
 //! `diff A.json B.json` compares two artifacts — committed baselines,
 //! `profile --out` documents, `analyze --out` reports, in any
@@ -416,6 +426,73 @@ fn analyze_main(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `figures scale` subcommand. Exits the process: 0 on success, 2 on
+/// usage errors.
+fn scale_main(args: &[String]) -> ! {
+    let mut workload: Option<String> = None;
+    let mut max: usize = 8;
+    let mut out_file: Option<String> = None;
+    let mut fast_sim = false;
+    let usage = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: figures scale [WORKLOAD] [--max N] [--out FILE] [--fast-sim]");
+        eprintln!("workloads: {}", gpstream_tune::workloads::CATALOG.join(" "));
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for w in gpstream_tune::workloads::CATALOG {
+                    println!("{w}");
+                }
+                std::process::exit(0);
+            }
+            "--max" => {
+                i += 1;
+                max = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--max needs a positive number"));
+                if max == 0 {
+                    usage("--max needs a positive number");
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_file =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--out needs a file path")));
+            }
+            "--fast-sim" => fast_sim = true,
+            other if workload.is_none() && !other.starts_with('-') => {
+                workload = Some(other.to_string());
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    // Context counts double from 1 and always include the cap itself.
+    let counts: Vec<usize> =
+        std::iter::successors(Some(1usize), |&n| (n < max).then(|| (n * 2).min(max))).collect();
+    let names: Vec<String> = match &workload {
+        Some(w) => vec![w.clone()],
+        None => gpstream_tune::workloads::CATALOG.iter().map(ToString::to_string).collect(),
+    };
+    let mut rows = Vec::with_capacity(names.len());
+    for name in &names {
+        let Some(row) = fig::scale::scale_workload(name, &counts, fast_sim) else {
+            usage(&format!("unknown workload `{name}`"))
+        };
+        rows.push(row);
+    }
+    print!("{}", fig::scale::render(&rows));
+    if let Some(path) = &out_file {
+        std::fs::write(path, fig::scale::to_json(&rows).to_doc_string()).expect("write scale JSON");
+        println!("wrote scaling curves to {path}");
+    }
+    std::process::exit(0);
+}
+
 /// `figures diff` subcommand. Exits the process: 0 on success (even
 /// with out-of-band deltas, unless `--strict`), 1 on unreadable or
 /// unparseable artifacts or strict out-of-band deltas, 2 on usage
@@ -534,6 +611,7 @@ fn main() {
     match raw.first().map(String::as_str) {
         Some("profile") => profile_main(&raw[1..]),
         Some("analyze") => analyze_main(&raw[1..]),
+        Some("scale") => scale_main(&raw[1..]),
         Some("diff") => diff_main(&raw[1..]),
         Some("simspeed") => simspeed_main(&raw[1..]),
         _ => {}

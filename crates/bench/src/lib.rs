@@ -21,6 +21,7 @@ use gpstream_microbench::{bwprobe, kernels, overlap, spinwait};
 use gpstream_tune::{workloads as tune_workloads, EvalCache, TuneOutcome, Tuner};
 
 pub mod profiling;
+pub mod scale;
 
 /// Default seed for every figure (results are fully deterministic).
 pub const SEED: u64 = 0x6a79_2005;

@@ -71,17 +71,17 @@ pub fn profile_workload(
         &compiled.schedule,
         &compiled.graph,
         &prof,
-        sim_report.timing.ctx_cycles,
-        sim_report.timing.phases,
+        &sim_report.timing.ctx_cycles,
+        &sim_report.timing.phases,
     );
     Some(ProfileOutputs {
         workload: name.to_string(),
-        counters,
         perf_stat: report::perf_stat_text(name, &counters),
         topdown: topdown::render(&tree),
         folded: topdown::collapsed(&tree),
         samples_csv: report::samples_csv(&prof.samples),
         json: report::profile_json(name, &counters, &tree, &prof).to_doc_string(),
+        counters,
     })
 }
 

@@ -1,10 +1,13 @@
-//! Real two-thread executor using the distributed work queue.
+//! Real multi-worker executor using the distributed work queue.
 //!
-//! One OS thread plays the *memory thread* (gathers and scatters), another
-//! plays the *compute thread* (kernels), and the caller's thread is the
-//! control thread that enqueues tasks — exactly the division of labour the
-//! paper maps onto the two hyper-threading contexts. Tasks flow to workers
-//! through single-producer/single-consumer rings ([`crate::spsc`], the
+//! One OS worker thread runs per topology context — under the default
+//! [`Topology::two_context`] layout that is the paper's division of
+//! labour exactly: a *memory thread* (gathers and scatters), a *compute
+//! thread* (kernels), and the caller's thread as the control thread that
+//! enqueues tasks. Wider topologies ([`NativeExecutor::with_topology`])
+//! farm each task class round-robin across several workers,
+//! FastFlow-style. Tasks flow to workers through per-worker
+//! single-producer/single-consumer rings ([`crate::spsc`], the
 //! in-process analogue of the paper's memory-mapped queues); dependencies
 //! use the bit-vector window of [`crate::workqueue`]; workers wait for
 //! readiness either by spinning with the PAUSE hint or by parking, the two
@@ -21,8 +24,8 @@
 //! executor; a single data mutex serializes task *bodies* (the simulator,
 //! not this runtime, is the timing vehicle — see DESIGN.md).
 //!
-//! With [`NativeExecutor::with_trace`], the control thread and both
-//! workers stamp nanosecond-resolution [`ExecEventKind`] events
+//! With [`NativeExecutor::with_trace`], the control thread and every
+//! worker stamp nanosecond-resolution [`ExecEventKind`] events
 //! (enqueue / ready / start / finish, window slot admit / clear,
 //! dependency waits) into a shared [`TraceBuffer`] for the Chrome
 //! exporter in [`crate::trace`].
@@ -32,6 +35,7 @@ use crate::graph::StreamGraph;
 use crate::spsc::SpscRing;
 use crate::srf::{SrfBuffer, SrfConfig};
 use crate::task::{ScheduledProgram, TaskId};
+use crate::topology::Topology;
 use crate::trace::{ExecEventKind, TraceBuffer};
 use crate::workqueue::{DependencyWindow, QueuedTask};
 use crate::world::World;
@@ -52,12 +56,15 @@ use std::time::Instant;
 /// unexecuted entry of its queue — inside every window.
 pub const NATIVE_ISSUE_WINDOW: usize = 16;
 
-/// Trace lane of the control thread.
+/// Trace lane of the control thread. The worker for context `c` stamps
+/// lane `c + 1`.
 pub const LANE_CONTROL: u8 = 0;
-/// Trace lane of the memory worker thread.
-pub const LANE_MEMORY: u8 = 1;
-/// Trace lane of the compute worker thread.
-pub const LANE_COMPUTE: u8 = 2;
+/// Trace lane of the compute worker under the default two-context
+/// topology (context 0).
+pub const LANE_COMPUTE: u8 = 1;
+/// Trace lane of the memory worker under the default two-context
+/// topology (context 1).
+pub const LANE_MEMORY: u8 = 2;
 
 /// How a worker thread waits for its dependencies to clear.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,10 +82,13 @@ pub enum NativeWaitPolicy {
 pub struct NativeReport {
     /// Number of tasks executed.
     pub tasks: usize,
-    /// Tasks run by the memory thread.
+    /// Memory-class tasks (gathers/scatters) executed, summed over
+    /// workers.
     pub memory_tasks: usize,
-    /// Tasks run by the compute thread.
+    /// Compute-class tasks (kernels) executed, summed over workers.
     pub compute_tasks: usize,
+    /// Tasks executed by each worker, indexed by topology context.
+    pub worker_tasks: Vec<usize>,
     /// Wall-clock self time of each task body, sorted by task id (present
     /// when [`NativeExecutor::with_task_timing`] enabled timing).
     pub task_times: Option<Vec<TaskTime>>,
@@ -92,8 +102,8 @@ pub struct NativeReport {
 pub struct TaskTime {
     /// The task.
     pub task: TaskId,
-    /// Trace lane of the worker that ran it ([`LANE_MEMORY`] or
-    /// [`LANE_COMPUTE`]).
+    /// Trace lane of the worker that ran it (topology context + 1; under
+    /// the default topology [`LANE_COMPUTE`] or [`LANE_MEMORY`]).
     pub lane: u8,
     /// Task-body wall time in nanoseconds.
     pub ns: u64,
@@ -142,10 +152,12 @@ impl Drop for DeathNotice<'_, '_> {
     }
 }
 
-/// Two-thread work-queue executor.
+/// Multi-worker work-queue executor (one worker thread per topology
+/// context; two by default).
 #[derive(Debug, Clone, Default)]
 pub struct NativeExecutor {
     srf_cfg: SrfConfig,
+    topology: Topology,
     policy: NativeWaitPolicy,
     in_order: bool,
     trace: Option<TraceBuffer>,
@@ -170,6 +182,16 @@ impl NativeExecutor {
     #[must_use]
     pub fn with_srf(mut self, cfg: SrfConfig) -> Self {
         self.srf_cfg = cfg;
+        self
+    }
+
+    /// Choose the queue topology: one worker thread runs per context,
+    /// consuming its own ring, and tasks of each class are dealt
+    /// round-robin across the workers accepting that class. The default
+    /// is the paper's two-worker compute/memory split.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -200,19 +222,22 @@ impl NativeExecutor {
         self
     }
 
-    /// Execute `program` against `world` using two worker threads.
+    /// Execute `program` against `world` using one worker thread per
+    /// topology context.
     ///
     /// # Panics
     ///
-    /// Panics if the program fails validation, does not fit the SRF, or a
-    /// worker thread panics.
+    /// Panics if the program fails validation or topology coverage, does
+    /// not fit the SRF, or a worker thread panics.
     pub fn run(
         &self,
         program: &ScheduledProgram,
         graph: &StreamGraph,
         world: &mut World,
     ) -> NativeReport {
-        program.check(graph).expect("scheduled program must be consistent");
+        program
+            .check_with_topology(graph, &self.topology)
+            .expect("scheduled program must be consistent and covered by the topology");
         assert!(
             program.srf_bytes <= self.srf_cfg.capacity,
             "program needs {} SRF bytes but only {} are configured",
@@ -236,19 +261,26 @@ impl NativeExecutor {
             trace: self.trace.clone(),
             times: self.time_tasks.then(|| Mutex::new(Vec::with_capacity(program.tasks.len()))),
         };
-        let mem_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
-        let comp_queue = SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW);
+        let assignment = self.topology.assign(&program.tasks);
+        let queues: Vec<SpscRing<QueuedTask>> = (0..self.topology.contexts())
+            .map(|_| SpscRing::<QueuedTask>::new(crate::workqueue::WINDOW))
+            .collect();
         let policy = self.policy;
         let issue_window = if self.in_order { 1 } else { NATIVE_ISSUE_WINDOW };
 
-        let (mem_count, comp_count) = std::thread::scope(|s| {
-            let mem_worker =
-                s.spawn(|| worker_loop(&shared, &mem_queue, LANE_MEMORY, policy, issue_window));
-            let comp_worker =
-                s.spawn(|| worker_loop(&shared, &comp_queue, LANE_COMPUTE, policy, issue_window));
+        let counts: Vec<WorkerCount> = std::thread::scope(|s| {
+            let shared = &shared;
+            let workers: Vec<_> = queues
+                .iter()
+                .enumerate()
+                .map(|(c, queue)| {
+                    let lane = (c + 1) as u8;
+                    s.spawn(move || worker_loop(shared, queue, lane, policy, issue_window))
+                })
+                .collect();
 
             // Control thread: admit tasks into the window in order and
-            // push them to the right queue. Each queue has a single
+            // push them to their assigned queue. Each queue has a single
             // producer (this thread) and a single consumer (its worker).
             'enqueue: for task in &program.tasks {
                 let queued = loop {
@@ -264,7 +296,7 @@ impl NativeExecutor {
                     // notice — a dead worker frees no slots).
                     let _unused = shared.window_cv.wait(w).unwrap_or_else(PoisonError::into_inner);
                 };
-                let queue = if task.kind.is_memory() { &mem_queue } else { &comp_queue };
+                let queue = &queues[assignment[task.id.0 as usize]];
                 let mut item = queued;
                 while let Err(back) = queue.push(item) {
                     if shared.dead.load(Ordering::Acquire) {
@@ -273,21 +305,36 @@ impl NativeExecutor {
                     item = back;
                     std::hint::spin_loop();
                 }
+                // Wake any worker parked on an empty ring. Taking the
+                // window lock first (and dropping it) orders the push
+                // before a parked worker's empty-ring re-check, so the
+                // notification cannot be lost.
+                drop(shared.lock_window());
+                shared.window_cv.notify_all();
                 if let Some(buf) = &shared.trace {
                     buf.push(LANE_CONTROL, Some(task.id), ExecEventKind::Enqueue);
                 }
             }
             shared.done.store(true, Ordering::Release);
-            let m = mem_worker.join();
-            let c = comp_worker.join();
-            // Re-raise a worker's panic with its original payload rather
-            // than a generic "worker panicked" (the panic poisons the
-            // data mutex, so masking it would surface as an unrelated
-            // poison error below).
-            match (m, c) {
-                (Ok(m), Ok(c)) => (m, c),
-                (Err(p), _) | (_, Err(p)) => std::panic::resume_unwind(p),
+            drop(shared.lock_window());
+            shared.window_cv.notify_all();
+            let mut counts = Vec::with_capacity(workers.len());
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for w in workers {
+                match w.join() {
+                    Ok(c) => counts.push(c),
+                    // Remember the first worker panic and re-raise it with
+                    // its original payload rather than a generic "worker
+                    // panicked" (the panic poisons the data mutex, so
+                    // masking it would surface as an unrelated poison
+                    // error below).
+                    Err(p) => panic = panic.or(Some(p)),
+                }
             }
+            if let Some(p) = panic {
+                std::panic::resume_unwind(p);
+            }
+            counts
         });
 
         let task_times = shared.times.map(|m| {
@@ -299,11 +346,21 @@ impl NativeExecutor {
         *world = w;
         NativeReport {
             tasks: program.tasks.len(),
-            memory_tasks: mem_count,
-            compute_tasks: comp_count,
+            memory_tasks: counts.iter().map(|c| c.memory).sum(),
+            compute_tasks: counts.iter().map(|c| c.executed - c.memory).sum(),
+            worker_tasks: counts.iter().map(|c| c.executed).collect(),
             task_times,
         }
     }
+}
+
+/// Per-worker tally returned by [`worker_loop`].
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerCount {
+    /// Tasks this worker executed.
+    executed: usize,
+    /// How many of them were memory-class (gathers/scatters).
+    memory: usize,
 }
 
 /// Worker loop with out-of-order issue: keep up to `issue_window` popped
@@ -312,18 +369,18 @@ impl NativeExecutor {
 /// the paper's `tail_depend` consumer. `issue_window == 1` degenerates
 /// to the head-blocking in-order consumer.
 ///
-/// Returns the number of tasks executed; exits early (without running
-/// the remaining entries) when the peer worker dies, since their
-/// dependencies can never complete.
+/// Returns its execution tally; exits early (without running the
+/// remaining entries) when a peer worker dies, since their dependencies
+/// can never complete.
 fn worker_loop(
     shared: &Shared<'_>,
     queue: &SpscRing<QueuedTask>,
     lane: u8,
     policy: NativeWaitPolicy,
     issue_window: usize,
-) -> usize {
+) -> WorkerCount {
     let _notice = DeathNotice(shared);
-    let mut executed = 0usize;
+    let mut count = WorkerCount::default();
     // In-flight entries, oldest first (queue order == task-id order).
     let mut local: Vec<QueuedTask> = Vec::with_capacity(issue_window);
     let ready = |item: &QueuedTask| {
@@ -335,7 +392,7 @@ fn worker_loop(
     let mut waited = false;
     loop {
         if shared.dead.load(Ordering::Acquire) {
-            return executed;
+            return count;
         }
         while local.len() < issue_window {
             match queue.pop() {
@@ -345,25 +402,46 @@ fn worker_loop(
         }
         if local.is_empty() {
             if shared.done.load(Ordering::Acquire) && queue.is_empty() {
-                return executed;
+                return count;
             }
-            // PAUSE-style spin; yield so single-core hosts make progress.
-            std::hint::spin_loop();
-            std::thread::yield_now();
+            match policy {
+                NativeWaitPolicy::Spin => {
+                    // PAUSE-style spin; yield so single-core hosts make
+                    // progress.
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+                NativeWaitPolicy::Park => {
+                    // Park until the control thread enqueues something
+                    // (it notifies after every push), declares the run
+                    // done, or a peer dies. The ring re-check under the
+                    // window lock pairs with the notifier taking that
+                    // lock, so the wake-up cannot be lost.
+                    let mut w = shared.lock_window();
+                    while queue.is_empty()
+                        && !shared.done.load(Ordering::Acquire)
+                        && !shared.dead.load(Ordering::Acquire)
+                    {
+                        w = shared.window_cv.wait(w).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
             continue;
         }
         let Some(pos) = local.iter().position(ready) else {
             // Nothing in the window is ready: this is the only place a
-            // worker blocks. The oldest entry records the wait (its mask
-            // names the slots it is stalled on).
+            // worker blocks on dependencies. The oldest entry records the
+            // wait with its *live* unmet-dependency mask, recomputed from
+            // the window — the admit-time `dep_mask` snapshot can name a
+            // recycled slot once a completed dependency's slot has been
+            // reused by a later task (an ABA on slot recycling that made
+            // traces blame the wrong tasks).
             if !waited {
                 waited = true;
                 if let Some(buf) = &shared.trace {
-                    buf.push(
-                        lane,
-                        Some(local[0].task),
-                        ExecEventKind::DepWait { mask: local[0].dep_mask },
-                    );
+                    let deps = &shared.program.tasks[local[0].task.0 as usize].deps;
+                    let live = shared.lock_window().mask_for(deps);
+                    buf.push(lane, Some(local[0].task), ExecEventKind::DepWait { mask: live });
                 }
             }
             match policy {
@@ -391,10 +469,10 @@ fn worker_loop(
         }
         {
             let task = &shared.program.tasks[item.task.0 as usize];
-            // A poisoned data mutex means the peer died mid-task; exit
+            // A poisoned data mutex means a peer died mid-task; exit
             // cleanly and let the control thread re-raise its panic.
             let Ok(mut data) = shared.data.lock() else {
-                return executed;
+                return count;
             };
             let (world, srf) = &mut *data;
             let t0 = shared.times.is_some().then(Instant::now);
@@ -417,6 +495,9 @@ fn worker_loop(
         if let Some(buf) = &shared.trace {
             buf.push(lane, Some(item.task), ExecEventKind::Finish);
         }
-        executed += 1;
+        count.executed += 1;
+        if shared.program.tasks[item.task.0 as usize].kind.is_memory() {
+            count.memory += 1;
+        }
     }
 }

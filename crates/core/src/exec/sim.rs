@@ -21,6 +21,7 @@ use crate::exec::execute_task;
 use crate::graph::{AccessKind, ArrayBinding, StreamGraph};
 use crate::srf::{SrfBuffer, SrfConfig};
 use crate::task::{PortBinding, ScheduledProgram, TaskId, TaskKind};
+use crate::topology::Topology;
 use crate::trace::{ExecEvent, ExecEventKind};
 use crate::world::World;
 use gpstream_machine::ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
@@ -31,9 +32,11 @@ use gpstream_machine::{
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Context index running computation kernels.
+/// Context index running computation kernels under the default
+/// [`Topology::two_context`] layout.
 pub const COMPUTE_CTX: usize = 0;
-/// Context index running bulk memory operations.
+/// Context index running bulk memory operations under the default
+/// [`Topology::two_context`] layout.
 pub const MEMORY_CTX: usize = 1;
 
 /// Report from a simulated run.
@@ -119,11 +122,11 @@ pub struct SimProfile {
 }
 
 /// Per-context lowering: the op streams plus, per op, the task that
-/// produced it (for trace attribution).
+/// produced it (for trace attribution). One entry per topology context.
 #[derive(Debug)]
 struct Lowered {
-    ops: [Vec<BulkOp>; 2],
-    owners: [Vec<TaskId>; 2],
+    ops: Vec<Vec<BulkOp>>,
+    owners: Vec<Vec<TaskId>>,
 }
 
 /// Executor that runs the program functionally and on the timing model.
@@ -131,6 +134,7 @@ struct Lowered {
 pub struct SimExecutor {
     machine_cfg: MachineConfig,
     srf_cfg: SrfConfig,
+    topology: Topology,
     wait_policy: WaitPolicy,
     warmup: bool,
     single_context: bool,
@@ -153,7 +157,7 @@ pub struct SimExecutor {
 pub struct SimSnapshot {
     machine: Machine,
     lowered: Arc<Lowered>,
-    progs: Option<[ContextProgram; 2]>,
+    progs: Option<Vec<ContextProgram>>,
     task_ids: Arc<[TaskId]>,
     wait_policy: WaitPolicy,
     trace: bool,
@@ -171,6 +175,7 @@ impl Default for SimExecutor {
         SimExecutor {
             machine_cfg: MachineConfig::prescott(),
             srf_cfg: SrfConfig::prescott(),
+            topology: Topology::two_context(),
             wait_policy: WaitPolicy::Mwait,
             warmup: false,
             single_context: false,
@@ -203,6 +208,18 @@ impl SimExecutor {
     #[must_use]
     pub fn with_srf(mut self, cfg: SrfConfig) -> Self {
         self.srf_cfg = cfg;
+        self
+    }
+
+    /// Override the queue topology — how task classes map onto hardware
+    /// contexts. The default is the paper's [`Topology::two_context`]
+    /// split (context 0 computes, context 1 moves memory); wider
+    /// topologies farm each class round-robin across its contexts. The
+    /// timing machine is widened to at least `topology.contexts()`
+    /// contexts.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -354,7 +371,13 @@ impl SimExecutor {
         graph: &StreamGraph,
         world: &mut World,
     ) -> SimSnapshot {
-        program.check(graph).expect("scheduled program must be consistent");
+        if self.single_context {
+            program.check(graph).expect("scheduled program must be consistent");
+        } else {
+            program
+                .check_with_topology(graph, &self.topology)
+                .expect("scheduled program must be consistent and covered by the topology");
+        }
         assert!(
             program.srf_bytes <= self.srf_cfg.capacity,
             "program needs {} SRF bytes but only {} are configured",
@@ -368,8 +391,14 @@ impl SimExecutor {
             execute_task(task, graph, world, &mut srf);
         }
 
-        // Timing-pass setup.
-        let mut machine = Machine::new(self.machine_cfg.clone());
+        // Timing-pass setup. The machine must have a context per topology
+        // queue; with the default two-context topology this leaves the
+        // configured machine untouched.
+        let mut machine_cfg = self.machine_cfg.clone();
+        if !self.single_context {
+            machine_cfg.contexts = machine_cfg.contexts.max(self.topology.contexts());
+        }
+        let mut machine = Machine::new(machine_cfg);
         machine.install_srf(self.srf_cfg.range());
         machine.set_step_mode(if self.fast_sim { StepMode::Event } else { StepMode::Stepped });
         if self.trace {
@@ -471,67 +500,42 @@ impl SimExecutor {
         graph: &StreamGraph,
         world: &World,
     ) -> Lowered {
-        let two = self.lower(program, graph, world);
-        let [compute_ops, memory_ops] = two.ops;
-        // Interleave back into task order without synchronization ops.
-        let mut ops = Vec::with_capacity(compute_ops.len() + memory_ops.len());
-        let mut owners = Vec::with_capacity(ops.capacity());
-        let (mut ci, mut mi) = (0usize, 0usize);
-        let strip = |v: &[BulkOp], i: &mut usize| -> Option<BulkOp> {
-            while *i < v.len() {
-                let op = v[*i].clone();
-                *i += 1;
-                match op {
-                    BulkOp::Wait { .. } | BulkOp::Signal { .. } => continue,
-                    other => return Some(other),
-                }
-            }
-            None
-        };
+        let mut ops = Vec::with_capacity(program.tasks.len());
+        let mut owners = Vec::with_capacity(program.tasks.len());
         for t in &program.tasks {
-            let op = if t.kind.is_memory() {
-                strip(&memory_ops, &mut mi)
-            } else {
-                strip(&compute_ops, &mut ci)
-            };
-            if let Some(op) = op {
-                ops.push(op);
-                owners.push(t.id);
-            }
+            ops.push(self.task_op(&t.kind, graph, world));
+            owners.push(t.id);
         }
-        Lowered { ops: [ops, Vec::new()], owners: [owners, Vec::new()] }
+        Lowered { ops: vec![ops, Vec::new()], owners: vec![owners, Vec::new()] }
     }
 
     /// Lower the schedule into per-context bulk-op streams, tracking
-    /// which task produced each op.
+    /// which task produced each op. Tasks land on the context the
+    /// topology assigns them; with the default two-context topology this
+    /// is the paper's kind split (kernels on 0, gathers/scatters on 1).
     fn lower(&self, program: &ScheduledProgram, graph: &StreamGraph, world: &World) -> Lowered {
+        let assignment = self.topology.assign(&program.tasks);
         // Which tasks need a completion signal (some cross-queue task
         // depends on them)?
         let mut signaled: HashSet<u32> = HashSet::new();
         for t in &program.tasks {
             for d in &t.deps {
-                let dep_is_mem = program.tasks[d.0 as usize].kind.is_memory();
-                if dep_is_mem != t.kind.is_memory() {
+                if assignment[d.0 as usize] != assignment[t.id.0 as usize] {
                     signaled.insert(d.0);
                 }
             }
         }
 
-        let mut compute_ops: Vec<BulkOp> = Vec::new();
-        let mut memory_ops: Vec<BulkOp> = Vec::new();
-        let mut compute_owners: Vec<TaskId> = Vec::new();
-        let mut memory_owners: Vec<TaskId> = Vec::new();
+        let n = self.topology.contexts();
+        let mut ops: Vec<Vec<BulkOp>> = vec![Vec::new(); n];
+        let mut owners: Vec<Vec<TaskId>> = vec![Vec::new(); n];
         for t in &program.tasks {
-            let my_mem = t.kind.is_memory();
-            let (ops, owners) = if my_mem {
-                (&mut memory_ops, &mut memory_owners)
-            } else {
-                (&mut compute_ops, &mut compute_owners)
-            };
+            let c = assignment[t.id.0 as usize];
+            let (ops, owners) = (&mut ops[c], &mut owners[c]);
             let ops_before = ops.len();
             // Wait for cross-queue dependencies (same-queue order is free).
             for d in &t.deps {
-                if program.tasks[d.0 as usize].kind.is_memory() != my_mem {
+                if assignment[d.0 as usize] != c {
                     ops.push(BulkOp::Wait { id: d.0, policy: self.wait_policy });
                 }
             }
@@ -541,7 +545,7 @@ impl SimExecutor {
             }
             owners.extend(std::iter::repeat_n(t.id, ops.len() - ops_before));
         }
-        Lowered { ops: [compute_ops, memory_ops], owners: [compute_owners, memory_owners] }
+        Lowered { ops, owners }
     }
 
     /// The single machine-level bulk op a task lowers to.
@@ -600,24 +604,25 @@ impl SimExecutor {
         program: &ScheduledProgram,
         graph: &StreamGraph,
         world: &World,
-    ) -> (Lowered, [ContextProgram; 2]) {
+    ) -> (Lowered, Vec<ContextProgram>) {
+        let assignment = self.topology.assign(&program.tasks);
         let n = program.tasks.len();
         let mut has_dependent = vec![false; n];
         let mut feeds_partner = vec![false; n];
         for t in &program.tasks {
-            let my_mem = t.kind.is_memory();
             for d in &t.deps {
                 has_dependent[d.0 as usize] = true;
-                if program.tasks[d.0 as usize].kind.is_memory() != my_mem {
+                if assignment[d.0 as usize] != assignment[t.id.0 as usize] {
                     feeds_partner[d.0 as usize] = true;
                 }
             }
         }
 
-        let mut progs = [ContextProgram::default(), ContextProgram::default()];
-        let mut owners: [Vec<TaskId>; 2] = [Vec::new(), Vec::new()];
+        let nctx = self.topology.contexts();
+        let mut progs = vec![ContextProgram::default(); nctx];
+        let mut owners: Vec<Vec<TaskId>> = vec![Vec::new(); nctx];
         for t in &program.tasks {
-            let ctx = if t.kind.is_memory() { MEMORY_CTX } else { COMPUTE_CTX };
+            let ctx = assignment[t.id.0 as usize];
             let prog = &mut progs[ctx];
             let start = prog.ops.len();
             prog.ops.push(self.task_op(&t.kind, graph, world));
@@ -630,7 +635,7 @@ impl SimExecutor {
                 feeds_partner: feeds_partner[i],
             });
         }
-        let ops = [progs[COMPUTE_CTX].ops.clone(), progs[MEMORY_CTX].ops.clone()];
+        let ops = progs.iter().map(|p| p.ops.clone()).collect();
         (Lowered { ops, owners }, progs)
     }
 
@@ -693,7 +698,10 @@ fn attribute_profile(ops: Vec<gpstream_machine::OpProfile>, lowered: &Lowered) -
     let mut by_task: std::collections::BTreeMap<(u32, u8), (u64, MemStats)> =
         std::collections::BTreeMap::new();
     for p in ops {
-        let Some(&task) = lowered.owners[p.ctx as usize].get(p.op as usize) else { continue };
+        let Some(&task) = lowered.owners.get(p.ctx as usize).and_then(|o| o.get(p.op as usize))
+        else {
+            continue;
+        };
         let slot = by_task.entry((task.0, p.ctx)).or_insert((0, MemStats::default()));
         slot.0 += p.cycles;
         slot.1.accumulate(&p.stats);
@@ -750,7 +758,7 @@ fn attribute_events(
             _ => (None, false),
         };
         if let Some(i) = op_idx {
-            let Some(&task) = lowered.owners[ctx].get(i) else { continue };
+            let Some(&task) = lowered.owners.get(ctx).and_then(|o| o.get(i)) else { continue };
             let kind = match &lowered.ops[ctx][i] {
                 BulkOp::Signal { .. } => continue,
                 BulkOp::Wait { id, .. } => {

@@ -45,6 +45,7 @@ pub mod regular;
 pub(crate) mod spsc;
 pub mod srf;
 pub mod task;
+pub mod topology;
 pub mod trace;
 pub mod tuned;
 pub mod workqueue;
@@ -59,6 +60,7 @@ pub use pod::{AlignedBytes, Pod};
 pub use regular::{RegularAccess, RegularPhase, RegularProgram};
 pub use srf::{SrfBuffer, SrfConfig};
 pub use task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};
+pub use topology::{ContextRole, Topology};
 pub use trace::{chrome_trace, ExecEvent, ExecEventKind, TraceBuffer, TraceRun};
 pub use tuned::TunedConfig;
 pub use world::{MemArray, World};

@@ -12,9 +12,10 @@ pub struct Comparison {
     pub regular_cycles: u64,
     /// Cycles of the stream version.
     pub stream_cycles: u64,
-    /// Per-context phase breakdown of the stream run (`[compute ctx,
-    /// memory ctx]`), when the producer captured one.
-    pub phases: Option<[PhaseCycles; 2]>,
+    /// Per-context phase breakdown of the stream run (one entry per
+    /// machine context; `[compute ctx, memory ctx]` under the default
+    /// two-context layout), when the producer captured one.
+    pub phases: Option<Vec<PhaseCycles>>,
     /// Memory-system counters of the stream run, when the producer
     /// captured them.
     pub mem: Option<MemStats>,

@@ -196,6 +196,23 @@ impl ScheduledProgram {
         self.check_inner(Some(graph))
     }
 
+    /// [`ScheduledProgram::check`] plus topology coverage: every task
+    /// class in the schedule must have at least one accepting context.
+    /// The executors run this when a non-default queue topology is in
+    /// play.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn check_with_topology(
+        &self,
+        graph: &StreamGraph,
+        topology: &crate::topology::Topology,
+    ) -> Result<(), String> {
+        self.check(graph)?;
+        topology.validate_for(self)
+    }
+
     fn check_inner(&self, graph: Option<&StreamGraph>) -> Result<(), String> {
         for (i, t) in self.tasks.iter().enumerate() {
             if t.id.0 as usize != i {

@@ -81,7 +81,18 @@ impl DependencyWindow {
     ///
     /// Returns [`WindowFull`] if the window is full (the control thread
     /// must wait for a completion first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is already in flight: re-admitting would overwrite
+    /// its `slot_of` entry and leak the old slot's pending bit, so enough
+    /// duplicates would wedge the window permanently full (every admission
+    /// is a scheduling bug, exactly like completing an unknown task).
     pub fn admit(&mut self, task: TaskId) -> Result<u8, WindowFull> {
+        assert!(
+            !self.slot_of.contains_key(&task),
+            "task {task:?} admitted twice (already holds a window slot)"
+        );
         let free = (!self.pending).trailing_zeros();
         if free >= WINDOW as u32 {
             return Err(WindowFull);
@@ -191,6 +202,28 @@ mod tests {
     fn completing_unknown_task_panics() {
         let mut w = DependencyWindow::new();
         w.complete(TaskId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "admitted twice")]
+    fn duplicate_admission_panics() {
+        let mut w = DependencyWindow::new();
+        w.admit(TaskId(0)).unwrap();
+        w.admit(TaskId(1)).unwrap();
+        // Re-admitting an in-flight task would move it to a fresh slot and
+        // leak the old pending bit; it must be rejected instead.
+        let _ = w.admit(TaskId(0));
+    }
+
+    #[test]
+    fn readmission_after_completion_is_fine() {
+        let mut w = DependencyWindow::new();
+        w.admit(TaskId(0)).unwrap();
+        w.complete(TaskId(0));
+        // A completed task has left the window; running it again (e.g. a
+        // repeated program) admits cleanly.
+        w.admit(TaskId(0)).unwrap();
+        assert_eq!(w.pending_mask().count_ones(), 1);
     }
 
     #[test]

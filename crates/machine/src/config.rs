@@ -36,8 +36,8 @@ impl CacheGeometry {
     }
 }
 
-/// How the two SMT contexts degrade each other, expressed as relative
-/// execution-rate factors (1.0 = no interference).
+/// How two co-scheduled SMT contexts degrade each other, expressed as
+/// relative execution-rate factors (1.0 = no interference).
 ///
 /// The paper's Figure 6 measures these directly on the Prescott core:
 /// two compute threads each run at ~0.63x of their single-thread rate,
@@ -61,6 +61,24 @@ pub struct SmtFactors {
     pub mem_vs_pause: f64,
 }
 
+/// N-way SMT interference model.
+///
+/// Contexts are grouped into physical cores of `threads_per_core`
+/// hardware threads each (context `c` lives on core
+/// `c / threads_per_core`). A context's issue rate is the *product* of
+/// the pairwise [`SmtFactors`] against every non-idle sibling on its
+/// core, so with two threads per core exactly one sibling exists and the
+/// model degenerates to the paper's Figure 6 pairwise lookup bit for
+/// bit. Contexts on different cores only interact through the shared
+/// bus and page walker, which serialize across all N contexts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmtModel {
+    /// Hardware threads sharing one physical core's issue slots.
+    pub threads_per_core: usize,
+    /// Pairwise interference factors applied per non-idle sibling.
+    pub factors: SmtFactors,
+}
+
 /// Inter-context communication (work-queue dispatch) costs, from the
 /// paper's Section III-B measurements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +95,12 @@ pub struct WaitCosts {
 /// Full configuration of the simulated machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
+    /// Number of hardware contexts the engine steps (1..=64). The
+    /// paper's machine exposes two hyper-threading contexts; larger
+    /// values model scaled-up SMT/multi-core parts, with
+    /// [`SmtModel::threads_per_core`] deciding which contexts share a
+    /// core's issue slots.
+    pub contexts: usize,
     /// Core clock frequency in GHz (used only to convert cycles to seconds).
     pub freq_ghz: f64,
     /// Sustained single-context issue rate for straight-line compute,
@@ -143,8 +167,8 @@ pub struct MachineConfig {
     /// pointer-chasing through the cache is not free even on a hit.
     pub l2_dep_exposed: u64,
 
-    /// SMT interference factors.
-    pub smt: SmtFactors,
+    /// SMT interference model (core grouping + pairwise factors).
+    pub smt: SmtModel,
     /// Work-queue dispatch costs per wait policy.
     pub wait: WaitCosts,
 }
@@ -156,6 +180,7 @@ impl MachineConfig {
     #[must_use]
     pub fn prescott() -> Self {
         MachineConfig {
+            contexts: 2,
             freq_ghz: 3.4,
             base_ipc: 1.0,
             copy_uops_per_elem: 3,
@@ -184,13 +209,16 @@ impl MachineConfig {
             store_miss_exposed: 70,
             ooo_window_cycles: 100,
             l2_dep_exposed: 10,
-            smt: SmtFactors {
-                comp_vs_comp: 0.63,
-                comp_vs_mem: 0.85,
-                comp_vs_pause: 0.74,
-                mem_vs_comp: 0.90,
-                mem_vs_mem: 0.94,
-                mem_vs_pause: 0.97,
+            smt: SmtModel {
+                threads_per_core: 2,
+                factors: SmtFactors {
+                    comp_vs_comp: 0.63,
+                    comp_vs_mem: 0.85,
+                    comp_vs_pause: 0.74,
+                    mem_vs_comp: 0.90,
+                    mem_vs_mem: 0.94,
+                    mem_vs_pause: 0.97,
+                },
             },
             wait: WaitCosts { pause_dispatch: 175, mwait_dispatch: 680, os_dispatch: 30_000 },
         }
@@ -224,6 +252,7 @@ impl MachineConfig {
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut fp = gpstream_util::Fingerprint::new("machine-config-v1");
+        fp.usize(self.contexts).usize(self.smt.threads_per_core);
         fp.f64(self.freq_ghz).f64(self.base_ipc);
         fp.u64(self.copy_uops_per_elem).u64(self.sw_prefetch_uops);
         for geo in [&self.l1, &self.l2] {
@@ -235,7 +264,7 @@ impl MachineConfig {
         fp.usize(self.hw_pf_streams).u64(self.hw_pf_depth).u64(self.sw_pf_depth);
         fp.u64(self.mshrs).u64(self.store_miss_exposed);
         fp.u64(self.ooo_window_cycles).u64(self.l2_dep_exposed);
-        let s = &self.smt;
+        let s = &self.smt.factors;
         for f in [
             s.comp_vs_comp,
             s.comp_vs_mem,
@@ -329,6 +358,12 @@ mod tests {
         let mut faster = MachineConfig::prescott();
         faster.wait.pause_dispatch = 174;
         assert_ne!(base, faster.fingerprint());
+        let mut wider = MachineConfig::prescott();
+        wider.contexts = 4;
+        assert_ne!(base, wider.fingerprint());
+        let mut fused = MachineConfig::prescott();
+        fused.smt.threads_per_core = 4;
+        assert_ne!(base, fused.fingerprint());
         assert_ne!(base, MachineConfig::enhanced().fingerprint());
     }
 }

@@ -1,19 +1,25 @@
-//! The two-context timing engine.
+//! The N-context timing engine.
 //!
-//! [`Machine::run`] advances two hardware contexts over their [`BulkOp`]
-//! streams in interleaved chunks, always stepping the context whose local
-//! clock is behind. Shared resources — the L2 cache, the front-side bus,
-//! the page walker and the issue bandwidth of the SMT core — couple the
-//! two timelines:
+//! [`Machine::run`] advances `MachineConfig::contexts` hardware contexts
+//! over their [`BulkOp`] streams in interleaved chunks, always stepping
+//! the context whose local clock is behind. Shared resources — the L2
+//! cache, the front-side bus, the page walker and the issue bandwidth of
+//! each SMT core — couple the timelines:
 //!
-//! * compute throughput is scaled by the partner's activity (the
+//! * compute throughput is scaled by the activity of every same-core
+//!   sibling context (the product of the pairwise
 //!   [`SmtFactors`](crate::config::SmtFactors) measured in the paper's
-//!   Figure 6 experiment);
-//! * line fills, writebacks and non-temporal store bursts occupy the bus;
+//!   Figure 6 experiment; see [`crate::config::SmtModel`]);
+//! * line fills, writebacks and non-temporal store bursts occupy the one
+//!   shared bus, arbitrated across all N contexts;
 //! * TLB misses serialize on the single page walker (the dominant cost of
 //!   random gathers/scatters per the paper);
 //! * cross-context dispatch pays the PAUSE / MWAIT / OS wake-up costs of
 //!   Section III-B.
+//!
+//! With `contexts = 2` (the default) the engine reproduces the paper's
+//! two-hyper-thread machine bit for bit: one sibling exists, so the
+//! factor product degenerates to the pairwise lookup.
 
 use crate::bus::Bus;
 use crate::cache::{Cache, FillPolicy};
@@ -39,6 +45,20 @@ enum Activity {
     PauseSpin,
     /// Halted in MWAIT or blocked in the OS.
     Halted,
+}
+
+/// The interference a stepped context experiences from every other
+/// context this chunk: same-core issue-rate factors (see
+/// [`Machine::smt_mix`]) and whether the bus is contended.
+#[derive(Debug, Clone, Copy)]
+struct Smt {
+    /// Compute-side issue-rate factor (product over non-idle siblings).
+    comp: f64,
+    /// Memory-side issue-rate factor (product over non-idle siblings).
+    mem: f64,
+    /// Some other context (any core) is streaming memory, so bus
+    /// transfers pay the arbitration turnaround.
+    contended: bool,
 }
 
 /// Per-context write-combining buffer for non-temporal stores: `start` is
@@ -184,14 +204,14 @@ pub enum StepMode {
 #[derive(Debug, Clone)]
 pub struct Machine {
     cfg: MachineConfig,
-    l1: [Cache; 2],
+    l1: Vec<Cache>,
     l2: Cache,
-    tlb: [Tlb; 2],
-    last_page: [u64; 2],
+    tlb: Vec<Tlb>,
+    last_page: Vec<u64>,
     pf: Prefetcher,
     bus: Bus,
     walker_free: u64,
-    /// Set per chunk: the partner context is also streaming memory, so bus
+    /// Set per chunk: some other context is also streaming memory, so bus
     /// transfers pay the arbitration turnaround.
     bus_contended: bool,
     /// Set per access: uncovered miss latency is exposed beyond the
@@ -200,15 +220,15 @@ pub struct Machine {
     /// Set per access: the address is data-dependent (indexed), so even an
     /// L2 hit exposes some latency.
     dependent: bool,
-    wc: [WriteCombiner; 2],
+    wc: Vec<WriteCombiner>,
     /// Outstanding uncovered-miss completion times per context (MSHR
     /// model): the context stalls only when all miss buffers are busy, so
     /// fill latency is hidden behind whatever else serializes the loop
     /// (compute, page walks) up to `mshrs` deep.
-    fills: [VecDeque<u64>; 2],
+    fills: Vec<VecDeque<u64>>,
     stats: MemStats,
     /// Per-context cycle attribution, accumulated every step.
-    phases: [PhaseCycles; 2],
+    phases: Vec<PhaseCycles>,
     /// Event sink; `None` (the default) records nothing and costs one
     /// branch per emission site.
     trace: Option<Vec<MachineEvent>>,
@@ -259,14 +279,17 @@ const LOOP_FAST_MAX_PATTERNS: usize = 8;
 
 impl Machine {
     /// Build a machine from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.contexts` is outside `1..=64`.
     #[must_use]
     pub fn new(cfg: MachineConfig) -> Self {
-        let l1 = [Cache::new(cfg.l1, 0), Cache::new(cfg.l1, 0)];
+        let n = cfg.contexts;
+        assert!((1..=64).contains(&n), "contexts must be in 1..=64, got {n}");
+        let l1: Vec<Cache> = (0..n).map(|_| Cache::new(cfg.l1, 0)).collect();
         let l2 = Cache::new(cfg.l2, cfg.nt_ways);
-        let tlb = [
-            Tlb::new(cfg.dtlb_entries, cfg.page_bytes),
-            Tlb::new(cfg.dtlb_entries, cfg.page_bytes),
-        ];
+        let tlb: Vec<Tlb> = (0..n).map(|_| Tlb::new(cfg.dtlb_entries, cfg.page_bytes)).collect();
         let pf = Prefetcher::new(cfg.l2.line, cfg.hw_pf_streams);
         let bus = Bus::new(cfg.bus_bytes_per_cycle, cfg.mem_lat, cfg.bus_turnaround);
         let fast_shifts = (cfg.l2.line.is_power_of_two()
@@ -279,17 +302,17 @@ impl Machine {
             l1,
             l2,
             tlb,
-            last_page: [u64::MAX; 2],
+            last_page: vec![u64::MAX; n],
             pf,
             bus,
             walker_free: 0,
             bus_contended: false,
             loop_window: false,
             dependent: false,
-            wc: [WriteCombiner::default(); 2],
-            fills: [VecDeque::new(), VecDeque::new()],
+            wc: vec![WriteCombiner::default(); n],
+            fills: vec![VecDeque::new(); n],
             stats: MemStats::default(),
-            phases: [PhaseCycles::default(); 2],
+            phases: vec![PhaseCycles::default(); n],
             trace: None,
             profile: None,
             sampler: None,
@@ -297,6 +320,12 @@ impl Machine {
             mode: StepMode::default(),
             fast_shifts,
         }
+    }
+
+    /// Number of hardware contexts this machine steps.
+    #[must_use]
+    pub fn contexts(&self) -> usize {
+        self.cfg.contexts
     }
 
     /// Select the time-advance strategy for subsequent runs.
@@ -455,10 +484,11 @@ impl Machine {
         self.bus_contended = false;
         self.loop_window = false;
         self.dependent = false;
-        self.wc = [WriteCombiner::default(); 2];
-        self.fills = [VecDeque::new(), VecDeque::new()];
+        let n = self.cfg.contexts;
+        self.wc = vec![WriteCombiner::default(); n];
+        self.fills = vec![VecDeque::new(); n];
         self.stats = MemStats::default();
-        self.phases = [PhaseCycles::default(); 2];
+        self.phases = vec![PhaseCycles::default(); n];
         if let Some(buf) = self.trace.as_mut() {
             buf.clear();
         }
@@ -474,26 +504,34 @@ impl Machine {
         }
     }
 
-    /// Run a single-context program (the partner is idle, so the core runs
-    /// in single-thread mode throughout).
+    /// Run a single-context program (every other context is idle, so the
+    /// core runs in single-thread mode throughout).
     pub fn run_single(&mut self, ops: Vec<BulkOp>) -> RunResult {
-        self.run([ops, Vec::new()])
+        self.run(vec![ops])
     }
 
-    /// Run one op stream per hardware context to completion.
+    /// Run one op stream per hardware context to completion. Fewer
+    /// streams than contexts are padded with empty (idle) programs.
     ///
     /// # Panics
     ///
-    /// Panics if both contexts end up waiting on events that are never
-    /// signaled (a deadlock in the generated schedule).
-    pub fn run(&mut self, progs: [Vec<BulkOp>; 2]) -> RunResult {
-        let [p0, p1] = progs;
-        let mut cur = [
-            Cursor { ops: p0, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None },
-            Cursor { ops: p1, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None },
-        ];
+    /// Panics if more streams than contexts are supplied, or if every
+    /// unfinished context waits on an event that is never signaled (a
+    /// deadlock in the generated schedule).
+    pub fn run(&mut self, progs: impl Into<Vec<Vec<BulkOp>>>) -> RunResult {
+        let n = self.cfg.contexts;
+        let mut progs: Vec<Vec<BulkOp>> = progs.into();
+        assert!(progs.len() <= n, "{} op streams for {n} contexts", progs.len());
+        progs.resize_with(n, Vec::new);
+        let mut cur: Vec<Cursor> = progs
+            .into_iter()
+            .map(|ops| Cursor { ops, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None })
+            .collect();
         let mut signals: BTreeMap<u32, u64> = BTreeMap::new();
-        self.phases = [PhaseCycles::default(); 2];
+        self.phases = vec![PhaseCycles::default(); n];
+        // Per-iteration activity snapshot, reused to keep the hot loop
+        // allocation-free.
+        let mut acts: Vec<Activity> = Vec::with_capacity(n);
 
         loop {
             // Resolve waits that can now complete.
@@ -519,37 +557,45 @@ impl Machine {
                 }
             }
 
+            // Step the runnable context whose local clock is furthest
+            // behind (ties pick the lowest index).
             let runnable = |c: &Cursor| !c.done() && c.waiting.is_none();
-            let pick = match (runnable(&cur[0]), runnable(&cur[1])) {
-                (true, true) => usize::from(cur[1].t < cur[0].t),
-                (true, false) => 0,
-                (false, true) => 1,
-                (false, false) => {
-                    let finished = |c: &Cursor| c.done() && c.waiting.is_none();
-                    if finished(&cur[0]) && finished(&cur[1]) {
-                        break;
-                    }
-                    let stuck: Vec<usize> = (0..2).filter(|&c| cur[c].waiting.is_some()).collect();
-                    panic!(
-                        "deadlock: contexts {stuck:?} wait on events never signaled \
-                         (waiting: {:?}, {:?})",
-                        cur[0].waiting, cur[1].waiting
-                    );
+            let mut pick = None;
+            for (i, c) in cur.iter().enumerate() {
+                if runnable(c) && pick.is_none_or(|p: usize| c.t < cur[p].t) {
+                    pick = Some(i);
                 }
+            }
+            let Some(pick) = pick else {
+                if cur.iter().all(|c| c.done() && c.waiting.is_none()) {
+                    break;
+                }
+                let stuck: Vec<(usize, Option<(u32, WaitPolicy)>)> = cur
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.waiting.is_some())
+                    .map(|(i, c)| (i, c.waiting))
+                    .collect();
+                panic!("deadlock: contexts wait on events never signaled (waiting: {stuck:?})");
             };
 
-            let other_activity = self.activity_of(&cur[1 - pick]);
-            if self.mode == StepMode::Event && !runnable(&cur[1 - pick]) {
-                // The partner is finished or waiting on an event only this
-                // context can signal: nothing it observes can change until
-                // the current op completes, so run the op out in one span.
-                self.step_op_span(&mut cur, pick, other_activity, &mut signals);
+            acts.clear();
+            acts.extend(cur.iter().map(|c| self.activity_of(c)));
+            let smt = self.smt_mix(pick, &acts);
+            if self.mode == StepMode::Event
+                && cur.iter().enumerate().all(|(i, c)| i == pick || !runnable(c))
+            {
+                // Every other context is finished or waiting on an event
+                // only this context can signal: nothing they observe can
+                // change until the current op completes, so run the op out
+                // in one span.
+                self.step_op_span(&mut cur, pick, smt, &mut signals);
             } else {
-                self.step_instrumented(&mut cur, pick, other_activity, &mut signals);
+                self.step_instrumented(&mut cur, pick, smt, &mut signals);
             }
         }
 
-        self.finish_run([cur[0].t, cur[1].t])
+        self.finish_run(cur.iter().map(|c| c.t).collect())
     }
 
     /// Statistics accumulated so far (valid after `run`).
@@ -571,22 +617,36 @@ impl Machine {
     /// checker should have rejected such a program).
     pub fn run_tasks(
         &mut self,
-        progs: [ContextProgram; 2],
+        progs: impl Into<Vec<ContextProgram>>,
         policy: WaitPolicy,
         window: usize,
     ) -> RunResult {
-        let [p0, p1] = progs;
-        let mut cur = [
-            Cursor { ops: p0.ops, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None },
-            Cursor { ops: p1.ops, idx: 0, progress: 0, progress_bytes: 0, t: 0, waiting: None },
-        ];
-        let mut st = [IssueState::new(p0.tasks), IssueState::new(p1.tasks)];
+        let n = self.cfg.contexts;
+        let mut progs: Vec<ContextProgram> = progs.into();
+        assert!(progs.len() <= n, "{} task programs for {n} contexts", progs.len());
+        progs.resize_with(n, ContextProgram::default);
+        let mut cur: Vec<Cursor> = Vec::with_capacity(n);
+        let mut st: Vec<IssueState> = Vec::with_capacity(n);
+        for p in progs {
+            cur.push(Cursor {
+                ops: p.ops,
+                idx: 0,
+                progress: 0,
+                progress_bytes: 0,
+                t: 0,
+                waiting: None,
+            });
+            st.push(IssueState::new(p.tasks));
+        }
         let mut signals: BTreeMap<u32, u64> = BTreeMap::new();
-        self.phases = [PhaseCycles::default(); 2];
+        self.phases = vec![PhaseCycles::default(); n];
         let window = window.max(1);
         // Index into `task_log` of each context's open (issued, not yet
         // completed) record, when logging is enabled.
-        let mut log_open: [Option<usize>; 2] = [None, None];
+        let mut log_open: Vec<Option<usize>> = vec![None; n];
+        // Per-iteration activity snapshot, reused to keep the hot loop
+        // allocation-free.
+        let mut acts: Vec<Activity> = Vec::with_capacity(n);
 
         loop {
             // Earliest time each context could act: step its active task,
@@ -595,10 +655,10 @@ impl Machine {
             // their candidate and `pick` is a pure function of (signals,
             // issued), so laziness cannot change the schedule.
             let lazy = self.mode == StepMode::Event;
-            let cand = [
-                if lazy && st[0].active.is_some() { None } else { st[0].pick(&signals, window) },
-                if lazy && st[1].active.is_some() { None } else { st[1].pick(&signals, window) },
-            ];
+            let cand: Vec<Option<(usize, u64, u32)>> = st
+                .iter()
+                .map(|s| if lazy && s.active.is_some() { None } else { s.pick(&signals, window) })
+                .collect();
             let avail = |c: usize| -> Option<u64> {
                 if st[c].active.is_some() {
                     Some(cur[c].t)
@@ -606,23 +666,26 @@ impl Machine {
                     cand[c].map(|(_, rt, _)| cur[c].t.max(rt))
                 }
             };
-            let c = match (avail(0), avail(1)) {
-                (Some(a), Some(b)) => usize::from(b < a),
-                (Some(_), None) => 0,
-                (None, Some(_)) => 1,
-                (None, None) => {
-                    if st[0].all_done() && st[1].all_done() {
-                        break;
+            // Pick the earliest-available context (ties pick the lowest
+            // index).
+            let mut best: Option<(u64, usize)> = None;
+            for i in 0..n {
+                if let Some(a) = avail(i) {
+                    if best.is_none_or(|(b, _)| a < b) {
+                        best = Some((a, i));
                     }
-                    panic!(
-                        "deadlock: no context can issue (done {}/{} and {}/{} tasks) — \
-                         a dependency is never signaled",
-                        st[0].n_done,
-                        st[0].tasks.len(),
-                        st[1].n_done,
-                        st[1].tasks.len()
-                    );
                 }
+            }
+            let Some((_, c)) = best else {
+                if st.iter().all(IssueState::all_done) {
+                    break;
+                }
+                let progress: Vec<String> =
+                    st.iter().map(|s| format!("{}/{}", s.n_done, s.tasks.len())).collect();
+                panic!(
+                    "deadlock: no context can issue (done {progress:?} tasks) — \
+                     a dependency is never signaled"
+                );
             };
 
             if st[c].active.is_none() {
@@ -678,17 +741,18 @@ impl Machine {
 
             let i = st[c].active.expect("active task set above");
             if cur[c].idx < st[c].tasks[i].ops.end {
-                let other_activity = self.task_activity(&cur[1 - c], &st[1 - c], policy);
+                acts.clear();
+                acts.extend(cur.iter().zip(&st).map(|(cc, ss)| self.task_activity(cc, ss, policy)));
+                let smt = self.smt_mix(c, &acts);
                 if self.mode == StepMode::Event
-                    && st[1 - c].active.is_none()
-                    && cand[1 - c].is_none()
+                    && (0..n).all(|j| j == c || (st[j].active.is_none() && cand[j].is_none()))
                 {
-                    // The partner has no issueable entry and can only get
-                    // one when this task completes and signals: run the
-                    // current op out in one span.
-                    self.step_op_span(&mut cur, c, other_activity, &mut signals);
+                    // No other context has an issueable entry; each can
+                    // only get one when this task completes and signals:
+                    // run the current op out in one span.
+                    self.step_op_span(&mut cur, c, smt, &mut signals);
                 } else {
-                    self.step_instrumented(&mut cur, c, other_activity, &mut signals);
+                    self.step_instrumented(&mut cur, c, smt, &mut signals);
                 }
             }
             if cur[c].idx >= st[c].tasks[i].ops.end {
@@ -705,7 +769,7 @@ impl Machine {
             }
         }
 
-        self.finish_run([cur[0].t, cur[1].t])
+        self.finish_run(cur.iter().map(|c| c.t).collect())
     }
 
     /// Shared end-of-run accounting: publish the bus totals, extend the
@@ -713,10 +777,10 @@ impl Machine {
     /// may outlive the issuing context — the run is not over until the
     /// bus is quiet, which also makes `bus_busy_cycles <= cycles` an
     /// invariant), and record the sampler's final snapshot.
-    fn finish_run(&mut self, ctx_cycles: [u64; 2]) -> RunResult {
+    fn finish_run(&mut self, ctx_cycles: Vec<u64>) -> RunResult {
         self.stats.bus_bytes = self.bus.bytes_moved();
         self.stats.bus_busy_cycles = self.bus.busy_cycles();
-        let cycles = ctx_cycles[0].max(ctx_cycles[1]).max(self.bus.next_free());
+        let cycles = ctx_cycles.iter().copied().max().unwrap_or(0).max(self.bus.next_free());
         if let Some(s) = self.sampler.as_mut() {
             // Final cumulative sample at end of run: interval deltas then
             // sum to the run totals by construction. Replace a tick that
@@ -727,7 +791,7 @@ impl Machine {
             }
             s.samples.push(CounterSample { t: cycles, stats: self.stats });
         }
-        RunResult { ctx_cycles, cycles, mem: self.stats, phases: self.phases }
+        RunResult { ctx_cycles, cycles, mem: self.stats, phases: self.phases.clone() }
     }
 
     /// Step the chosen context, wrapped in profiling / sampling counter
@@ -735,19 +799,19 @@ impl Machine {
     /// counters, so timing is bit-identical with and without them.
     fn step_instrumented(
         &mut self,
-        cur: &mut [Cursor; 2],
+        cur: &mut [Cursor],
         c: usize,
-        other: Activity,
+        smt: Smt,
         signals: &mut BTreeMap<u32, u64>,
     ) {
         if self.profile.is_none() && self.sampler.is_none() {
-            self.step_dispatch(cur, c, other, signals);
+            self.step_dispatch(cur, c, smt, signals);
             return;
         }
         let op = cur[c].idx as u32;
         let t0 = cur[c].t;
         let before = self.stats_now();
-        self.step_dispatch(cur, c, other, signals);
+        self.step_dispatch(cur, c, smt, signals);
         let now = cur[c].t;
         if self.profile.is_some() || self.sampler.as_ref().is_some_and(|s| s.next_t <= now) {
             let after = self.stats_now();
@@ -768,34 +832,34 @@ impl Machine {
     /// One chunk step under the active [`StepMode`].
     fn step_dispatch(
         &mut self,
-        cur: &mut [Cursor; 2],
+        cur: &mut [Cursor],
         c: usize,
-        other: Activity,
+        smt: Smt,
         signals: &mut BTreeMap<u32, u64>,
     ) {
         match self.mode {
-            StepMode::Stepped => self.step(cur, c, other, signals),
-            // Not greedy: outside a span the partner interleaves at chunk
-            // granularity, and shared-structure (bus, L2) access order
-            // across contexts must match the stepped loop exactly.
-            StepMode::Event => self.step_chunk_fast(cur, c, other, signals, false),
+            StepMode::Stepped => self.step(cur, c, smt, signals),
+            // Not greedy: outside a span the other contexts interleave at
+            // chunk granularity, and shared-structure (bus, L2) access
+            // order across contexts must match the stepped loop exactly.
+            StepMode::Event => self.step_chunk_fast(cur, c, smt, signals, false),
         }
     }
 
     /// Event-mode span: run the picked context's *current op* to
     /// completion without re-picking or re-resolving waits in between.
-    /// Legal only while the partner cannot act (finished, waiting on an
-    /// unsignaled event, or holding no issueable task): its observable
-    /// state — and hence every SMT factor, pick decision and wait
-    /// resolution the stepped loop would recompute per chunk — is frozen
-    /// until this op retires. Chunk boundaries are preserved inside the
-    /// span so interval samples land on the same ticks with the same
-    /// counter snapshots as the stepped loop.
+    /// Legal only while no other context can act (each is finished,
+    /// waiting on an unsignaled event, or holding no issueable task):
+    /// their observable state — and hence every SMT factor, pick decision
+    /// and wait resolution the stepped loop would recompute per chunk —
+    /// is frozen until this op retires. Chunk boundaries are preserved
+    /// inside the span so interval samples land on the same ticks with
+    /// the same counter snapshots as the stepped loop.
     fn step_op_span(
         &mut self,
-        cur: &mut [Cursor; 2],
+        cur: &mut [Cursor],
         c: usize,
-        other: Activity,
+        smt: Smt,
         signals: &mut BTreeMap<u32, u64>,
     ) {
         let op0 = cur[c].idx;
@@ -806,7 +870,7 @@ impl Machine {
         // emit no trace events), so ops may be processed whole.
         let greedy = self.sampler.is_none();
         while cur[c].idx == op0 {
-            self.step_chunk_fast(cur, c, other, signals, greedy);
+            self.step_chunk_fast(cur, c, smt, signals, greedy);
             let now = cur[c].t;
             if self.sampler.as_ref().is_some_and(|s| s.next_t <= now) {
                 let after = self.stats_now();
@@ -878,24 +942,48 @@ impl Machine {
         }
     }
 
-    /// Rate factor for my compute-side issue given the partner's activity.
+    /// Rate factor for my compute-side issue given one sibling's activity.
     fn comp_factor(&self, other: Activity) -> f64 {
         match other {
             Activity::Idle | Activity::Halted => 1.0,
-            Activity::Compute => self.cfg.smt.comp_vs_comp,
-            Activity::Memory => self.cfg.smt.comp_vs_mem,
-            Activity::PauseSpin => self.cfg.smt.comp_vs_pause,
+            Activity::Compute => self.cfg.smt.factors.comp_vs_comp,
+            Activity::Memory => self.cfg.smt.factors.comp_vs_mem,
+            Activity::PauseSpin => self.cfg.smt.factors.comp_vs_pause,
         }
     }
 
-    /// Rate factor for my memory-side issue given the partner's activity.
+    /// Rate factor for my memory-side issue given one sibling's activity.
     fn mem_factor(&self, other: Activity) -> f64 {
         match other {
             Activity::Idle | Activity::Halted => 1.0,
-            Activity::Compute => self.cfg.smt.mem_vs_comp,
-            Activity::Memory => self.cfg.smt.mem_vs_mem,
-            Activity::PauseSpin => self.cfg.smt.mem_vs_pause,
+            Activity::Compute => self.cfg.smt.factors.mem_vs_comp,
+            Activity::Memory => self.cfg.smt.factors.mem_vs_mem,
+            Activity::PauseSpin => self.cfg.smt.factors.mem_vs_pause,
         }
+    }
+
+    /// Interference seen by context `c` this step: the product of the
+    /// pairwise rate factors over every *same-core* sibling (per
+    /// [`crate::config::SmtModel`]), and whether any other context — on
+    /// any core — is streaming memory (bus arbitration). With one sibling
+    /// the product is `1.0 * f`, which is IEEE-exact, so the two-context
+    /// machine reproduces the pairwise model bit for bit.
+    fn smt_mix(&self, c: usize, acts: &[Activity]) -> Smt {
+        let tpc = self.cfg.smt.threads_per_core.max(1);
+        let mut smt = Smt { comp: 1.0, mem: 1.0, contended: false };
+        for (j, &a) in acts.iter().enumerate() {
+            if j == c {
+                continue;
+            }
+            if a == Activity::Memory {
+                smt.contended = true;
+            }
+            if j / tpc == c / tpc {
+                smt.comp *= self.comp_factor(a);
+                smt.mem *= self.mem_factor(a);
+            }
+        }
+        smt
     }
 
     /// Cycles for `uops` micro-ops at the contended issue rate.
@@ -904,13 +992,7 @@ impl Machine {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(
-        &mut self,
-        cur: &mut [Cursor; 2],
-        c: usize,
-        other: Activity,
-        signals: &mut BTreeMap<u32, u64>,
-    ) {
+    fn step(&mut self, cur: &mut [Cursor], c: usize, smt: Smt, signals: &mut BTreeMap<u32, u64>) {
         // Take the op out to appease the borrow checker; ops are cheap to
         // clone except for Indexed patterns which are Arc-backed.
         let op = cur[c].ops[cur[c].idx].clone();
@@ -932,7 +1014,7 @@ impl Machine {
         let t_before = cur[c].t;
         match op {
             BulkOp::Compute { uops } => {
-                let f = self.comp_factor(other);
+                let f = smt.comp;
                 let chunk_uops = ((CHUNK_CYCLES as f64) * self.cfg.base_ipc * f).max(1.0) as u64;
                 let remaining = uops - cur[c].progress;
                 let take = remaining.min(chunk_uops);
@@ -943,8 +1025,8 @@ impl Machine {
                 }
             }
             BulkOp::Copy { mem, srf_base, dir, nt } => {
-                let f = self.mem_factor(other);
-                self.bus_contended = other == Activity::Memory;
+                let f = smt.mem;
+                self.bus_contended = smt.contended;
                 let total = mem.count();
                 let remaining = total - cur[c].progress;
                 let take = remaining.min(CHUNK_ELEMS);
@@ -1012,8 +1094,8 @@ impl Machine {
                 let per_iter = uops_per_iter.max(1);
                 let iters_budget = (CHUNK_CYCLES / per_iter).clamp(1, CHUNK_ELEMS);
                 let take = remaining.min(iters_budget);
-                let (fc, fm) = (self.comp_factor(other), self.mem_factor(other));
-                self.bus_contended = other == Activity::Memory;
+                let (fc, fm) = (smt.comp, smt.mem);
+                self.bus_contended = smt.contended;
                 let mut t = cur[c].t;
                 // Adjacent loads within one iteration are independent and
                 // overlap up to the miss buffers; the computation between
@@ -1077,14 +1159,14 @@ impl Machine {
     /// through the exact stepped code path.
     fn step_chunk_fast(
         &mut self,
-        cur: &mut [Cursor; 2],
+        cur: &mut [Cursor],
         c: usize,
-        other: Activity,
+        smt: Smt,
         signals: &mut BTreeMap<u32, u64>,
         greedy: bool,
     ) {
         if self.fast_shifts.is_none() {
-            self.step(cur, c, other, signals);
+            self.step(cur, c, smt, signals);
             return;
         }
         match &cur[c].ops[cur[c].idx] {
@@ -1092,7 +1174,7 @@ impl Machine {
             _ => {
                 // Compute / Signal / Wait / Delay steps are already O(1)
                 // per chunk; the stepped body is the fast path.
-                self.step(cur, c, other, signals);
+                self.step(cur, c, smt, signals);
                 return;
             }
         }
@@ -1108,10 +1190,10 @@ impl Machine {
         let t_before = cur[c].t;
         match op {
             BulkOp::Copy { mem, srf_base, dir, nt } => {
-                self.copy_chunk_fast(cur, c, other, &mem, srf_base, dir, nt, greedy);
+                self.copy_chunk_fast(cur, c, smt, &mem, srf_base, dir, nt, greedy);
             }
             BulkOp::Loop { patterns, uops_per_iter, .. } => {
-                self.loop_chunk_fast(cur, c, other, &patterns, uops_per_iter, greedy);
+                self.loop_chunk_fast(cur, c, smt, &patterns, uops_per_iter, greedy);
             }
             _ => unreachable!("matched above"),
         }
@@ -1127,9 +1209,9 @@ impl Machine {
     #[allow(clippy::too_many_arguments)]
     fn copy_chunk_fast(
         &mut self,
-        cur: &mut [Cursor; 2],
+        cur: &mut [Cursor],
         c: usize,
-        other: Activity,
+        smt: Smt,
         mem: &AccessPattern,
         srf_base: u64,
         dir: CopyDir,
@@ -1137,8 +1219,8 @@ impl Machine {
         greedy: bool,
     ) {
         let (line_shift, page_shift) = self.fast_shifts.expect("checked by step_chunk_fast");
-        let f = self.mem_factor(other);
-        self.bus_contended = other == Activity::Memory;
+        let f = smt.mem;
+        self.bus_contended = smt.contended;
         let total = mem.count();
         let remaining = total - cur[c].progress;
         let take = if greedy { remaining } else { remaining.min(CHUNK_ELEMS) };
@@ -1391,9 +1473,9 @@ impl Machine {
     /// One [`BulkOp::Loop`] chunk with fully-hitting iterations batched.
     fn loop_chunk_fast(
         &mut self,
-        cur: &mut [Cursor; 2],
+        cur: &mut [Cursor],
         c: usize,
-        other: Activity,
+        smt: Smt,
         patterns: &[(AccessPattern, Rw)],
         uops_per_iter: u64,
         greedy: bool,
@@ -1407,8 +1489,8 @@ impl Machine {
         let per_iter = uops_per_iter.max(1);
         let iters_budget = (CHUNK_CYCLES / per_iter).clamp(1, CHUNK_ELEMS);
         let take = if greedy { remaining } else { remaining.min(iters_budget) };
-        let (fc, fm) = (self.comp_factor(other), self.mem_factor(other));
-        self.bus_contended = other == Activity::Memory;
+        let (fc, fm) = (smt.comp, smt.mem);
+        self.bus_contended = smt.contended;
         let reads = patterns.iter().filter(|(_, rw)| *rw == Rw::Read).count();
         let mlp = reads.clamp(1, self.cfg.mshrs.max(1) as usize);
         let issue = self.uop_cycles(self.cfg.copy_uops_per_elem, fm);
@@ -2128,7 +2210,7 @@ mod tests {
     fn phase_breakdown_accounts_for_run() {
         let mut m = machine();
         let r = m.run(traceable_program());
-        let [c0, c1] = r.phases;
+        let (c0, c1) = (&r.phases[0], &r.phases[1]);
         assert!(c0.compute > 0, "ctx0 ran compute: {c0:?}");
         assert_eq!(c0.memory, 0, "ctx0 issued no bulk copies: {c0:?}");
         assert!(c1.memory > 0, "ctx1 ran the gather: {c1:?}");
@@ -2137,5 +2219,119 @@ mod tests {
         // Each context's buckets never exceed its finish time.
         assert!(c0.total() <= r.ctx_cycles[0]);
         assert!(c1.total() <= r.ctx_cycles[1]);
+    }
+
+    fn machine_n(contexts: usize) -> Machine {
+        let mut cfg = MachineConfig::prescott();
+        cfg.contexts = contexts;
+        Machine::new(cfg)
+    }
+
+    #[test]
+    fn one_context_machine_runs_single_thread() {
+        let mut wide = machine_n(1);
+        let narrow = wide.run(vec![vec![BulkOp::Compute { uops: 100_000 }]]);
+        let mut two = machine();
+        let idle_partner = two.run_single(vec![BulkOp::Compute { uops: 100_000 }]);
+        assert_eq!(narrow.cycles, idle_partner.cycles, "an idle partner costs nothing");
+        assert_eq!(narrow.ctx_cycles.len(), 1);
+        assert_eq!(narrow.phases.len(), 1);
+    }
+
+    #[test]
+    fn four_compute_contexts_on_one_core_compound_interference() {
+        let mut cfg = MachineConfig::prescott();
+        cfg.contexts = 4;
+        cfg.smt.threads_per_core = 4;
+        let mut m = Machine::new(cfg);
+        let solo = machine().run_single(vec![BulkOp::Compute { uops: 100_000 }]).cycles;
+        let progs: Vec<Vec<BulkOp>> =
+            (0..4).map(|_| vec![BulkOp::Compute { uops: 100_000 }]).collect();
+        let r = m.run(progs);
+        assert_eq!(r.ctx_cycles.len(), 4);
+        // Three computing siblings at 0.63 each => ~0.25x per-thread rate:
+        // slower than two-way SMT, faster than serializing four threads.
+        let two_way = {
+            let mut m = machine();
+            m.run([
+                vec![BulkOp::Compute { uops: 100_000 }],
+                vec![BulkOp::Compute { uops: 100_000 }],
+            ])
+            .cycles
+        };
+        assert!(
+            r.cycles > two_way,
+            "4-way sharing is slower than 2-way: {} vs {two_way}",
+            r.cycles
+        );
+        let ratio = r.cycles as f64 / solo as f64;
+        // 1 / 0.63^3 ~ 4.0 per thread; allow chunk-rounding slack.
+        assert!((3.0..5.0).contains(&ratio), "4-way ratio = {ratio}");
+    }
+
+    #[test]
+    fn separate_cores_do_not_share_issue_slots() {
+        // Two contexts on *different* cores (threads_per_core = 1): no
+        // issue interference, identical finish times to two solo runs.
+        let mut cfg = MachineConfig::prescott();
+        cfg.contexts = 2;
+        cfg.smt.threads_per_core = 1;
+        let mut m = Machine::new(cfg);
+        let r = m.run([
+            vec![BulkOp::Compute { uops: 100_000 }],
+            vec![BulkOp::Compute { uops: 100_000 }],
+        ]);
+        let solo = machine().run_single(vec![BulkOp::Compute { uops: 100_000 }]).cycles;
+        assert_eq!(r.ctx_cycles[0], solo, "separate cores run at full rate");
+        assert_eq!(r.ctx_cycles[1], solo, "separate cores run at full rate");
+    }
+
+    #[test]
+    fn n_context_task_ring_completes() {
+        // A dependency ring across 4 contexts: each computes after its
+        // predecessor signals. Exercises pick/issue with N > 2.
+        let mut m = machine_n(4);
+        let progs: Vec<ContextProgram> = (0..4u32)
+            .map(|i| ContextProgram {
+                ops: vec![BulkOp::Compute { uops: 10_000 }],
+                tasks: vec![TaskNode {
+                    ops: 0..1,
+                    deps: if i == 0 { vec![] } else { vec![i - 1] },
+                    signal: Some(i),
+                    feeds_partner: i < 3,
+                }],
+            })
+            .collect();
+        let r = m.run_tasks(progs, WaitPolicy::Mwait, 16);
+        assert_eq!(r.ctx_cycles.len(), 4);
+        for w in r.ctx_cycles.windows(2) {
+            assert!(w[0] < w[1], "chained contexts finish in order: {:?}", r.ctx_cycles);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn n_context_task_deadlock_detected() {
+        let mut m = machine_n(3);
+        let progs: Vec<ContextProgram> = (0..3u32)
+            .map(|i| ContextProgram {
+                ops: vec![BulkOp::Compute { uops: 100 }],
+                tasks: vec![TaskNode {
+                    // 0 -> 1 -> 2 -> 0: a true cycle, nobody can start.
+                    ops: 0..1,
+                    deps: vec![(i + 2) % 3],
+                    signal: Some(i),
+                    feeds_partner: true,
+                }],
+            })
+            .collect();
+        let _ = m.run_tasks(progs, WaitPolicy::SpinPause, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "op streams")]
+    fn too_many_programs_rejected() {
+        let mut m = machine_n(1);
+        let _ = m.run([Vec::new(), Vec::new()]);
     }
 }

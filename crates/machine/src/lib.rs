@@ -53,7 +53,7 @@ pub mod stats;
 pub mod tlb;
 pub mod trace;
 
-pub use config::{CacheGeometry, MachineConfig, SmtFactors, WaitCosts};
+pub use config::{CacheGeometry, MachineConfig, SmtFactors, SmtModel, WaitCosts};
 pub use engine::{ContextProgram, Machine, StepMode, TaskNode, DEQUEUE_CYCLES};
 pub use ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 pub use stats::{CounterSample, MemStats, OpProfile, RunResult, TaskIssue};

@@ -176,11 +176,13 @@ pub struct TaskIssue {
     pub end_t: u64,
 }
 
-/// Result of running one or two op streams to completion.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// Result of running N op streams to completion (one per hardware
+/// context; the machine's `contexts` knob sets the length of the
+/// per-context vectors).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunResult {
     /// Cycle at which each context retired its last op.
-    pub ctx_cycles: [u64; 2],
+    pub ctx_cycles: Vec<u64>,
     /// Wall-clock cycles for the whole run: the later of the last context
     /// retirement and the final bus drain (posted non-temporal stores and
     /// writebacks may still occupy the bus after the issuing context has
@@ -190,7 +192,7 @@ pub struct RunResult {
     pub mem: MemStats,
     /// Per-context cycle attribution (compute / memory / wait /
     /// dispatch), accumulated whether or not event tracing is on.
-    pub phases: [PhaseCycles; 2],
+    pub phases: Vec<PhaseCycles>,
 }
 
 impl RunResult {
@@ -216,7 +218,8 @@ mod tests {
 
     #[test]
     fn bandwidth_math() {
-        let r = RunResult { ctx_cycles: [3_400_000, 0], cycles: 3_400_000, ..RunResult::default() };
+        let r =
+            RunResult { ctx_cycles: vec![3_400_000, 0], cycles: 3_400_000, ..RunResult::default() };
         // 3.4M cycles at 3.4GHz = 1 ms; 1 MB in 1 ms = 1 GB/s.
         let bw = r.bandwidth_gbps(1_000_000, 3.4);
         assert!((bw - 1.0).abs() < 1e-9);

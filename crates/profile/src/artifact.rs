@@ -278,9 +278,9 @@ mod tests {
     fn sample_set() -> CounterSet {
         CounterSet {
             cycles: 1000,
-            ctx_cycles: [1000, 800],
+            ctx_cycles: vec![1000, 800],
             mem: MemStats { l1_accesses: 100, l1_hits: 90, l1_misses: 10, ..MemStats::default() },
-            phases: [PhaseCycles::default(); 2],
+            phases: vec![PhaseCycles::default(); 2],
         }
     }
 

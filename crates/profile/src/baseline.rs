@@ -223,7 +223,7 @@ mod tests {
     fn sample_set() -> CounterSet {
         CounterSet {
             cycles: 100_000,
-            ctx_cycles: [100_000, 80_000],
+            ctx_cycles: vec![100_000, 80_000],
             mem: MemStats {
                 l1_accesses: 10_000,
                 l1_hits: 9_000,
@@ -235,7 +235,7 @@ mod tests {
                 bus_bytes: 512_000,
                 ..MemStats::default()
             },
-            phases: [PhaseCycles::default(); 2],
+            phases: vec![PhaseCycles::default(); 2],
         }
     }
 

@@ -11,16 +11,16 @@ use gpstream_machine::{MemStats, PhaseCycles, RunResult};
 use gpstream_util::Json;
 
 /// One run's complete counter state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterSet {
     /// Wall-clock cycles (includes the final bus drain).
     pub cycles: u64,
-    /// Per-context retire cycles.
-    pub ctx_cycles: [u64; 2],
+    /// Per-context retire cycles (one entry per machine context).
+    pub ctx_cycles: Vec<u64>,
     /// Memory-system counters.
     pub mem: MemStats,
-    /// Per-context phase breakdown.
-    pub phases: [PhaseCycles; 2],
+    /// Per-context phase breakdown (one entry per machine context).
+    pub phases: Vec<PhaseCycles>,
 }
 
 /// One derived metric: a named ratio computed from the raw counters.
@@ -44,7 +44,12 @@ fn ratio(n: u64, d: u64) -> f64 {
 
 impl From<&RunResult> for CounterSet {
     fn from(r: &RunResult) -> Self {
-        CounterSet { cycles: r.cycles, ctx_cycles: r.ctx_cycles, mem: r.mem, phases: r.phases }
+        CounterSet {
+            cycles: r.cycles,
+            ctx_cycles: r.ctx_cycles.clone(),
+            mem: r.mem,
+            phases: r.phases.clone(),
+        }
     }
 }
 
@@ -62,7 +67,7 @@ impl CounterSet {
     pub fn derived(&self) -> Vec<DerivedMetric> {
         let m = &self.mem;
         let tlb_accesses = m.tlb_hits + m.tlb_misses;
-        let mem_cycles = self.phases[0].memory + self.phases[1].memory;
+        let mem_cycles: u64 = self.phases.iter().map(|p| p.memory).sum();
         let busy: u64 = self.phases.iter().map(|p| p.compute + p.memory + p.dispatch).sum();
         let hidden = busy.saturating_sub(self.cycles).min(mem_cycles);
         let mut out = vec![
@@ -99,11 +104,10 @@ impl CounterSet {
     /// the machine's counter registry.
     #[must_use]
     pub fn counter_values(&self) -> Vec<(String, u64)> {
-        let mut out = vec![
-            ("cycles".to_string(), self.cycles),
-            ("ctx0_cycles".to_string(), self.ctx_cycles[0]),
-            ("ctx1_cycles".to_string(), self.ctx_cycles[1]),
-        ];
+        let mut out = vec![("cycles".to_string(), self.cycles)];
+        for (c, v) in self.ctx_cycles.iter().enumerate() {
+            out.push((format!("ctx{c}_cycles"), *v));
+        }
         for (c, p) in self.phases.iter().enumerate() {
             out.push((format!("ctx{c}_compute_cycles"), p.compute));
             out.push((format!("ctx{c}_memory_cycles"), p.memory));
@@ -141,7 +145,7 @@ mod tests {
     fn sample() -> CounterSet {
         CounterSet {
             cycles: 1000,
-            ctx_cycles: [1000, 800],
+            ctx_cycles: vec![1000, 800],
             mem: MemStats {
                 l1_accesses: 100,
                 l1_hits: 90,
@@ -158,7 +162,7 @@ mod tests {
                 bus_bytes: 512,
                 ..MemStats::default()
             },
-            phases: [
+            phases: vec![
                 PhaseCycles { compute: 900, memory: 0, idle_wait: 50, dispatch: 50 },
                 PhaseCycles { compute: 0, memory: 700, idle_wait: 100, dispatch: 0 },
             ],
@@ -183,9 +187,9 @@ mod tests {
     fn zero_denominators_are_zero() {
         let cs = CounterSet {
             cycles: 0,
-            ctx_cycles: [0, 0],
+            ctx_cycles: vec![0, 0],
             mem: MemStats::default(),
-            phases: [PhaseCycles::default(); 2],
+            phases: vec![PhaseCycles::default(); 2],
         };
         for m in cs.derived() {
             assert_eq!(m.value, 0.0, "{} must not be NaN", m.name);

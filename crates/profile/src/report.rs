@@ -70,7 +70,7 @@ pub fn profile_json(workload: &str, cs: &CounterSet, tree: &TopNode, prof: &SimP
         ("v", Json::U64(1)),
         ("workload", Json::from(workload)),
         ("cycles", Json::U64(cs.cycles)),
-        ("ctx_cycles", Json::arr(cs.ctx_cycles.map(Json::U64))),
+        ("ctx_cycles", Json::arr(cs.ctx_cycles.iter().map(|&v| Json::U64(v)))),
         ("phases", phases),
         ("counters", mem_stats_json(&cs.mem)),
         ("derived", derived),
@@ -172,7 +172,7 @@ mod tests {
     fn sample_set() -> CounterSet {
         CounterSet {
             cycles: 1000,
-            ctx_cycles: [1000, 800],
+            ctx_cycles: vec![1000, 800],
             mem: MemStats {
                 l1_accesses: 100,
                 l1_hits: 90,
@@ -181,7 +181,7 @@ mod tests {
                 bus_bytes: 512,
                 ..MemStats::default()
             },
-            phases: [PhaseCycles::default(); 2],
+            phases: vec![PhaseCycles::default(); 2],
         }
     }
 

@@ -37,24 +37,34 @@ impl TopNode {
     }
 }
 
-/// Build the top-down tree for one profiled run.
+/// Build the top-down tree for one profiled run. `ctx_cycles` and
+/// `phases` carry one entry per machine context; the two-context run
+/// keeps the paper's role names, wider runs get plain `ctx{N}` frames.
 ///
 /// # Panics
 ///
 /// Panics if the profile references a task id outside the program (the
-/// profile must come from running this program).
+/// profile must come from running this program), or if `ctx_cycles` and
+/// `phases` disagree on the context count.
 #[must_use]
 pub fn topdown(
     run_name: &str,
     program: &ScheduledProgram,
     graph: &StreamGraph,
     prof: &SimProfile,
-    ctx_cycles: [u64; 2],
-    phases: [gpstream_machine::PhaseCycles; 2],
+    ctx_cycles: &[u64],
+    phases: &[gpstream_machine::PhaseCycles],
 ) -> TopNode {
-    const CTX_NAMES: [&str; 2] = ["ctx0 compute", "ctx1 memory"];
+    assert_eq!(ctx_cycles.len(), phases.len(), "one phase breakdown per context");
+    let ctx_name = |c: usize| -> String {
+        if ctx_cycles.len() == 2 {
+            ["ctx0 compute", "ctx1 memory"][c].to_string()
+        } else {
+            format!("ctx{c}")
+        }
+    };
     let mut ctx_nodes: Vec<TopNode> = Vec::new();
-    for c in 0..2u8 {
+    for c in 0..ctx_cycles.len() as u8 {
         // Group this context's tasks by class, preserving first-seen
         // order inside a class (task id order — the profile is sorted).
         let mut classes: Vec<(String, Vec<TopNode>)> = Vec::new();
@@ -85,7 +95,7 @@ pub fn topdown(
         let attributed: u64 = children.iter().map(|ch| ch.total_cycles).sum();
         let ctx_total = ctx_cycles[c as usize];
         ctx_nodes.push(TopNode {
-            name: CTX_NAMES[c as usize].to_string(),
+            name: ctx_name(c as usize),
             // Chunk-boundary remainder no task owns.
             self_cycles: ctx_total.saturating_sub(attributed),
             total_cycles: ctx_total.max(attributed),
@@ -226,7 +236,7 @@ mod tests {
             PhaseCycles::default(),
             PhaseCycles { compute: 0, memory: 800, idle_wait: 100, dispatch: 50 },
         ];
-        let root = topdown("unit", &program, &graph, &tiny_profile(), [0, 1000], phases);
+        let root = topdown("unit", &program, &graph, &tiny_profile(), &[0, 1000], &phases);
         fn check(n: &TopNode) {
             let kids: u64 = n.children.iter().map(|c| c.total_cycles).sum();
             assert_eq!(n.total_cycles, n.self_cycles + kids, "node {}", n.name);
@@ -243,7 +253,7 @@ mod tests {
     fn collapsed_stack_lines_carry_full_paths() {
         let (program, graph) = tiny_program();
         let phases = [PhaseCycles::default(); 2];
-        let root = topdown("unit", &program, &graph, &tiny_profile(), [0, 800], phases);
+        let root = topdown("unit", &program, &graph, &tiny_profile(), &[0, 800], &phases);
         let folded = collapsed(&root);
         assert!(
             folded.contains("unit;ctx1 memory;gather;gather s0 [0..8) #0 300"),
@@ -260,7 +270,7 @@ mod tests {
     fn render_is_aligned_and_deterministic() {
         let (program, graph) = tiny_program();
         let phases = [PhaseCycles::default(); 2];
-        let root = topdown("unit", &program, &graph, &tiny_profile(), [0, 800], phases);
+        let root = topdown("unit", &program, &graph, &tiny_profile(), &[0, 800], &phases);
         let a = render(&root);
         let b = render(&root);
         assert_eq!(a, b);

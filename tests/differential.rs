@@ -105,7 +105,7 @@ fn profile_doc(
 ) -> String {
     let prof = r.profile.as_ref().expect("profiling was enabled");
     let cs = CounterSet::from(&r.timing);
-    let tree = topdown(wl_name, program, graph, prof, r.timing.ctx_cycles, r.timing.phases);
+    let tree = topdown(wl_name, program, graph, prof, &r.timing.ctx_cycles, &r.timing.phases);
     profile_json(wl_name, &cs, &tree, prof).to_doc_string()
 }
 

@@ -13,7 +13,7 @@ use gpstream::core::pod::{cast_slice, AlignedBytes};
 use gpstream::core::srf::{SrfAllocator, SrfConfig};
 use gpstream::core::task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};
 use gpstream::core::workqueue::{DependencyWindow, WINDOW};
-use gpstream::core::GraphBuilder;
+use gpstream::core::{ArrayId, GraphBuilder, StreamGraph, Topology, World};
 use gpstream::machine::cache::{Cache, FillPolicy};
 use gpstream::machine::tlb::Tlb;
 use gpstream::machine::{CacheGeometry, MachineConfig, WaitPolicy};
@@ -664,8 +664,8 @@ fn topdown_tree_invariants_hold_on_real_runs() {
             &compiled.schedule,
             &compiled.graph,
             prof,
-            r.timing.ctx_cycles,
-            r.timing.phases,
+            &r.timing.ctx_cycles,
+            &r.timing.phases,
         );
         fn check(n: &gpstream_profile::TopNode) {
             let kids: u64 = n.children.iter().map(|c| c.total_cycles).sum();
@@ -912,5 +912,109 @@ fn snapshot_resume_replays_equal_straight_runs() {
         let (s, a, b) = (format!("{straight:?}"), format!("{replay_a:?}"), format!("{replay_b:?}"));
         assert_eq!(a, s, "snapshot+resume diverged from the straight run (n={n} comp={comp})");
         assert_eq!(b, a, "second resume diverged: resume_from mutated the snapshot");
+    });
+}
+
+/// The canonical random two-kernel pipeline (sequential + indexed
+/// gather, two chained kernels, one scatter) used by the N-context
+/// properties: rich enough that a scaled topology spreads its
+/// dependency edges — gather→kernel, kernel→kernel, kernel→scatter and
+/// the SRF-reuse WAR backedges — across every worker context.
+fn random_two_kernel_pipeline(rng: &mut Rng64, n: usize) -> (StreamGraph, World, ArrayId) {
+    let data: Vec<f32> = (0..n).map(|_| rng.f32_range(-8.0, 8.0)).collect();
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut idx);
+    let mut b = GraphBuilder::new();
+    let a = b.array("a", &data);
+    let y = b.array_zeroed::<f32>("y", n);
+    let xs = b.gather_seq("xs", a);
+    let gs = b.gather_indexed("gs", a, Arc::new(idx));
+    let mid = b.stream::<f32>("mid", n);
+    let out = b.stream::<f32>("out", n);
+    b.kernel("inc", &[xs.id()], &[mid.id()], 2, |args| {
+        let x: Vec<f32> = args.input::<f32>(0).to_vec();
+        for (o, v) in args.output::<f32>(0).iter_mut().zip(x) {
+            *o = v + 1.0;
+        }
+    });
+    b.kernel("mul", &[mid.id(), gs.id()], &[out.id()], 2, |args| {
+        let xm: Vec<f32> = args.input::<f32>(0).to_vec();
+        let xg: Vec<f32> = args.input::<f32>(1).to_vec();
+        for (o, (vm, vg)) in args.output::<f32>(0).iter_mut().zip(xm.iter().zip(&xg)) {
+            *o = vm * vg;
+        }
+    });
+    b.scatter_seq(out, y);
+    let (graph, world) = b.build().unwrap();
+    (graph, world, y.id())
+}
+
+/// Random cross-context DAGs complete without deadlock — and produce
+/// the reference result — on every scaled topology (1, 2, 4 and 8
+/// worker contexts) under both wait policies. The scaled farm deals
+/// each task class round-robin, so almost every dependency edge of the
+/// compiled DAG crosses workers; neither the parked nor the spinning
+/// wait path may wedge on a dependency another worker completes.
+#[test]
+fn native_scaled_topologies_match_reference() {
+    run_cases("native_scaled_topologies", 0x5ca1ed, 24, |rng| {
+        let n = rng.range_usize_inclusive(64, 512);
+        let strip = rng.range_usize_inclusive(16, 128);
+        let (graph, world, y) = random_two_kernel_pipeline(rng, n);
+        let opts = CompilerOptions { strip_items: Some(strip), ..CompilerOptions::paper() };
+        let compiled = compile(&graph, &opts).unwrap();
+
+        let mut reference = world.clone();
+        FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut reference);
+        let want: Vec<u32> = reference.slice::<f32>(y).iter().map(|v| v.to_bits()).collect();
+        for contexts in [1usize, 2, 4, 8] {
+            for policy in [NativeWaitPolicy::Spin, NativeWaitPolicy::Park] {
+                let mut native = world.clone();
+                NativeExecutor::new()
+                    .with_topology(Topology::scaled(contexts))
+                    .with_wait_policy(policy)
+                    .run(&compiled.schedule, &compiled.graph, &mut native);
+                let got: Vec<u32> = native.slice::<f32>(y).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    got, want,
+                    "scaled run diverged (n={n} strip={strip} contexts={contexts} \
+                     policy={policy:?})"
+                );
+            }
+        }
+    });
+}
+
+/// Slot recycling across the 64-entry window boundary is ABA-safe with
+/// more than two consumers: a program several times longer than the
+/// window forces every slot through many admit/complete/readmit cycles
+/// while four workers retire tasks concurrently, and the out-of-order
+/// issue path still matches the reference under both wait policies.
+#[test]
+fn window_slot_reuse_aba_safe_with_many_consumers() {
+    run_cases("window_slot_reuse_many_consumers", 0xaba4, 8, |rng| {
+        let strip = 16;
+        let n = rng.range_usize_inclusive(WINDOW * strip, 2 * WINDOW * strip);
+        let (graph, world, y) = random_two_kernel_pipeline(rng, n);
+        let opts = CompilerOptions { strip_items: Some(strip), ..CompilerOptions::paper() };
+        let compiled = compile(&graph, &opts).unwrap();
+        assert!(
+            compiled.schedule.tasks.len() > 2 * WINDOW,
+            "program must overrun the {WINDOW}-entry window to recycle slots"
+        );
+
+        let mut reference = world.clone();
+        FunctionalExecutor::new().run(&compiled.schedule, &compiled.graph, &mut reference);
+        let want: Vec<u32> = reference.slice::<f32>(y).iter().map(|v| v.to_bits()).collect();
+        for policy in [NativeWaitPolicy::Spin, NativeWaitPolicy::Park] {
+            let mut native = world.clone();
+            NativeExecutor::new().with_topology(Topology::scaled(4)).with_wait_policy(policy).run(
+                &compiled.schedule,
+                &compiled.graph,
+                &mut native,
+            );
+            let got: Vec<u32> = native.slice::<f32>(y).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "slot-recycling run diverged (n={n} policy={policy:?})");
+        }
     });
 }

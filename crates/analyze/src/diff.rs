@@ -1,6 +1,6 @@
-//! `figures diff`: compare two artifacts (baseline, profile or
-//! analysis JSON) metric by metric, with tolerance-band awareness and a
-//! structural critical-path diff when both sides carry one.
+//! `figures diff`: compare two artifacts (baseline, profile, analysis
+//! or latency JSON) metric by metric, with tolerance-band awareness and
+//! a structural critical-path diff when both sides carry one.
 
 use gpstream_profile::artifact::{Artifact, PathTask};
 use gpstream_util::render::thousands;

@@ -10,6 +10,8 @@
 //! figures scale [WORKLOAD] [--max N] [--out FILE] [--fast-sim]
 //! figures diff A.json B.json [--strict]
 //! figures simspeed [--reps N] [--out FILE] [--check]
+//! figures serve [WORKLOAD] [--jobs N] [--rate R] [--tenants T] [--workers W]
+//!               [--ctx C] [--seed S] [--unbounded] [--ablation] [--out FILE]
 //! figures --list
 //! ```
 //!
@@ -80,6 +82,23 @@
 //! when any shared metric lands out of band, or when the two artifacts
 //! are of different kinds (a cross-kind diff only covers the shared
 //! metrics, so it cannot vouch for the artifacts as a whole).
+//!
+//! `serve [WORKLOAD]` runs the multi-tenant streaming-service harness
+//! (`gpstream-serve`): a deterministic open-loop Poisson arrival trace
+//! of small stream jobs — catalog kernels at service-sized chunks —
+//! admitted under backpressure, scheduled with weighted fair sharing
+//! across tenants, batched onto simulated workers, and functionally
+//! executed (oracle-checked) on a real draining worker pool. Prints the
+//! throughput and p50/p99/p999 queue/service/total latency report;
+//! `--out FILE` writes the `latency` artifact (canonical one-line JSON,
+//! byte-identical for a fixed seed and config — `figures diff` reads
+//! it). Workloads: `ldstcomp`, `gatscat`, `prodcon` or `mix` (default).
+//! `--unbounded` disables admission control (queue everything);
+//! `--ablation` instead runs the committed backpressure experiment —
+//! the same 2x-overload trace with bounded vs unbounded admission —
+//! and writes `serve-bounded.json` / `serve-unbounded.json` next to
+//! `--out FILE` (or prints only, without `--out`), exiting non-zero if
+//! bounded admission fails to beat unbounded on p99 total latency.
 //!
 //! `simspeed` measures the simulator itself: simulated cycles per
 //! wall-clock second for the cycle-stepped vs event-driven engines on
@@ -554,6 +573,129 @@ fn diff_main(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `figures serve` subcommand. Exits the process: 0 on success, 1 when
+/// `--ablation` finds bounded admission not beating unbounded on p99
+/// total latency, 2 on usage errors.
+fn serve_main(args: &[String]) -> ! {
+    let mut cfg = gpstream_serve::ServeConfig::new("mix");
+    let mut workload_set = false;
+    let mut out_file: Option<String> = None;
+    let mut ablation = false;
+    let usage = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!(
+            "usage: figures serve [WORKLOAD] [--jobs N] [--rate R] [--tenants T] \
+             [--workers W] [--ctx C] [--seed S] [--unbounded] [--ablation] [--out FILE]"
+        );
+        eprintln!("workloads: {}", gpstream_serve::WORKLOADS.join(" "));
+        std::process::exit(2);
+    };
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for w in gpstream_serve::WORKLOADS {
+                    println!("{w}");
+                }
+                std::process::exit(0);
+            }
+            "--jobs" => {
+                cfg.jobs = value(&mut i, "--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--jobs needs a number"));
+            }
+            "--rate" => {
+                cfg.rate = value(&mut i, "--rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--rate needs a number"));
+                if cfg.rate <= 0.0 {
+                    usage("--rate needs a positive number");
+                }
+            }
+            "--tenants" => {
+                cfg.tenants = value(&mut i, "--tenants")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tenants needs a number"));
+                if cfg.tenants == 0 {
+                    usage("--tenants needs a positive number");
+                }
+            }
+            "--workers" => {
+                cfg.workers = value(&mut i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--workers needs a number"));
+                if cfg.workers == 0 {
+                    usage("--workers needs a positive number");
+                }
+            }
+            "--ctx" => {
+                cfg.ctx = value(&mut i, "--ctx")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--ctx needs a number"));
+                if cfg.ctx == 0 {
+                    usage("--ctx needs a positive number");
+                }
+            }
+            "--seed" => {
+                cfg.seed = value(&mut i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs a number"));
+            }
+            "--unbounded" => cfg.bounded = false,
+            "--ablation" => ablation = true,
+            "--out" => out_file = Some(value(&mut i, "--out")),
+            other if !workload_set && !other.starts_with('-') => {
+                cfg.workload = other.to_string();
+                workload_set = true;
+            }
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if ablation {
+        let Some((bounded, unbounded)) = gpstream_serve::ablation(&cfg) else {
+            usage(&format!("unknown workload `{}`", cfg.workload))
+        };
+        print!("{}", bounded.text);
+        print!("{}", unbounded.text);
+        let p99 = |o: &gpstream_serve::ServiceOutcome| o.summary.total.quantile(0.99).unwrap_or(0);
+        let (pb, pu) = (p99(&bounded), p99(&unbounded));
+        println!(
+            "backpressure ablation @ {:.0} jobs/s (2x capacity): p99 total {} cycles bounded vs {} cycles unbounded ({:.1}x)",
+            bounded.cfg.rate,
+            pb,
+            pu,
+            pu as f64 / pb.max(1) as f64,
+        );
+        if let Some(path) = &out_file {
+            let stem = path.strip_suffix(".json").unwrap_or(path);
+            for (side, outcome) in [("bounded", &bounded), ("unbounded", &unbounded)] {
+                let p = format!("{stem}-{side}.json");
+                std::fs::write(&p, &outcome.artifact).expect("write latency artifact");
+                println!("wrote {side} latency artifact to {p}");
+            }
+        }
+        if pb >= pu {
+            eprintln!("ablation FAILED: bounded p99 total ({pb}) did not beat unbounded ({pu})");
+            std::process::exit(1);
+        }
+        std::process::exit(0);
+    }
+    let Some(outcome) = gpstream_serve::run_service(&cfg) else {
+        usage(&format!("unknown workload `{}`", cfg.workload))
+    };
+    print!("{}", outcome.text);
+    if let Some(path) = &out_file {
+        std::fs::write(path, &outcome.artifact).expect("write latency artifact");
+        println!("wrote latency artifact to {path}");
+    }
+    std::process::exit(0);
+}
+
 /// `figures simspeed` subcommand. Exits the process: 0 on success, 1
 /// when `--check` finds no ≥ 10x workload, 2 on usage errors.
 fn simspeed_main(args: &[String]) -> ! {
@@ -614,6 +756,7 @@ fn main() {
         Some("scale") => scale_main(&raw[1..]),
         Some("diff") => diff_main(&raw[1..]),
         Some("simspeed") => simspeed_main(&raw[1..]),
+        Some("serve") => serve_main(&raw[1..]),
         _ => {}
     }
     let cli = parse_args();

@@ -41,6 +41,7 @@ pub mod graph;
 pub mod hazard;
 pub mod metrics;
 pub mod pod;
+pub mod pool;
 pub mod regular;
 pub(crate) mod spsc;
 pub mod srf;
@@ -57,6 +58,7 @@ pub use graph::{
 };
 pub use metrics::{BandwidthPoint, BandwidthSeries, Comparison, NormalizedBar};
 pub use pod::{AlignedBytes, Pod};
+pub use pool::{PoolStats, SubmitError, WorkerPool};
 pub use regular::{RegularAccess, RegularPhase, RegularProgram};
 pub use srf::{SrfBuffer, SrfConfig};
 pub use task::{PortBinding, ScheduledProgram, TaskDesc, TaskId, TaskKind};

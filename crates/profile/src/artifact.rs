@@ -21,6 +21,8 @@ pub enum ArtifactKind {
     Profile,
     /// A critical-path analysis report (`figures analyze --out`).
     Analysis,
+    /// A serving-latency report (`figures serve --out`).
+    Latency,
 }
 
 impl ArtifactKind {
@@ -31,6 +33,7 @@ impl ArtifactKind {
             ArtifactKind::Baseline => "baseline",
             ArtifactKind::Profile => "profile",
             ArtifactKind::Analysis => "analysis",
+            ArtifactKind::Latency => "latency",
         }
     }
 }
@@ -126,6 +129,11 @@ impl Artifact {
         let doc = Json::parse(text)?;
         if doc.get("kind").and_then(Json::as_str) == Some("analysis") {
             return Self::from_analysis(&doc);
+        }
+        // Checked before the structural profile match: latency documents
+        // also carry `counters` + `derived`.
+        if doc.get("kind").and_then(Json::as_str) == Some("latency") {
+            return Self::from_latency(&doc);
         }
         if doc.get("entries").is_some() {
             return Self::from_baseline(text);
@@ -262,6 +270,40 @@ impl Artifact {
         })
     }
 
+    fn from_latency(doc: &Json) -> Result<Artifact, JsonParseError> {
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("latency artifact missing `workload`"))?
+            .to_string();
+        let mut metrics = Vec::new();
+        let counters = doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("latency artifact missing `counters`"))?;
+        for (name, v) in counters {
+            metrics.push(Metric {
+                name: name.clone(),
+                value: v.as_f64().unwrap_or(0.0),
+                band: None,
+                is_counter: true,
+            });
+        }
+        let derived = doc
+            .get("derived")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("latency artifact missing `derived`"))?;
+        for (name, v) in derived {
+            metrics.push(Metric {
+                name: name.clone(),
+                value: v.as_f64().unwrap_or(0.0),
+                band: None,
+                is_counter: false,
+            });
+        }
+        Ok(Artifact { kind: ArtifactKind::Latency, workload, metrics, critical_path: None })
+    }
+
     /// Look up one metric by name.
     #[must_use]
     pub fn metric(&self, name: &str) -> Option<&Metric> {
@@ -325,6 +367,28 @@ mod tests {
             assert!((m.value - value).abs() < 1e-9, "{name}: {} vs {value}", m.value);
         }
         assert!(art.metric("cycles").unwrap().effective_band().1 > 1000.0);
+    }
+
+    #[test]
+    fn latency_documents_parse_by_kind() {
+        // Same shape `gpstream-serve` emits (counters + derived would
+        // also structurally match a profile; the `kind` tag wins).
+        let text = concat!(
+            "{\"v\":1,\"kind\":\"latency\",\"workload\":\"ldstcomp\",",
+            "\"config\":{\"jobs\":10,\"workers\":2},",
+            "\"counters\":{\"jobs_completed\":10,\"total_p99_cycles\":1234},",
+            "\"derived\":{\"throughput_jobs_per_sec\":512.5}}"
+        );
+        let art = Artifact::parse(text).unwrap();
+        assert_eq!(art.kind, ArtifactKind::Latency);
+        assert_eq!(art.kind.name(), "latency");
+        assert_eq!(art.workload, "ldstcomp");
+        let p99 = art.metric("total_p99_cycles").unwrap();
+        assert_eq!(p99.value, 1234.0);
+        assert!(p99.is_counter);
+        let thr = art.metric("throughput_jobs_per_sec").unwrap();
+        assert!(!thr.is_counter);
+        assert!(art.critical_path.is_none());
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! # gpstream-serve — a multi-tenant streaming service harness
+//!
+//! The batch figures answer "how fast does one stream program run?";
+//! this crate answers the serving question: what happens when stream
+//! jobs — compiled catalog graphs fed one input chunk each — arrive
+//! continuously from several tenants, and the runtime has to admit,
+//! schedule and retire them under load?
+//!
+//! The pipeline, one stage per module:
+//!
+//! 1. [`job`] builds the workload's *variant table*: each `(kernel
+//!    class, chunk size)` pair compiled once, oracle'd once, and priced
+//!    once on the simulated machine (the event-driven fast path, which
+//!    the differential suite holds byte-identical to cycle stepping).
+//! 2. [`load`] generates a deterministic open-loop Poisson arrival
+//!    trace — seeded [`gpstream_util::Rng64`], a bit-exact `ln` — that
+//!    never slows down because the service is busy.
+//! 3. [`sched`] runs the service in virtual time: bounded admission
+//!    with explicit retry-after, weighted fair sharing across tenants,
+//!    batching of small jobs under backpressure, work-conserving
+//!    dispatch to the least-loaded free worker.
+//! 4. [`exec`] replays every admitted job *functionally* on a real
+//!    [`gpstream_core::WorkerPool`] (SPSC rings, condvar parking,
+//!    draining shutdown), oracle-checks each output, and retires ids to
+//!    per-tenant completion queues — exactly once.
+//! 5. [`report`] folds the schedule into exact latency histograms and
+//!    the `latency` artifact.
+//!
+//! The split between 3 and 4 is the determinism story: every *timing*
+//! decision is virtual and seeded, so the artifact is byte-identical
+//! across runs and across execution-pool thread counts; the threads
+//! only prove the jobs really execute.
+
+pub mod exec;
+pub mod job;
+pub mod load;
+pub mod report;
+pub mod sched;
+
+pub use exec::ExecSummary;
+pub use job::{build_table, VariantTable, WORKLOADS};
+pub use load::{LoadConfig, OfferedJob};
+pub use report::{artifact_json, render, summarize, LatencySummary};
+pub use sched::{schedule, JobRecord, Outcome, SchedConfig, SchedStats};
+
+use gpstream_machine::WaitPolicy;
+use gpstream_microbench::spinwait;
+use std::sync::Arc;
+
+/// Default RNG seed (the paper's venue, MICRO 2005).
+pub const DEFAULT_SEED: u64 = 0x6a79_2005;
+
+/// Full configuration of one serving run. Zero/empty means "derive the
+/// default" for the fields documented as such.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Workload name (see [`WORKLOADS`]).
+    pub workload: String,
+    /// Offered jobs.
+    pub jobs: usize,
+    /// Offered arrival rate in jobs per second.
+    pub rate: f64,
+    /// Tenants sharing the service.
+    pub tenants: usize,
+    /// Service workers.
+    pub workers: usize,
+    /// Simulated contexts per worker.
+    pub ctx: usize,
+    /// Bounded admission (backpressure) vs. queue-everything.
+    pub bounded: bool,
+    /// Pending cap for bounded admission; 0 derives `64 * workers`.
+    pub queue_cap: usize,
+    /// Max jobs per dispatch batch.
+    pub batch_max: usize,
+    /// Retry-after signal in cycles; 0 derives the mean inter-arrival.
+    pub retry_after: u64,
+    /// Re-offers before a producer accepts rejection.
+    pub max_retries: u32,
+    /// Fair-share weights; empty derives all-equal.
+    pub weights: Vec<u64>,
+    /// Arrival shares; empty derives a hot tenant 0 (`3,1,1,...`).
+    pub arrival_shares: Vec<u64>,
+    /// RNG seed for the arrival trace.
+    pub seed: u64,
+    /// OS threads for the functional execution pool. Never affects the
+    /// artifact.
+    pub exec_pool_threads: usize,
+}
+
+impl ServeConfig {
+    /// Defaults matching the committed artifacts: 10 000 jobs at
+    /// 500 jobs/s from 4 tenants onto 2 two-context workers, bounded.
+    #[must_use]
+    pub fn new(workload: &str) -> Self {
+        Self {
+            workload: workload.to_string(),
+            jobs: 10_000,
+            rate: 500.0,
+            tenants: 4,
+            workers: 2,
+            ctx: 2,
+            bounded: true,
+            queue_cap: 0,
+            batch_max: 8,
+            retry_after: 0,
+            max_retries: 3,
+            weights: Vec::new(),
+            arrival_shares: Vec::new(),
+            seed: DEFAULT_SEED,
+            exec_pool_threads: 2,
+        }
+    }
+
+    /// The simulated clock, in GHz (the paper's 3.4 GHz Prescott).
+    #[must_use]
+    pub fn freq_ghz(&self) -> f64 {
+        gpstream_machine::MachineConfig::prescott().freq_ghz
+    }
+
+    /// Mean inter-arrival gap in cycles for the offered rate.
+    #[must_use]
+    pub fn mean_interarrival_cycles(&self) -> u64 {
+        assert!(self.rate > 0.0, "offered rate must be positive");
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let cycles = (self.freq_ghz() * 1e9 / self.rate) as u64;
+        cycles.max(1)
+    }
+
+    /// The pending cap actually used (`queue_cap`, or `64 * workers`).
+    #[must_use]
+    pub fn effective_queue_cap(&self) -> usize {
+        if self.queue_cap == 0 {
+            64 * self.workers
+        } else {
+            self.queue_cap
+        }
+    }
+
+    /// The retry-after actually used (`retry_after`, or one mean
+    /// inter-arrival gap — a producer backs off roughly one arrival).
+    #[must_use]
+    pub fn effective_retry_after(&self) -> u64 {
+        if self.retry_after == 0 {
+            self.mean_interarrival_cycles()
+        } else {
+            self.retry_after
+        }
+    }
+
+    /// The weight vector actually used (all ones when unset).
+    #[must_use]
+    pub fn effective_weights(&self) -> Vec<u64> {
+        if self.weights.is_empty() {
+            vec![1; self.tenants]
+        } else {
+            assert_eq!(self.weights.len(), self.tenants, "one weight per tenant");
+            self.weights.clone()
+        }
+    }
+
+    /// The arrival shares actually used (hot tenant 0 when unset).
+    #[must_use]
+    pub fn effective_arrival_shares(&self) -> Vec<u64> {
+        if self.arrival_shares.is_empty() {
+            (0..self.tenants).map(|t| if t == 0 { 3 } else { 1 }).collect()
+        } else {
+            assert_eq!(self.arrival_shares.len(), self.tenants, "one share per tenant");
+            self.arrival_shares.clone()
+        }
+    }
+}
+
+/// Everything one serving run produced.
+pub struct ServiceOutcome {
+    /// The config the run used (defaults resolved where applicable).
+    pub cfg: ServeConfig,
+    /// The variant table jobs were drawn from.
+    pub table: Arc<VariantTable>,
+    /// Dispatch overhead charged per batch (measured MWAIT wake-up).
+    pub dispatch_cycles: u64,
+    /// Every offered job's fate.
+    pub records: Vec<JobRecord>,
+    /// Scheduler counters.
+    pub stats: SchedStats,
+    /// The three latency histograms.
+    pub summary: LatencySummary,
+    /// What the execution pool did (oracle-checked, exactly-once).
+    pub exec: ExecSummary,
+    /// The `latency` artifact document (single line + newline).
+    pub artifact: String,
+    /// Human-readable summary.
+    pub text: String,
+}
+
+/// Run the full service pipeline. Returns `None` for an unknown
+/// workload name.
+///
+/// The artifact depends only on `(cfg minus exec_pool_threads)` — it is
+/// byte-identical across runs and across pool thread counts.
+#[must_use]
+pub fn run_service(cfg: &ServeConfig) -> Option<ServiceOutcome> {
+    let table = Arc::new(build_table(&cfg.workload, cfg.ctx)?);
+    let offered = load::generate(&LoadConfig {
+        jobs: cfg.jobs,
+        mean_interarrival: cfg.mean_interarrival_cycles(),
+        tenants: cfg.tenants,
+        arrival_shares: cfg.effective_arrival_shares(),
+        variants: table.variants.len(),
+        seed: cfg.seed,
+    });
+    // Dispatch overhead: the measured MONITOR/MWAIT wake-up latency on
+    // the same machine the variants were priced on.
+    let dispatch_cycles = spinwait::dispatch_latency(WaitPolicy::Mwait, &table.machine);
+    let sched_cfg = SchedConfig {
+        workers: cfg.workers,
+        bounded: cfg.bounded,
+        queue_cap: cfg.effective_queue_cap(),
+        batch_max: cfg.batch_max,
+        dispatch_cycles,
+        retry_after: cfg.effective_retry_after(),
+        max_retries: cfg.max_retries,
+        weights: cfg.effective_weights(),
+        check_invariants: cfg!(debug_assertions),
+    };
+    let (records, stats) = sched::schedule(&offered, &table.service_cycles(), &sched_cfg);
+    let summary = summarize(&records);
+    let exec = exec::execute(&table, &records, cfg.exec_pool_threads.max(1));
+    let artifact = artifact_json(cfg, &stats, &summary).to_doc_string();
+    let text = render(cfg, &stats, &summary);
+    Some(ServiceOutcome {
+        cfg: cfg.clone(),
+        table,
+        dispatch_cycles,
+        records,
+        stats,
+        summary,
+        exec,
+        artifact,
+        text,
+    })
+}
+
+/// Estimated saturation rate (jobs/s) of `cfg`'s worker fleet: each job
+/// costs its mean service time plus a dispatch fee.
+#[must_use]
+pub fn estimated_capacity_jobs_per_sec(cfg: &ServeConfig, table: &VariantTable) -> f64 {
+    let dispatch = spinwait::dispatch_latency(WaitPolicy::Mwait, &table.machine);
+    let per_job = table.mean_service_cycles() + dispatch;
+    cfg.workers as f64 * cfg.freq_ghz() * 1e9 / per_job as f64
+}
+
+/// The backpressure ablation: the same overloaded trace (2x estimated
+/// capacity) served twice — bounded admission vs. unbounded queueing.
+/// Returns `(bounded, unbounded)`, or `None` for an unknown workload.
+///
+/// Under sustained overload the unbounded queue grows without limit and
+/// p99 *total* latency scales with the whole backlog; bounded admission
+/// sheds load at the door (paying rejects and bounded retry delay) and
+/// keeps queues — and therefore tail latency — flat. The integration
+/// suite asserts the p99 win rather than trusting this comment.
+#[must_use]
+pub fn ablation(base: &ServeConfig) -> Option<(ServiceOutcome, ServiceOutcome)> {
+    let table = build_table(&base.workload, base.ctx)?;
+    let overload_rate = 2.0 * estimated_capacity_jobs_per_sec(base, &table);
+    let mut bounded_cfg = base.clone();
+    bounded_cfg.rate = overload_rate;
+    bounded_cfg.bounded = true;
+    let mut unbounded_cfg = bounded_cfg.clone();
+    unbounded_cfg.bounded = false;
+    let bounded = run_service(&bounded_cfg)?;
+    let unbounded = run_service(&unbounded_cfg)?;
+    Some((bounded, unbounded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_derive_sensibly() {
+        let cfg = ServeConfig::new("mix");
+        assert_eq!(cfg.effective_queue_cap(), 128);
+        assert_eq!(cfg.effective_weights(), vec![1; 4]);
+        assert_eq!(cfg.effective_arrival_shares(), vec![3, 1, 1, 1]);
+        assert_eq!(cfg.effective_retry_after(), cfg.mean_interarrival_cycles());
+        // 3.4 GHz at 500 jobs/s: 6.8M cycles between arrivals.
+        assert_eq!(cfg.mean_interarrival_cycles(), 6_800_000);
+    }
+
+    #[test]
+    fn unknown_workload_is_none() {
+        assert!(run_service(&ServeConfig::new("nope")).is_none());
+    }
+
+    #[test]
+    fn small_run_completes_and_reports() {
+        let mut cfg = ServeConfig::new("ldstcomp");
+        cfg.jobs = 300;
+        cfg.rate = 2_000.0;
+        cfg.workers = 2;
+        cfg.tenants = 3;
+        let out = run_service(&cfg).expect("known workload");
+        assert_eq!(out.stats.offered, 300);
+        assert_eq!(out.stats.admitted, out.stats.completed);
+        assert_eq!(out.exec.executed, out.stats.completed);
+        assert!(out.artifact.contains("\"kind\":\"latency\""));
+        assert!(out.artifact.ends_with('\n'));
+        assert!(out.text.contains("ldstcomp"));
+        assert!(out.dispatch_cycles > 0);
+    }
+
+    #[test]
+    fn artifact_ignores_exec_pool_threads() {
+        let mut cfg = ServeConfig::new("gatscat");
+        cfg.jobs = 200;
+        cfg.rate = 3_000.0;
+        cfg.exec_pool_threads = 1;
+        let a = run_service(&cfg).expect("known workload");
+        cfg.exec_pool_threads = 4;
+        let b = run_service(&cfg).expect("known workload");
+        assert_eq!(a.artifact, b.artifact, "pool threads must not leak into the artifact");
+    }
+}

@@ -1,0 +1,512 @@
+//! The service scheduler: admission control, weighted fair sharing,
+//! batching and backpressure, run as a discrete-event simulation in
+//! virtual (cycle) time.
+//!
+//! Determinism is the design constraint everything here obeys: the
+//! latency artifact must be byte-identical for a fixed seed and config,
+//! however many OS threads later execute the admitted jobs. So the
+//! scheduler makes *every* decision in virtual time — a binary heap of
+//! `(cycle, sequence)`-ordered events with no wall-clock, no hashing,
+//! no thread interleaving — and the execution pool merely replays its
+//! decisions functionally (see [`crate::exec`]).
+//!
+//! The protocol, front to back:
+//!
+//! * **Admission** — a bounded pending queue. A job arriving while
+//!   `pending >= queue_cap` is refused with an explicit retry-after
+//!   signal; the open-loop producer re-offers it up to `max_retries`
+//!   times before counting a final reject. This is the backpressure
+//!   path producers *see* (unbounded mode admits everything, the
+//!   ablation's baseline).
+//! * **Fair sharing** — per-tenant FIFO queues drained by virtual-time
+//!   weighted fair queuing: each tenant accumulates normalized service
+//!   (`cycles / weight`); the backlogged tenant with the least
+//!   accumulated service is picked next, and a tenant returning from
+//!   idle is lifted to the global virtual floor so it cannot claim a
+//!   retroactive refund. One hot tenant saturates its own share and no
+//!   more.
+//! * **Batching** — a free worker takes up to `batch_max` consecutive
+//!   jobs from the chosen tenant in one dispatch, paying the dispatch
+//!   overhead once. Under light load batches are singletons; under
+//!   backpressure queues are deep and batches fill, amortizing
+//!   dispatch exactly when the system needs relief.
+
+use crate::load::OfferedJob;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Fixed-point scale for normalized (per-weight) virtual time.
+const VSCALE: u128 = 1 << 20;
+
+/// Scheduler parameters (the service-side half of
+/// [`ServeConfig`](crate::ServeConfig)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Service workers (each one priced as a `ctx`-context machine).
+    pub workers: usize,
+    /// Bounded admission (the backpressure path). `false` queues
+    /// without limit — the ablation baseline.
+    pub bounded: bool,
+    /// Pending-job cap for bounded admission (jobs admitted but not yet
+    /// dispatched).
+    pub queue_cap: usize,
+    /// Max jobs coalesced into one dispatch.
+    pub batch_max: usize,
+    /// Cycles of dispatch overhead paid once per batch.
+    pub dispatch_cycles: u64,
+    /// Retry-after signal handed to a refused producer, in cycles.
+    pub retry_after: u64,
+    /// Re-offers a producer makes before accepting a final reject.
+    pub max_retries: u32,
+    /// Fair-share weight per tenant (also fixes the tenant count).
+    pub weights: Vec<u64>,
+    /// Assert work conservation after every dispatch round (tests).
+    pub check_invariants: bool,
+}
+
+/// How one offered job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Admitted and served.
+    Completed {
+        /// Cycle the job passed admission.
+        admit: u64,
+        /// Cycle its service began on the worker.
+        start: u64,
+        /// Cycle its service finished.
+        finish: u64,
+        /// Worker that served it.
+        worker: usize,
+    },
+    /// Refused `max_retries + 1` times; the producer gave up.
+    Rejected {
+        /// Cycle of the last refused attempt.
+        last_attempt: u64,
+    },
+}
+
+/// The resolved fate of one offered job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Job id (dense, arrival order).
+    pub id: usize,
+    /// Submitting tenant.
+    pub tenant: usize,
+    /// Variant index (prices the service time).
+    pub variant: usize,
+    /// First-attempt arrival cycle.
+    pub arrival: u64,
+    /// Submission attempts made (1 = admitted first try).
+    pub attempts: u32,
+    /// Completion or final rejection.
+    pub outcome: Outcome,
+}
+
+/// Aggregate counters of one scheduled run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Jobs offered by the load generator.
+    pub offered: u64,
+    /// Jobs that passed admission (each at most once).
+    pub admitted: u64,
+    /// Jobs served to completion.
+    pub completed: u64,
+    /// Jobs finally rejected after retries.
+    pub rejected: u64,
+    /// Individual refusals (every bounced attempt, retried or not).
+    pub reject_events: u64,
+    /// Re-offers scheduled by the retry-after signal.
+    pub retries: u64,
+    /// Dispatches issued (batches).
+    pub batches: u64,
+    /// Total dispatch-overhead cycles paid.
+    pub dispatch_cycles_total: u64,
+    /// Busy cycles (dispatch + service) per worker.
+    pub busy_cycles: Vec<u64>,
+    /// Service cycles delivered per tenant.
+    pub served_cycles: Vec<u64>,
+    /// Completed jobs per tenant.
+    pub completed_per_tenant: Vec<u64>,
+    /// Admission decisions taken while `pending >= high_water`.
+    pub backpressure_events: u64,
+    /// The occupancy high-water mark those events were counted against.
+    pub high_water: usize,
+    /// Deepest the pending queue ever got.
+    pub max_pending: usize,
+    /// First offered arrival cycle.
+    pub first_arrival: u64,
+    /// Last service completion cycle.
+    pub last_finish: u64,
+}
+
+impl SchedStats {
+    /// Virtual span of the run, arrival of the first job to the last
+    /// completion.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.last_finish.saturating_sub(self.first_arrival)
+    }
+}
+
+/// A job sitting in its tenant queue.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: usize,
+    variant: usize,
+    arrival: u64,
+    admit: u64,
+    attempts: u32,
+    service: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    Arrival { job: OfferedJob, attempt: u32 },
+    Free { worker: usize },
+}
+
+/// Events order by `(time, seq)`; `seq` is the push order, making the
+/// whole timeline a pure function of the inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    time: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Tenant {
+    queue: VecDeque<Pending>,
+    /// Accumulated normalized service, `Σ service · VSCALE / weight`.
+    vtime: u128,
+}
+
+/// Run the schedule: resolve every offered job to a [`JobRecord`] and
+/// tally the run. Pure virtual time; deterministic for fixed inputs.
+///
+/// # Panics
+///
+/// Panics on structurally invalid input: empty worker set or weights, a
+/// zero weight, a job naming a tenant or variant out of range, or (with
+/// `check_invariants`) a violation of work conservation.
+#[must_use]
+pub fn schedule(
+    offered: &[OfferedJob],
+    service_cycles: &[u64],
+    cfg: &SchedConfig,
+) -> (Vec<JobRecord>, SchedStats) {
+    assert!(cfg.workers > 0, "need at least one worker");
+    assert!(cfg.batch_max > 0, "batches hold at least one job");
+    assert!(!cfg.weights.is_empty(), "need at least one tenant");
+    assert!(cfg.weights.iter().all(|&w| w > 0), "weights must be positive");
+    assert!(!cfg.bounded || cfg.queue_cap > 0, "bounded admission needs a positive cap");
+    let tenants_n = cfg.weights.len();
+
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::with_capacity(offered.len() + cfg.workers);
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Reverse<Ev>>, time: u64, kind: EvKind| {
+        heap.push(Reverse(Ev { time, seq, kind }));
+        seq += 1;
+    };
+    for job in offered {
+        assert!(
+            job.tenant < tenants_n,
+            "job {} names tenant {} of {tenants_n}",
+            job.id,
+            job.tenant
+        );
+        assert!(job.variant < service_cycles.len(), "job {} variant out of range", job.id);
+        push(&mut heap, job.arrival, EvKind::Arrival { job: *job, attempt: 1 });
+    }
+
+    let mut tenants: Vec<Tenant> =
+        (0..tenants_n).map(|_| Tenant { queue: VecDeque::new(), vtime: 0 }).collect();
+    let mut idle: Vec<bool> = vec![true; cfg.workers];
+    let mut vfloor: u128 = 0;
+    let mut pending = 0usize;
+    let high_water =
+        if cfg.bounded { (cfg.queue_cap * 3 / 4).max(1) } else { cfg.workers * cfg.batch_max * 8 };
+
+    let mut records: Vec<Option<JobRecord>> = vec![None; offered.len()];
+    let mut stats = SchedStats {
+        offered: offered.len() as u64,
+        admitted: 0,
+        completed: 0,
+        rejected: 0,
+        reject_events: 0,
+        retries: 0,
+        batches: 0,
+        dispatch_cycles_total: 0,
+        busy_cycles: vec![0; cfg.workers],
+        served_cycles: vec![0; tenants_n],
+        completed_per_tenant: vec![0; tenants_n],
+        backpressure_events: 0,
+        high_water,
+        max_pending: 0,
+        first_arrival: offered.first().map_or(0, |j| j.arrival),
+        last_finish: 0,
+    };
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        let now = ev.time;
+        match ev.kind {
+            EvKind::Arrival { job, attempt } => {
+                if pending >= high_water {
+                    stats.backpressure_events += 1;
+                }
+                if cfg.bounded && pending >= cfg.queue_cap {
+                    // Refuse with retry-after; the producer re-offers
+                    // until it runs out of patience.
+                    stats.reject_events += 1;
+                    if attempt <= cfg.max_retries {
+                        stats.retries += 1;
+                        push(
+                            &mut heap,
+                            now + cfg.retry_after,
+                            EvKind::Arrival { job, attempt: attempt + 1 },
+                        );
+                    } else {
+                        stats.rejected += 1;
+                        records[job.id] = Some(JobRecord {
+                            id: job.id,
+                            tenant: job.tenant,
+                            variant: job.variant,
+                            arrival: job.arrival,
+                            attempts: attempt,
+                            outcome: Outcome::Rejected { last_attempt: now },
+                        });
+                    }
+                } else {
+                    stats.admitted += 1;
+                    let tn = &mut tenants[job.tenant];
+                    if tn.queue.is_empty() {
+                        // Returning from idle: no retroactive credit.
+                        tn.vtime = tn.vtime.max(vfloor);
+                    }
+                    tn.queue.push_back(Pending {
+                        id: job.id,
+                        variant: job.variant,
+                        arrival: job.arrival,
+                        admit: now,
+                        attempts: attempt,
+                        service: service_cycles[job.variant],
+                    });
+                    pending += 1;
+                    stats.max_pending = stats.max_pending.max(pending);
+                }
+            }
+            EvKind::Free { worker } => idle[worker] = true,
+        }
+
+        // Work-conserving dispatch: while a worker is idle and any
+        // tenant is backlogged, hand the fair-share pick a batch.
+        while let Some(w) = idle.iter().position(|&free| free) {
+            let Some(t) = tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, tn)| !tn.queue.is_empty())
+                .min_by_key(|&(i, tn)| (tn.vtime, i))
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let take = cfg.batch_max.min(tenants[t].queue.len());
+            let mut service_sum = 0u64;
+            let mut cursor = now + cfg.dispatch_cycles;
+            for _ in 0..take {
+                let p = tenants[t].queue.pop_front().expect("tenant is backlogged");
+                let start = cursor;
+                let finish = start + p.service;
+                cursor = finish;
+                service_sum += p.service;
+                records[p.id] = Some(JobRecord {
+                    id: p.id,
+                    tenant: t,
+                    variant: p.variant,
+                    arrival: p.arrival,
+                    attempts: p.attempts,
+                    outcome: Outcome::Completed { admit: p.admit, start, finish, worker: w },
+                });
+                stats.completed += 1;
+                stats.completed_per_tenant[t] += 1;
+                stats.served_cycles[t] += p.service;
+            }
+            pending -= take;
+            vfloor = vfloor.max(tenants[t].vtime);
+            tenants[t].vtime += u128::from(service_sum) * VSCALE / u128::from(cfg.weights[t]);
+            idle[w] = false;
+            stats.batches += 1;
+            stats.dispatch_cycles_total += cfg.dispatch_cycles;
+            stats.busy_cycles[w] += cfg.dispatch_cycles + service_sum;
+            stats.last_finish = stats.last_finish.max(cursor);
+            push(&mut heap, cursor, EvKind::Free { worker: w });
+        }
+        if cfg.check_invariants {
+            let idle_worker = idle.iter().any(|&free| free);
+            let backlogged = tenants.iter().any(|tn| !tn.queue.is_empty());
+            assert!(
+                !(idle_worker && backlogged),
+                "work conservation violated at cycle {now}: idle worker with a backlogged tenant"
+            );
+        }
+    }
+
+    let records: Vec<JobRecord> = records
+        .into_iter()
+        .enumerate()
+        .map(|(id, r)| r.unwrap_or_else(|| panic!("job {id} never resolved")))
+        .collect();
+    debug_assert_eq!(stats.admitted, stats.completed, "every admitted job completes");
+    (records, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offered(arrivals: &[(u64, usize, usize)]) -> Vec<OfferedJob> {
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, &(arrival, tenant, variant))| OfferedJob { id, tenant, variant, arrival })
+            .collect()
+    }
+
+    fn base_cfg(workers: usize, tenants: usize) -> SchedConfig {
+        SchedConfig {
+            workers,
+            bounded: false,
+            queue_cap: 8,
+            batch_max: 4,
+            dispatch_cycles: 10,
+            retry_after: 100,
+            max_retries: 2,
+            weights: vec![1; tenants],
+            check_invariants: true,
+        }
+    }
+
+    #[test]
+    fn single_job_timeline() {
+        let jobs = offered(&[(5, 0, 0)]);
+        let (recs, stats) = schedule(&jobs, &[1000], &base_cfg(1, 1));
+        assert_eq!(
+            recs[0].outcome,
+            Outcome::Completed { admit: 5, start: 15, finish: 1015, worker: 0 }
+        );
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.makespan(), 1010);
+    }
+
+    #[test]
+    fn batch_amortizes_dispatch_and_serializes_service() {
+        // Three same-tenant jobs queued behind a busy worker come out as
+        // one batch: one dispatch fee, back-to-back service.
+        let jobs = offered(&[(0, 0, 0), (1, 0, 0), (2, 0, 0), (3, 0, 0)]);
+        let (recs, stats) = schedule(&jobs, &[100], &base_cfg(1, 1));
+        // Job 0 dispatches alone at t=0 (queue had one entry).
+        assert_eq!(
+            recs[0].outcome,
+            Outcome::Completed { admit: 0, start: 10, finish: 110, worker: 0 }
+        );
+        // Jobs 1..3 batch when the worker frees at 110.
+        let starts: Vec<u64> = recs[1..]
+            .iter()
+            .map(|r| match r.outcome {
+                Outcome::Completed { start, .. } => start,
+                Outcome::Rejected { .. } => panic!("unexpected reject"),
+            })
+            .collect();
+        assert_eq!(starts, vec![120, 220, 320]);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.dispatch_cycles_total, 20);
+    }
+
+    #[test]
+    fn bounded_admission_rejects_with_retry_then_gives_up() {
+        let mut cfg = base_cfg(1, 1);
+        cfg.bounded = true;
+        cfg.queue_cap = 1;
+        cfg.batch_max = 1;
+        cfg.max_retries = 1;
+        cfg.retry_after = 5;
+        // One huge job occupies the worker; the second fills the queue;
+        // the third bounces twice and is finally rejected.
+        let jobs = offered(&[(0, 0, 0), (1, 0, 0), (2, 0, 0)]);
+        let (recs, stats) = schedule(&jobs, &[1_000_000], &cfg);
+        assert!(matches!(recs[2].outcome, Outcome::Rejected { last_attempt: 7 }));
+        assert_eq!(recs[2].attempts, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.reject_events, 2);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn weighted_tenant_gets_proportional_service_under_saturation() {
+        // Two tenants, weights 3:1, both permanently backlogged on one
+        // worker: served cycles must split close to 3:1.
+        let mut cfg = base_cfg(1, 2);
+        cfg.weights = vec![3, 1];
+        cfg.batch_max = 2;
+        let mut jobs = Vec::new();
+        for i in 0..400 {
+            jobs.push((0u64, i % 2, 0usize));
+        }
+        let jobs = offered(&jobs);
+        let (_, stats) = schedule(&jobs, &[1_000], &cfg);
+        let (a, b) = (stats.served_cycles[0] as f64, stats.served_cycles[1] as f64);
+        // Everything completes eventually, so compare in-progress shares
+        // via completion *order* instead: tenant 0 should finish its
+        // backlog far earlier. served_cycles equalize at the end, so
+        // check the ratio among the first half of completions.
+        assert_eq!(a, b, "equal totals once both backlogs drain fully");
+        let mut finishes: Vec<(u64, usize)> = Vec::new();
+        let (recs, _) = schedule(&jobs, &[1_000], &cfg);
+        for r in &recs {
+            if let Outcome::Completed { finish, .. } = r.outcome {
+                finishes.push((finish, r.tenant));
+            }
+        }
+        finishes.sort_unstable();
+        let first_half = &finishes[..finishes.len() / 2];
+        let t0 = first_half.iter().filter(|&&(_, t)| t == 0).count() as f64;
+        let share = t0 / first_half.len() as f64;
+        assert!(
+            (share - 0.75).abs() < 0.05,
+            "weight-3 tenant got {share} of early service, want ~0.75"
+        );
+    }
+
+    #[test]
+    fn unresolved_is_impossible_and_order_is_deterministic() {
+        let mut jobs = Vec::new();
+        for i in 0..200u64 {
+            jobs.push((i * 37 % 997, (i % 3) as usize, (i % 2) as usize));
+        }
+        let mut jobs = offered(&jobs);
+        jobs.sort_by_key(|j| j.arrival);
+        for (id, j) in jobs.iter_mut().enumerate() {
+            j.id = id;
+        }
+        let cfg = base_cfg(2, 3);
+        let (a, sa) = schedule(&jobs, &[500, 900], &cfg);
+        let (b, sb) = schedule(&jobs, &[500, 900], &cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.completed, 200);
+    }
+}

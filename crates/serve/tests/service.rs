@@ -1,0 +1,247 @@
+//! Integration gates for the serving harness.
+//!
+//! Three contracts are enforced here rather than trusted:
+//!
+//! * **Determinism** — the same seed and config produce a byte-identical
+//!   latency artifact across repeated runs *and* across execution-pool
+//!   thread counts, at the acceptance scale (10 000 open-loop jobs,
+//!   4 tenants).
+//! * **Backpressure** — under 2x overload, bounded admission beats
+//!   unbounded queueing on p99 total latency (the committed ablation).
+//! * **Fair sharing** — the weighted fair scheduler is work-conserving
+//!   (asserted inside `schedule` on every dispatch round) and delivers
+//!   service in proportion to tenant weights while everyone is
+//!   backlogged, over long deterministic traces.
+//!
+//! Plus a regression test that `figures diff --strict` semantics treat a
+//! latency-vs-profile comparison as a kind mismatch.
+
+use gpstream_serve::{
+    ablation, run_service, schedule, OfferedJob, Outcome, SchedConfig, ServeConfig,
+};
+use gpstream_util::check::run_cases;
+use gpstream_util::Rng64;
+
+#[test]
+fn ten_thousand_jobs_same_seed_byte_identical_artifact() {
+    let mut cfg = ServeConfig::new("ldstcomp");
+    cfg.jobs = 10_000;
+    cfg.tenants = 4;
+    cfg.rate = 2_000.0;
+    cfg.exec_pool_threads = 1;
+    let a = run_service(&cfg).expect("known workload");
+    assert_eq!(a.stats.offered, 10_000);
+    assert_eq!(
+        a.stats.completed + a.stats.rejected,
+        10_000,
+        "every offered job resolves to completion or final rejection"
+    );
+    assert!(a.stats.completed >= 9_000, "the service sustains the offered load");
+    assert_eq!(a.exec.executed, a.stats.completed, "every completion really executed");
+
+    // Fresh run of the same config on a different execution-pool thread
+    // count: identical bytes. One comparison covers both halves of the
+    // gate — run-to-run reproducibility and pool-size independence —
+    // because the runs share nothing but the config.
+    cfg.exec_pool_threads = 4;
+    let b = run_service(&cfg).expect("known workload");
+    assert_eq!(a.artifact, b.artifact, "artifact must be byte-identical across runs and pools");
+
+    // A different seed genuinely moves the artifact (the gate is not
+    // vacuously comparing constants); cheap at a small job count.
+    cfg.jobs = 500;
+    let c = run_service(&cfg).expect("known workload");
+    cfg.seed ^= 1;
+    let d = run_service(&cfg).expect("known workload");
+    assert_ne!(c.artifact, d.artifact);
+}
+
+#[test]
+fn bounded_admission_beats_unbounded_on_p99_total_under_overload() {
+    let mut cfg = ServeConfig::new("ldstcomp");
+    cfg.jobs = 3_000;
+    let (bounded, unbounded) = ablation(&cfg).expect("known workload");
+    assert!(bounded.cfg.bounded && !unbounded.cfg.bounded);
+    assert_eq!(bounded.cfg.rate, unbounded.cfg.rate, "same overload on both sides");
+    let pb = bounded.summary.total.quantile(0.99).expect("bounded completions");
+    let pu = unbounded.summary.total.quantile(0.99).expect("unbounded completions");
+    assert!(pb < pu, "bounded admission must beat unbounded on p99 total latency ({pb} vs {pu})");
+    // The mechanism, not just the outcome: bounded sheds load and keeps
+    // the pending queue near its cap; unbounded admits everything and
+    // the queue grows far past it.
+    assert!(bounded.stats.reject_events > 0, "overload must trigger admission rejects");
+    assert!(bounded.stats.max_pending <= bounded.cfg.effective_queue_cap());
+    assert!(unbounded.stats.rejected == 0);
+    assert!(unbounded.stats.max_pending > 4 * bounded.cfg.effective_queue_cap());
+}
+
+/// A saturating synthetic trace: `jobs` arrivals one cycle apart,
+/// round-robin across tenants, so every tenant stays backlogged for the
+/// whole arrival window.
+fn saturating_trace(jobs: usize, tenants: usize) -> Vec<OfferedJob> {
+    (0..jobs)
+        .map(|id| OfferedJob { id, tenant: id % tenants, variant: 0, arrival: 1 + id as u64 })
+        .collect()
+}
+
+#[test]
+fn fair_share_property_service_tracks_weights_while_backlogged() {
+    // Weighted shares within tolerance over long deterministic traces:
+    // random weight vectors, one saturated worker, service measured only
+    // inside the window where every tenant is still backlogged.
+    run_cases("wfq-shares", 0x5e4e_0001, 24, |rng: &mut Rng64| {
+        let tenants = rng.range_usize_inclusive(2, 5);
+        let weights: Vec<u64> = (0..tenants).map(|_| 1 + rng.below(7)).collect();
+        let jobs = 4_000;
+        let offered = saturating_trace(jobs, tenants);
+        let service = 1_000u64;
+        let cfg = SchedConfig {
+            workers: 1,
+            bounded: false,
+            queue_cap: 0,
+            batch_max: rng.range_usize_inclusive(1, 4),
+            dispatch_cycles: rng.below(20),
+            retry_after: 1,
+            max_retries: 0,
+            weights: weights.clone(),
+            check_invariants: true,
+        };
+        let (records, stats) = schedule(&offered, &[service], &cfg);
+        assert_eq!(stats.completed, jobs as u64);
+
+        // Service delivered per tenant among jobs finishing while the
+        // arrival window is still open (every tenant backlogged there).
+        let window_end = offered.last().unwrap().arrival;
+        let mut served = vec![0u64; tenants];
+        for r in &records {
+            if let Outcome::Completed { finish, .. } = r.outcome {
+                if finish <= window_end {
+                    served[r.tenant] += service;
+                }
+            }
+        }
+        let total: u64 = served.iter().sum();
+        assert!(total > 0, "window long enough to complete work");
+        let weight_total: u64 = weights.iter().sum();
+        for (t, (&got, &w)) in served.iter().zip(&weights).enumerate() {
+            let want = total as f64 * w as f64 / weight_total as f64;
+            // One batch of slack either way, plus 2% tolerance.
+            let slack = cfg.batch_max as f64 * service as f64 + 0.02 * total as f64;
+            assert!(
+                (got as f64 - want).abs() <= slack,
+                "tenant {t} (weight {w}/{weight_total}) got {got} of {total} service cycles, \
+                 want ~{want:.0} (weights {weights:?}, batch_max {})",
+                cfg.batch_max,
+            );
+        }
+    });
+}
+
+#[test]
+fn fair_share_property_work_conserving_under_random_load() {
+    // `check_invariants` asserts after every dispatch round that no
+    // worker idles while any tenant is backlogged; drive it across
+    // random shapes (bursty arrivals, mixed service times, bounded and
+    // unbounded admission).
+    run_cases("wfq-work-conserving", 0x5e4e_0002, 24, |rng: &mut Rng64| {
+        let tenants = rng.range_usize_inclusive(1, 4);
+        let variants: Vec<u64> =
+            (0..rng.range_usize_inclusive(1, 4)).map(|_| 100 + rng.below(5_000)).collect();
+        let mut arrival = 0u64;
+        let offered: Vec<OfferedJob> = (0..600)
+            .map(|id| {
+                arrival += rng.below(800);
+                OfferedJob {
+                    id,
+                    tenant: rng.below_usize(tenants),
+                    variant: rng.below_usize(variants.len()),
+                    arrival,
+                }
+            })
+            .collect();
+        let cfg = SchedConfig {
+            workers: rng.range_usize_inclusive(1, 4),
+            bounded: rng.below(2) == 0,
+            queue_cap: rng.range_usize_inclusive(2, 32),
+            batch_max: rng.range_usize_inclusive(1, 8),
+            dispatch_cycles: rng.below(300),
+            retry_after: 1 + rng.below(5_000),
+            max_retries: rng.below(4) as u32,
+            weights: (0..tenants).map(|_| 1 + rng.below(5)).collect(),
+            check_invariants: true,
+        };
+        let (records, stats) = schedule(&offered, &variants, &cfg);
+        assert_eq!(records.len(), 600);
+        assert_eq!(stats.completed + stats.rejected, 600);
+        // Busy cycles can never exceed the span each worker had.
+        for &busy in &stats.busy_cycles {
+            assert!(busy <= stats.last_finish);
+        }
+    });
+}
+
+#[test]
+fn retries_are_bounded_and_recorded() {
+    // A producer re-offers at most `max_retries` times; attempts on the
+    // final record never exceed `max_retries + 1`.
+    let offered = saturating_trace(400, 2);
+    let cfg = SchedConfig {
+        workers: 1,
+        bounded: true,
+        queue_cap: 4,
+        batch_max: 2,
+        dispatch_cycles: 50,
+        retry_after: 900,
+        max_retries: 3,
+        weights: vec![1, 1],
+        check_invariants: true,
+    };
+    let (records, stats) = schedule(&offered, &[10_000], &cfg);
+    assert!(stats.rejected > 0, "tiny queue under saturation must shed load");
+    for r in &records {
+        assert!(r.attempts <= cfg.max_retries + 1, "job {} took {} attempts", r.id, r.attempts);
+        if let Outcome::Rejected { .. } = r.outcome {
+            assert_eq!(r.attempts, cfg.max_retries + 1);
+        }
+    }
+    let completed =
+        records.iter().filter(|r| matches!(r.outcome, Outcome::Completed { .. })).count() as u64;
+    assert_eq!(completed, stats.completed);
+}
+
+#[test]
+fn diff_flags_latency_vs_profile_as_kind_mismatch() {
+    // `figures diff --strict` must fail a latency-vs-profile comparison
+    // rather than report a clean pass; the CLI's failing path keys off
+    // `DiffReport::kind_mismatch`, pinned here.
+    let mut cfg = ServeConfig::new("prodcon");
+    cfg.jobs = 50;
+    cfg.rate = 5_000.0;
+    let outcome = run_service(&cfg).expect("known workload");
+    let latency =
+        gpstream_profile::Artifact::parse(outcome.artifact.trim_end()).expect("latency parses");
+    assert_eq!(latency.kind.name(), "latency");
+
+    // A minimal profile-shaped document (same structure `figures
+    // profile --out` emits).
+    let profile_text = concat!(
+        "{\"v\":1,\"workload\":\"prodcon\",\"cycles\":1000,\"ctx_cycles\":[1000,800],",
+        "\"counters\":{\"l1_misses\":10},\"derived\":{\"l1_miss_rate\":0.1}}"
+    );
+    let profile = gpstream_profile::Artifact::parse(profile_text).expect("profile parses");
+    assert_eq!(profile.kind.name(), "profile");
+
+    let report = gpstream_analyze::diff::diff(&latency, &profile);
+    assert_eq!(report.kind_mismatch, Some(("latency", "profile")));
+    let rendered = gpstream_analyze::diff::render(&report);
+    assert!(rendered.contains("artifact kinds differ"));
+
+    // Same-kind latency diff carries no mismatch: strict mode passes on
+    // an in-band rerun.
+    let rerun = run_service(&cfg).expect("known workload");
+    let rerun_art =
+        gpstream_profile::Artifact::parse(rerun.artifact.trim_end()).expect("latency parses");
+    let same = gpstream_analyze::diff::diff(&latency, &rerun_art);
+    assert_eq!(same.kind_mismatch, None);
+    assert!(same.out_of_band().is_empty(), "identical runs diff clean");
+}

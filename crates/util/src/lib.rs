@@ -3,7 +3,8 @@
 //! Small dependency-free utilities shared by every crate in the
 //! workspace: a deterministic seedable PRNG ([`rng::Rng64`]), a minimal
 //! JSON value builder/writer/parser ([`json::Json`]), a stable content
-//! fingerprint ([`hash::Fingerprint`]) and a property-test
+//! fingerprint ([`hash::Fingerprint`]), an exact latency histogram
+//! ([`hist::Histogram`]) and a property-test
 //! harness ([`check::run_cases`]). The build environment has no network
 //! access to a crate registry, so these stand in for `rand`, `serde`
 //! and `proptest` respectively; everything here is deliberately tiny
@@ -16,10 +17,12 @@
 pub mod bench;
 pub mod check;
 pub mod hash;
+pub mod hist;
 pub mod json;
 pub mod render;
 pub mod rng;
 
 pub use hash::Fingerprint;
+pub use hist::Histogram;
 pub use json::Json;
 pub use rng::Rng64;

@@ -12,6 +12,8 @@
 //! figures simspeed [--reps N] [--out FILE] [--check]
 //! figures serve [WORKLOAD] [--jobs N] [--rate R] [--tenants T] [--workers W]
 //!               [--ctx C] [--seed S] [--unbounded] [--ablation] [--out FILE]
+//!               [--slo] [--slo-latency CYC[,CYC..]] [--slo-objective F]
+//!               [--window CYC] [--trace FILE] [--timeseries FILE]
 //! figures --list
 //! ```
 //!
@@ -37,14 +39,19 @@
 //! `--trace PATH` records one micro-benchmark and one application run
 //! under the simulating executor and writes a Chrome `trace_event` file
 //! that loads directly into `chrome://tracing` or
-//! <https://ui.perfetto.dev>.
+//! <https://ui.perfetto.dev>. The simulator's event buffer is bounded;
+//! if any events were dropped at capacity the count is surfaced as
+//! `droppedEvents` in the trace footer, as top-level `trace_dropped` in
+//! the `--json` document, and as a stderr warning.
 //!
 //! `profile WORKLOAD` runs one catalog workload (`--list` inside the
 //! subcommand prints the names) with full counter instrumentation and
 //! prints a `perf stat`-style report plus the top-down cycle tree.
 //! With `--out DIR` it also writes `perfstat.txt`, `topdown.txt`,
-//! `profile.json`, `WORKLOAD.folded` (flamegraph collapsed-stack) and
-//! `samples.csv` (interval counter time-series). `--in-order` profiles
+//! `profile.json`, `WORKLOAD.folded` (flamegraph collapsed-stack),
+//! `samples.csv` (interval counter time-series) and `telemetry.csv`
+//! (the same counters re-aggregated through the `gpstream-telemetry`
+//! windowed registry; window deltas sum exactly to the run totals). `--in-order` profiles
 //! with head-blocking work queues instead of the default out-of-order
 //! issue (diff the two artifacts to see what the OoO queues buy).
 //! `--check` compares the run against the committed baseline in
@@ -99,6 +106,21 @@
 //! and writes `serve-bounded.json` / `serve-unbounded.json` next to
 //! `--out FILE` (or prints only, without `--out`), exiting non-zero if
 //! bounded admission fails to beat unbounded on p99 total latency.
+//!
+//! Every serve run carries the `gpstream-telemetry` plane: windowed
+//! counters, per-tenant SLO burn rates (the report is appended to the
+//! text output), and a job-lifecycle span trace. `--slo` makes `--out`
+//! write the windowed SLO artifact instead of the latency artifact;
+//! `--slo-latency` sets the per-tenant latency thresholds in cycles
+//! (one value broadcasts; the default is 4x the worst service time
+//! plus dispatch) and `--slo-objective` the target fraction of jobs
+//! under threshold (default 0.99). `--window` overrides the tumbling
+//! aggregation window in cycles (default ~48 windows per trace).
+//! `--trace FILE` writes the admit -> queue -> dispatch -> execute ->
+//! complete span trace as Chrome `trace_event` JSON with one lane per
+//! tenant and per worker; `--timeseries FILE` writes the per-window
+//! counter/gauge/histogram series as CSV. All of it is byte-identical
+//! for a fixed seed and config.
 //!
 //! `simspeed` measures the simulator itself: simulated cycles per
 //! wall-clock second for the cycle-stepped vs event-driven engines on
@@ -220,17 +242,28 @@ fn traced_sim_run(
         &compiled.schedule,
         report.trace.expect("tracing was enabled"),
     )
+    .with_dropped(report.trace_dropped)
 }
 
-fn write_trace(path: &str, cfg: &MachineConfig, copts: &CompilerOptions) {
+/// Returns the total number of events the bounded trace buffers dropped
+/// across the recorded runs (also surfaced in the `--json` document).
+fn write_trace(path: &str, cfg: &MachineConfig, copts: &CompilerOptions) -> u64 {
     let mb = gpstream_microbench::kernels::gat_scat_comp(2048, 2);
     let app = fem::fem_bench(fem::CONFIGS[0], 600, 0x6a79_2005);
     let runs = vec![
         traced_sim_run("GAT-SCAT-COMP comp=2 (sim)", &mb.graph, &mb.stream_world, cfg, copts),
         traced_sim_run(&format!("{} (sim)", app.name), &app.graph, &app.stream_world, cfg, copts),
     ];
+    let dropped: u64 = runs.iter().map(|r| r.dropped).sum();
     std::fs::write(path, chrome_trace(&runs)).expect("write trace file");
     println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    if dropped > 0 {
+        eprintln!(
+            "warning: trace buffers dropped {dropped} event(s) at capacity; \
+             the trace is truncated (droppedEvents in the footer)"
+        );
+    }
+    dropped
 }
 
 const SELECTORS: [&str; 15] = [
@@ -342,6 +375,7 @@ fn profile_main(args: &[String]) -> ! {
         std::fs::write(dir.join(format!("{workload}.folded")), &out.folded)
             .expect("write folded stacks");
         std::fs::write(dir.join("samples.csv"), &out.samples_csv).expect("write samples.csv");
+        std::fs::write(dir.join("telemetry.csv"), &out.telemetry_csv).expect("write telemetry.csv");
         println!("\nwrote profile artifacts to {}", dir.display());
     }
 
@@ -581,11 +615,16 @@ fn serve_main(args: &[String]) -> ! {
     let mut workload_set = false;
     let mut out_file: Option<String> = None;
     let mut ablation = false;
+    let mut slo = false;
+    let mut trace_file: Option<String> = None;
+    let mut timeseries_file: Option<String> = None;
     let usage = |msg: &str| -> ! {
         eprintln!("{msg}");
         eprintln!(
             "usage: figures serve [WORKLOAD] [--jobs N] [--rate R] [--tenants T] \
-             [--workers W] [--ctx C] [--seed S] [--unbounded] [--ablation] [--out FILE]"
+             [--workers W] [--ctx C] [--seed S] [--unbounded] [--ablation] [--out FILE] \
+             [--slo] [--slo-latency CYC[,CYC..]] [--slo-objective F] [--window CYC] \
+             [--trace FILE] [--timeseries FILE]"
         );
         eprintln!("workloads: {}", gpstream_serve::WORKLOADS.join(" "));
         std::process::exit(2);
@@ -647,6 +686,40 @@ fn serve_main(args: &[String]) -> ! {
             }
             "--unbounded" => cfg.bounded = false,
             "--ablation" => ablation = true,
+            "--slo" => slo = true,
+            "--slo-latency" => {
+                cfg.slo_latency = value(&mut i, "--slo-latency")
+                    .split(',')
+                    .map(|v| {
+                        let cyc: u64 = v
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| usage("--slo-latency needs cycle counts"));
+                        if cyc == 0 {
+                            usage("--slo-latency thresholds must be positive");
+                        }
+                        cyc
+                    })
+                    .collect();
+            }
+            "--slo-objective" => {
+                cfg.slo_objective = value(&mut i, "--slo-objective")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--slo-objective needs a number"));
+                if !(cfg.slo_objective > 0.0 && cfg.slo_objective < 1.0) {
+                    usage("--slo-objective needs a fraction strictly between 0 and 1");
+                }
+            }
+            "--window" => {
+                cfg.window_cycles = value(&mut i, "--window")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--window needs a cycle count"));
+                if cfg.window_cycles == 0 {
+                    usage("--window needs a positive cycle count");
+                }
+            }
+            "--trace" => trace_file = Some(value(&mut i, "--trace")),
+            "--timeseries" => timeseries_file = Some(value(&mut i, "--timeseries")),
             "--out" => out_file = Some(value(&mut i, "--out")),
             other if !workload_set && !other.starts_with('-') => {
                 cfg.workload = other.to_string();
@@ -655,6 +728,13 @@ fn serve_main(args: &[String]) -> ! {
             other => usage(&format!("unknown argument `{other}`")),
         }
         i += 1;
+    }
+    if cfg.slo_latency.len() > 1 && cfg.slo_latency.len() != cfg.tenants {
+        usage(&format!(
+            "--slo-latency needs one threshold, or one per tenant ({} given, {} tenants)",
+            cfg.slo_latency.len(),
+            cfg.tenants
+        ));
     }
     if ablation {
         let Some((bounded, unbounded)) = gpstream_serve::ablation(&cfg) else {
@@ -690,8 +770,30 @@ fn serve_main(args: &[String]) -> ! {
     };
     print!("{}", outcome.text);
     if let Some(path) = &out_file {
-        std::fs::write(path, &outcome.artifact).expect("write latency artifact");
-        println!("wrote latency artifact to {path}");
+        // `--slo` switches the `--out` artifact from the latency summary
+        // to the windowed SLO burn-rate document (`figures diff` reads
+        // both by their `kind` tag).
+        if slo {
+            std::fs::write(path, &outcome.telemetry.slo_artifact).expect("write SLO artifact");
+            println!("wrote slo artifact to {path}");
+        } else {
+            std::fs::write(path, &outcome.artifact).expect("write latency artifact");
+            println!("wrote latency artifact to {path}");
+        }
+    }
+    if let Some(path) = &trace_file {
+        std::fs::write(path, outcome.telemetry.chrome_trace()).expect("write span trace");
+        println!(
+            "wrote span trace to {path} (open in chrome://tracing or ui.perfetto.dev; \
+             one lane per tenant, one per worker)"
+        );
+    }
+    if let Some(path) = &timeseries_file {
+        std::fs::write(path, outcome.telemetry.timeseries_csv()).expect("write time series");
+        println!(
+            "wrote telemetry time series to {path} ({} cycles per window)",
+            outcome.telemetry.window_cycles
+        );
     }
     std::process::exit(0);
 }
@@ -900,6 +1002,9 @@ fn main() {
         println!("scientific apps:  best {:.2}x, worst {:.2}x", s.sci_best, s.sci_worst);
     }
 
+    // Trace before JSON: the JSON document surfaces the dropped-event
+    // count from the traced runs at its top level.
+    let trace_dropped = cli.trace.as_ref().map_or(0, |path| write_trace(path, &cfg, &copts));
     if let Some(path) = &cli.json {
         let mut pairs = vec![(
             "figures".to_string(),
@@ -913,11 +1018,9 @@ fn main() {
         if !tuned_rows.is_empty() {
             pairs.push(("tuned".to_string(), Json::arr(tuned_rows.iter().map(tuned_json))));
         }
+        pairs.push(("trace_dropped".to_string(), Json::U64(trace_dropped)));
         let doc = Json::Obj(pairs);
         std::fs::write(path, doc.to_string()).expect("write json file");
         println!("wrote figure JSON to {path}");
-    }
-    if let Some(path) = &cli.trace {
-        write_trace(path, &cfg, &copts);
     }
 }

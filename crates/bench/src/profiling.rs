@@ -25,6 +25,11 @@ pub struct ProfileOutputs {
     pub folded: String,
     /// Interval counter time-series as CSV.
     pub samples_csv: String,
+    /// The same counter stream re-aggregated through the
+    /// `gpstream-telemetry` windowed registry (one counter per memory
+    /// statistic, tumbling windows of four sample intervals) as CSV.
+    /// Window deltas provably sum to the run totals.
+    pub telemetry_csv: String,
     /// The whole profile as one JSON document.
     pub json: String,
 }
@@ -74,12 +79,19 @@ pub fn profile_workload(
         &sim_report.timing.ctx_cycles,
         &sim_report.timing.phases,
     );
+    // Tumbling windows of four sample intervals: coarse enough that the
+    // windowed view aggregates rather than mirrors the raw samples,
+    // still fine enough to see phase transitions.
+    let window = interval.unwrap_or(DEFAULT_SAMPLE_INTERVAL) * 4;
+    let telemetry_csv =
+        gpstream_telemetry::sim::from_sim_samples(&prof.samples, window).series().to_csv();
     Some(ProfileOutputs {
         workload: name.to_string(),
         perf_stat: report::perf_stat_text(name, &counters),
         topdown: topdown::render(&tree),
         folded: topdown::collapsed(&tree),
         samples_csv: report::samples_csv(&prof.samples),
+        telemetry_csv,
         json: report::profile_json(name, &counters, &tree, &prof).to_doc_string(),
         counters,
     })
@@ -128,9 +140,12 @@ mod tests {
         assert_eq!(a.topdown, b.topdown);
         assert_eq!(a.folded, b.folded);
         assert_eq!(a.samples_csv, b.samples_csv);
+        assert_eq!(a.telemetry_csv, b.telemetry_csv);
         assert_eq!(a.json, b.json);
         assert!(a.perf_stat.contains("cycles"));
         assert!(a.folded.contains("ldstcomp;"));
+        assert!(a.telemetry_csv.starts_with("window,start_cycle,end_cycle,"));
+        assert!(a.telemetry_csv.lines().count() > 1, "windowed series has rows");
     }
 
     #[test]

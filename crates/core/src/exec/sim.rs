@@ -60,6 +60,11 @@ pub struct SimReport {
     /// the default out-of-order two-context mapping; the in-order and
     /// single-context lowerings have no work queues to log).
     pub task_runs: Option<Vec<TaskRun>>,
+    /// Events the machine's bounded trace sink dropped at capacity
+    /// during the measured iteration (0 when tracing was off or nothing
+    /// overflowed). A nonzero count means `trace` is truncated —
+    /// consumers must surface it, not silently render a partial trace.
+    pub trace_dropped: u64,
 }
 
 /// Start/end cycles and induced-edge record of one executed task,
@@ -465,6 +470,7 @@ impl SimExecutor {
         let lowered = &*snap.lowered;
         let trace =
             snap.trace.then(|| attribute_events(machine.take_trace(), lowered, &snap.task_ids));
+        let trace_dropped = machine.trace_dropped();
         let profile = snap.profile.then(|| SimProfile {
             interval: snap.sample_interval,
             tasks: attribute_profile(machine.take_profile(), lowered),
@@ -488,7 +494,7 @@ impl SimExecutor {
                 })
                 .collect()
         });
-        SimReport { timing, tasks: snap.task_ids.len(), trace, profile, task_runs }
+        SimReport { timing, tasks: snap.task_ids.len(), trace, profile, task_runs, trace_dropped }
     }
 
     /// Lower the whole schedule onto one context in task order (the

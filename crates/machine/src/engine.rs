@@ -230,8 +230,14 @@ pub struct Machine {
     /// Per-context cycle attribution, accumulated every step.
     phases: Vec<PhaseCycles>,
     /// Event sink; `None` (the default) records nothing and costs one
-    /// branch per emission site.
+    /// branch per emission site. Bounded at
+    /// [`MACHINE_TRACE_CAPACITY`]; overflow is counted in
+    /// `trace_dropped` instead of growing without limit on long runs.
     trace: Option<Vec<MachineEvent>>,
+    /// Trace sink capacity; [`MACHINE_TRACE_CAPACITY`] unless lowered.
+    trace_capacity: usize,
+    /// Events discarded because the trace sink was at capacity.
+    trace_dropped: u64,
     /// Per-(context, op-index) cycle and counter attribution; `None` (the
     /// default) skips the around-step snapshots entirely.
     profile: Option<BTreeMap<(u8, u32), (u64, MemStats)>>,
@@ -271,6 +277,12 @@ const WC_WINDOW_LINES: u64 = 4;
 /// needed). Public so the analytical DAG replay in `gpstream-analyze`
 /// can reproduce the issue arithmetic exactly.
 pub const DEQUEUE_CYCLES: u64 = 30;
+
+/// Event-trace sink capacity: a few million events before dropping —
+/// far above any catalog run, low enough that a runaway traced loop
+/// cannot exhaust memory. Mirrors the executor-level
+/// `TraceBuffer` default in `gpstream-core`.
+pub const MACHINE_TRACE_CAPACITY: usize = 4 << 20;
 
 /// Most patterns a [`BulkOp::Loop`] may have for its iterations to be
 /// batch-replayed (fixed-size scratch buffers keep the fast path
@@ -314,6 +326,8 @@ impl Machine {
             stats: MemStats::default(),
             phases: vec![PhaseCycles::default(); n],
             trace: None,
+            trace_capacity: MACHINE_TRACE_CAPACITY,
+            trace_dropped: 0,
             profile: None,
             sampler: None,
             task_log: None,
@@ -368,6 +382,23 @@ impl Machine {
     #[must_use]
     pub fn trace_enabled(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Events dropped because the trace sink hit
+    /// [`MACHINE_TRACE_CAPACITY`]. Persists across
+    /// [`Machine::take_trace`] (read it before reusing the sink);
+    /// cleared by [`Machine::reset_time`] with the warm-up events it
+    /// discards.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Lower (or raise) the trace sink's capacity. Exposed so tests and
+    /// tools can exercise the overflow path without recording millions
+    /// of events; the default is [`MACHINE_TRACE_CAPACITY`].
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace_capacity = capacity;
     }
 
     /// Start attributing cycles and counter deltas to each `(context,
@@ -447,9 +478,14 @@ impl Machine {
     }
 
     /// Record one event; compiles to a single branch when disabled.
+    /// Bounded: at capacity the event is dropped and counted instead.
     #[inline]
     fn emit(&mut self, t: u64, ctx: usize, kind: impl FnOnce() -> MachineEventKind) {
         if let Some(buf) = self.trace.as_mut() {
+            if buf.len() >= self.trace_capacity {
+                self.trace_dropped += 1;
+                return;
+            }
             buf.push(MachineEvent { t, ctx: ctx as u8, kind: kind() });
         }
     }
@@ -492,6 +528,7 @@ impl Machine {
         if let Some(buf) = self.trace.as_mut() {
             buf.clear();
         }
+        self.trace_dropped = 0;
         if let Some(map) = self.profile.as_mut() {
             map.clear();
         }
@@ -2072,6 +2109,24 @@ mod tests {
                 last[c] = e.t;
             }
         }
+    }
+
+    #[test]
+    fn bounded_trace_drops_and_counts_without_perturbing_timing() {
+        let mut plain = machine();
+        let bare = plain.run(traceable_program());
+
+        let mut capped = machine();
+        capped.enable_trace();
+        capped.set_trace_capacity(4);
+        let r = capped.run(traceable_program());
+        assert_eq!(r, bare, "dropping trace events must not change the model");
+        assert_eq!(capped.take_trace().len(), 4, "only the first `capacity` events survive");
+        let dropped = capped.trace_dropped();
+        assert!(dropped > 0, "this program emits more than 4 events");
+        assert_eq!(capped.trace_dropped(), dropped, "count persists across take_trace");
+        capped.reset_time();
+        assert_eq!(capped.trace_dropped(), 0, "reset_time discards warm-up drops");
     }
 
     #[test]

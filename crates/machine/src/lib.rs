@@ -54,7 +54,9 @@ pub mod tlb;
 pub mod trace;
 
 pub use config::{CacheGeometry, MachineConfig, SmtFactors, SmtModel, WaitCosts};
-pub use engine::{ContextProgram, Machine, StepMode, TaskNode, DEQUEUE_CYCLES};
+pub use engine::{
+    ContextProgram, Machine, StepMode, TaskNode, DEQUEUE_CYCLES, MACHINE_TRACE_CAPACITY,
+};
 pub use ops::{AccessPattern, BulkOp, CopyDir, OpClass, Rw, WaitPolicy};
 pub use stats::{CounterSample, MemStats, OpProfile, RunResult, TaskIssue};
 pub use trace::{MachineEvent, MachineEventKind, PhaseCycles};

@@ -23,6 +23,8 @@ pub enum ArtifactKind {
     Analysis,
     /// A serving-latency report (`figures serve --out`).
     Latency,
+    /// A serving SLO burn-rate report (`figures serve --slo`).
+    Slo,
 }
 
 impl ArtifactKind {
@@ -34,6 +36,7 @@ impl ArtifactKind {
             ArtifactKind::Profile => "profile",
             ArtifactKind::Analysis => "analysis",
             ArtifactKind::Latency => "latency",
+            ArtifactKind::Slo => "slo",
         }
     }
 }
@@ -134,6 +137,9 @@ impl Artifact {
         // also carry `counters` + `derived`.
         if doc.get("kind").and_then(Json::as_str) == Some("latency") {
             return Self::from_latency(&doc);
+        }
+        if doc.get("kind").and_then(Json::as_str) == Some("slo") {
+            return Self::from_slo(&doc);
         }
         if doc.get("entries").is_some() {
             return Self::from_baseline(text);
@@ -304,6 +310,43 @@ impl Artifact {
         Ok(Artifact { kind: ArtifactKind::Latency, workload, metrics, critical_path: None })
     }
 
+    fn from_slo(doc: &Json) -> Result<Artifact, JsonParseError> {
+        // Structurally the same counters + derived split as a latency
+        // artifact; the per-window burn-rate rows are advisory context
+        // the differ does not compare.
+        let workload = doc
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("slo artifact missing `workload`"))?
+            .to_string();
+        let mut metrics = Vec::new();
+        let counters = doc
+            .get("counters")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("slo artifact missing `counters`"))?;
+        for (name, v) in counters {
+            metrics.push(Metric {
+                name: name.clone(),
+                value: v.as_f64().unwrap_or(0.0),
+                band: None,
+                is_counter: true,
+            });
+        }
+        let derived = doc
+            .get("derived")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("slo artifact missing `derived`"))?;
+        for (name, v) in derived {
+            metrics.push(Metric {
+                name: name.clone(),
+                value: v.as_f64().unwrap_or(0.0),
+                band: None,
+                is_counter: false,
+            });
+        }
+        Ok(Artifact { kind: ArtifactKind::Slo, workload, metrics, critical_path: None })
+    }
+
     /// Look up one metric by name.
     #[must_use]
     pub fn metric(&self, name: &str) -> Option<&Metric> {
@@ -388,6 +431,28 @@ mod tests {
         assert!(p99.is_counter);
         let thr = art.metric("throughput_jobs_per_sec").unwrap();
         assert!(!thr.is_counter);
+        assert!(art.critical_path.is_none());
+    }
+
+    #[test]
+    fn slo_documents_parse_by_kind() {
+        // Same shape `gpstream-telemetry`'s SloReport emits.
+        let text = concat!(
+            "{\"kind\":\"slo\",\"workload\":\"mix\",",
+            "\"config\":{\"window_cycles\":1000,\"targets\":[]},",
+            "\"counters\":{\"tenant0_events\":100,\"tenant0_violations\":2,\"tenants_met\":1},",
+            "\"derived\":{\"tenant0_burn_rate\":2.0,\"attainment\":0.98},",
+            "\"windows\":[]}"
+        );
+        let art = Artifact::parse(text).unwrap();
+        assert_eq!(art.kind, ArtifactKind::Slo);
+        assert_eq!(art.kind.name(), "slo");
+        assert_eq!(art.workload, "mix");
+        let v = art.metric("tenant0_violations").unwrap();
+        assert_eq!(v.value, 2.0);
+        assert!(v.is_counter);
+        let burn = art.metric("tenant0_burn_rate").unwrap();
+        assert!(!burn.is_counter);
         assert!(art.critical_path.is_none());
     }
 

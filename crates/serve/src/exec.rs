@@ -23,6 +23,12 @@ pub struct ExecSummary {
     pub executed: u64,
     /// Completion-queue depth per tenant.
     pub completed_per_tenant: Vec<u64>,
+    /// Jobs each pool thread accepted. Deterministic despite the racing
+    /// threads: the submission thread is `worker % pool_threads` and
+    /// each thread runs its own ring — but it never enters the artifact.
+    pub accepted_per_thread: Vec<u64>,
+    /// Jobs each pool thread executed (equals accepted after drain).
+    pub executed_per_thread: Vec<u64>,
 }
 
 /// Execute every completed record on a `pool_threads`-thread
@@ -106,7 +112,13 @@ pub fn execute(
         assert_eq!(got, want, "tenant {tenant} completion queue diverged from the schedule");
         completed_per_tenant[tenant] = got.len() as u64;
     }
-    ExecSummary { pool_threads, executed: submitted, completed_per_tenant }
+    ExecSummary {
+        pool_threads,
+        executed: submitted,
+        completed_per_tenant,
+        accepted_per_thread: stats.accepted,
+        executed_per_thread: stats.executed,
+    }
 }
 
 fn table_tenants(records: &[JobRecord]) -> usize {
@@ -150,6 +162,9 @@ mod tests {
                 exec.completed_per_tenant, stats.completed_per_tenant,
                 "pool_threads={pool_threads}"
             );
+            assert_eq!(exec.accepted_per_thread.len(), pool_threads);
+            assert_eq!(exec.accepted_per_thread, exec.executed_per_thread);
+            assert_eq!(exec.executed_per_thread.iter().sum::<u64>(), exec.executed);
         }
     }
 }

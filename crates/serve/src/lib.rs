@@ -25,23 +25,34 @@
 //!    per-tenant completion queues — exactly once.
 //! 5. [`report`] folds the schedule into exact latency histograms and
 //!    the `latency` artifact.
+//! 6. [`telemetry`] rides the scheduler's event loop as an observer
+//!    ([`sched::SchedObserver`]) and exports the run as it happened:
+//!    windowed metric time series, per-tenant SLO burn rates and a
+//!    job-lifecycle span trace with per-tenant lanes.
 //!
 //! The split between 3 and 4 is the determinism story: every *timing*
 //! decision is virtual and seeded, so the artifact is byte-identical
 //! across runs and across execution-pool thread counts; the threads
-//! only prove the jobs really execute.
+//! only prove the jobs really execute. The telemetry plane hangs off
+//! the virtual side of that split, so it inherits the same guarantee.
 
 pub mod exec;
 pub mod job;
 pub mod load;
 pub mod report;
 pub mod sched;
+pub mod telemetry;
 
 pub use exec::ExecSummary;
 pub use job::{build_table, VariantTable, WORKLOADS};
 pub use load::{LoadConfig, OfferedJob};
-pub use report::{artifact_json, render, summarize, LatencySummary};
-pub use sched::{schedule, JobRecord, Outcome, SchedConfig, SchedStats};
+pub use report::{artifact_json, render, summarize, LatencySummary, TenantLatency};
+pub use sched::{
+    schedule, schedule_with, JobRecord, Outcome, SchedConfig, SchedObserver, SchedStats,
+};
+pub use telemetry::{ServeTelemetry, TelemetryOutcome};
+
+use gpstream_telemetry::SloTarget;
 
 use gpstream_machine::WaitPolicy;
 use gpstream_microbench::spinwait;
@@ -85,6 +96,15 @@ pub struct ServeConfig {
     /// OS threads for the functional execution pool. Never affects the
     /// artifact.
     pub exec_pool_threads: usize,
+    /// Per-tenant SLO latency thresholds in cycles (total latency);
+    /// empty derives `4 x (max service + dispatch)` for every tenant, a
+    /// single value broadcasts to all tenants.
+    pub slo_latency: Vec<u64>,
+    /// SLO objective fraction shared by every tenant; 0 derives 0.99.
+    pub slo_objective: f64,
+    /// Telemetry/SLO tumbling-window length in cycles; 0 derives
+    /// roughly 48 windows across the offered trace.
+    pub window_cycles: u64,
 }
 
 impl ServeConfig {
@@ -108,6 +128,9 @@ impl ServeConfig {
             arrival_shares: Vec::new(),
             seed: DEFAULT_SEED,
             exec_pool_threads: 2,
+            slo_latency: Vec::new(),
+            slo_objective: 0.0,
+            window_cycles: 0,
         }
     }
 
@@ -168,6 +191,50 @@ impl ServeConfig {
             self.arrival_shares.clone()
         }
     }
+
+    /// The SLO objective actually used (0.99 when unset).
+    #[must_use]
+    pub fn effective_slo_objective(&self) -> f64 {
+        if self.slo_objective == 0.0 {
+            0.99
+        } else {
+            self.slo_objective
+        }
+    }
+
+    /// The per-tenant SLO latency thresholds actually used.
+    /// `default_cycles` is the derived fallback (the harness passes
+    /// `4 x (max service + dispatch)`, generous enough that a healthy
+    /// run meets it and a saturated one visibly burns budget); a single
+    /// configured value broadcasts to every tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured vector is neither empty, a singleton,
+    /// nor one threshold per tenant.
+    #[must_use]
+    pub fn effective_slo_latency(&self, default_cycles: u64) -> Vec<u64> {
+        match self.slo_latency.len() {
+            0 => vec![default_cycles; self.tenants],
+            1 => vec![self.slo_latency[0]; self.tenants],
+            n => {
+                assert_eq!(n, self.tenants, "one SLO threshold per tenant");
+                self.slo_latency.clone()
+            }
+        }
+    }
+
+    /// The telemetry window actually used: `window_cycles`, or roughly
+    /// 48 windows across the offered trace (never below one mean
+    /// inter-arrival gap).
+    #[must_use]
+    pub fn effective_window_cycles(&self) -> u64 {
+        if self.window_cycles != 0 {
+            return self.window_cycles;
+        }
+        let gap = self.mean_interarrival_cycles();
+        (self.jobs as u64 * gap / 48).max(gap).max(1)
+    }
 }
 
 /// Everything one serving run produced.
@@ -190,6 +257,9 @@ pub struct ServiceOutcome {
     pub artifact: String,
     /// Human-readable summary.
     pub text: String,
+    /// The telemetry plane's view: windowed time series, SLO burn
+    /// rates, span trace. Same determinism contract as `artifact`.
+    pub telemetry: TelemetryOutcome,
 }
 
 /// Run the full service pipeline. Returns `None` for an unknown
@@ -222,11 +292,27 @@ pub fn run_service(cfg: &ServeConfig) -> Option<ServiceOutcome> {
         weights: cfg.effective_weights(),
         check_invariants: cfg!(debug_assertions),
     };
-    let (records, stats) = sched::schedule(&offered, &table.service_cycles(), &sched_cfg);
-    let summary = summarize(&records);
+    // SLO default: four times the worst-case single-job service time
+    // (plus its dispatch fee) — met with headroom by a healthy run,
+    // visibly burned through under saturation.
+    let max_service = table.service_cycles().iter().copied().max().unwrap_or(0);
+    let default_slo = 4 * (max_service + dispatch_cycles);
+    let objective = cfg.effective_slo_objective();
+    let targets: Vec<SloTarget> = cfg
+        .effective_slo_latency(default_slo)
+        .into_iter()
+        .map(|cycles| SloTarget::new(cycles, objective))
+        .collect();
+    let mut watcher =
+        ServeTelemetry::new(cfg.effective_window_cycles(), cfg.tenants, cfg.workers, &targets);
+    let (records, stats) =
+        sched::schedule_with(&offered, &table.service_cycles(), &sched_cfg, &mut watcher);
+    let summary = summarize(&records, cfg.tenants);
     let exec = exec::execute(&table, &records, cfg.exec_pool_threads.max(1));
     let artifact = artifact_json(cfg, &stats, &summary).to_doc_string();
-    let text = render(cfg, &stats, &summary);
+    let telemetry = watcher.finish(cfg, &records);
+    let mut text = render(cfg, &stats, &summary);
+    text.push_str(&telemetry.slo.render());
     Some(ServiceOutcome {
         cfg: cfg.clone(),
         table,
@@ -237,6 +323,7 @@ pub fn run_service(cfg: &ServeConfig) -> Option<ServiceOutcome> {
         exec,
         artifact,
         text,
+        telemetry,
     })
 }
 
@@ -310,6 +397,75 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_totals_match_scheduler_stats() {
+        let mut cfg = ServeConfig::new("ldstcomp");
+        cfg.jobs = 400;
+        cfg.rate = 5_000.0;
+        cfg.tenants = 3;
+        cfg.queue_cap = 8;
+        let out = run_service(&cfg).expect("known workload");
+        let s = &out.telemetry.series;
+        let total = |name: &str| {
+            let i = s.counter_names.iter().position(|n| n == name).expect("registered counter");
+            s.counter_totals[i]
+        };
+        // The observer counts every decision the scheduler tallies —
+        // and the registry asserts window deltas sum to these totals.
+        assert_eq!(total("arrivals"), out.stats.offered + out.stats.retries);
+        assert_eq!(total("admits"), out.stats.admitted);
+        assert_eq!(total("reject_events"), out.stats.reject_events);
+        assert_eq!(total("final_rejects"), out.stats.rejected);
+        assert_eq!(total("batches"), out.stats.batches);
+        assert_eq!(total("dispatch_cycles"), out.stats.dispatch_cycles_total);
+        assert_eq!(total("completions"), out.stats.completed);
+        assert_eq!(total("served_cycles"), out.stats.served_cycles.iter().sum::<u64>());
+        for t in 0..cfg.tenants {
+            assert_eq!(total(&format!("tenant{t}_completed")), out.stats.completed_per_tenant[t]);
+        }
+        // Histogram totals equal the report's run-wide histograms.
+        let hi = |name: &str| {
+            let i = s.hist_names.iter().position(|n| n == name).expect("registered hist");
+            &s.hist_totals[i]
+        };
+        assert_eq!(*hi("queue_cycles"), out.summary.queue);
+        assert_eq!(*hi("service_cycles"), out.summary.service);
+        assert_eq!(*hi("total_cycles"), out.summary.total);
+        // SLO events cover every completion.
+        let events: u64 = out.telemetry.slo.tenants.iter().map(|t| t.events).sum();
+        assert_eq!(events, out.stats.completed);
+        assert!(out.telemetry.slo_artifact.contains("\"kind\":\"slo\""));
+        assert!(out.text.contains("SLO report"));
+    }
+
+    #[test]
+    fn span_trace_has_per_tenant_lanes_and_paired_slices() {
+        let mut cfg = ServeConfig::new("ldstcomp");
+        cfg.jobs = 120;
+        cfg.rate = 2_000.0;
+        cfg.tenants = 2;
+        let out = run_service(&cfg).expect("known workload");
+        let trace = &out.telemetry.trace;
+        assert_eq!(trace.lanes.len(), cfg.tenants + cfg.workers);
+        assert_eq!(trace.lanes[0], "tenant 0");
+        assert_eq!(trace.lanes[cfg.tenants], "worker 0");
+        let json = out.telemetry.chrome_trace();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""), "span slices missing");
+        assert!(json.contains("\"cat\":\"queue\""));
+        assert!(json.contains("\"cat\":\"service\""));
+        assert!(json.contains("tenant 0") && json.contains("worker 0"));
+        // Every completed job contributes exactly one queue and one
+        // service slice (2 Start + 2 Finish events), plus one Enqueue
+        // instant per admission and one Wakeup per batch.
+        let slices = trace
+            .events
+            .iter()
+            .filter(|e| e.kind == gpstream_core::trace::ExecEventKind::Finish)
+            .count() as u64;
+        assert_eq!(slices, 2 * out.stats.completed);
+    }
+
+    #[test]
     fn artifact_ignores_exec_pool_threads() {
         let mut cfg = ServeConfig::new("gatscat");
         cfg.jobs = 200;
@@ -319,5 +475,12 @@ mod tests {
         cfg.exec_pool_threads = 4;
         let b = run_service(&cfg).expect("known workload");
         assert_eq!(a.artifact, b.artifact, "pool threads must not leak into the artifact");
+        assert_eq!(
+            a.telemetry.timeseries_json(),
+            b.telemetry.timeseries_json(),
+            "pool threads must not leak into the time series"
+        );
+        assert_eq!(a.telemetry.slo_artifact, b.telemetry.slo_artifact);
+        assert_eq!(a.telemetry.timeseries_csv(), b.telemetry.timeseries_csv());
     }
 }

@@ -16,8 +16,23 @@ use crate::ServeConfig;
 use gpstream_util::{Histogram, Json};
 use std::fmt::Write as _;
 
-/// Version stamp of the latency artifact schema.
-pub const LATENCY_ARTIFACT_VERSION: u64 = 1;
+/// Version stamp of the latency artifact schema. v2 added per-tenant
+/// latency quantiles (before that a tenant's stats were only completed
+/// counts and summed service cycles, so one tenant's SLO violation was
+/// invisible in the artifact).
+pub const LATENCY_ARTIFACT_VERSION: u64 = 2;
+
+/// One tenant's latency distributions, same split as the run-wide
+/// [`LatencySummary`].
+#[derive(Debug, Clone, Default)]
+pub struct TenantLatency {
+    /// Admission to service start.
+    pub queue: Histogram,
+    /// Service start to finish.
+    pub service: Histogram,
+    /// First arrival attempt to finish.
+    pub total: Histogram,
+}
 
 /// The three latency distributions of a serving run, in cycles.
 #[derive(Debug, Clone, Default)]
@@ -30,17 +45,34 @@ pub struct LatencySummary {
     /// First arrival attempt to finish — what a client experiences,
     /// retry delays included.
     pub total: Histogram,
+    /// The same three distributions split per tenant; merging a
+    /// distribution across tenants reproduces the run-wide one exactly
+    /// (the same `record` calls feed both).
+    pub per_tenant: Vec<TenantLatency>,
 }
 
-/// Fold every completed job's latencies into the three histograms.
+/// Fold every completed job's latencies into the three histograms,
+/// run-wide and per tenant.
+///
+/// # Panics
+///
+/// Panics if a record names a tenant at or beyond `tenants`.
 #[must_use]
-pub fn summarize(records: &[JobRecord]) -> LatencySummary {
-    let mut s = LatencySummary::default();
+pub fn summarize(records: &[JobRecord], tenants: usize) -> LatencySummary {
+    let mut s = LatencySummary {
+        per_tenant: (0..tenants).map(|_| TenantLatency::default()).collect(),
+        ..LatencySummary::default()
+    };
     for r in records {
         if let Outcome::Completed { admit, start, finish, .. } = r.outcome {
-            s.queue.record(start - admit);
-            s.service.record(finish - start);
-            s.total.record(finish - r.arrival);
+            let (queue, service, total) = (start - admit, finish - start, finish - r.arrival);
+            s.queue.record(queue);
+            s.service.record(service);
+            s.total.record(total);
+            let t = &mut s.per_tenant[r.tenant];
+            t.queue.record(queue);
+            t.service.record(service);
+            t.total.record(total);
         }
     }
     s
@@ -109,6 +141,11 @@ pub fn artifact_json(cfg: &ServeConfig, stats: &SchedStats, summary: &LatencySum
     {
         counters.push((format!("tenant{t}_completed"), Json::U64(done)));
         counters.push((format!("tenant{t}_service_cycles"), Json::U64(served)));
+    }
+    for (t, lat) in summary.per_tenant.iter().enumerate() {
+        hist_counters(&mut counters, &format!("tenant{t}_queue"), &lat.queue);
+        hist_counters(&mut counters, &format!("tenant{t}_service"), &lat.service);
+        hist_counters(&mut counters, &format!("tenant{t}_total"), &lat.total);
     }
     for (w, &busy) in stats.busy_cycles.iter().enumerate() {
         counters.push((format!("worker{w}_busy_cycles"), Json::U64(busy)));
@@ -191,6 +228,11 @@ pub fn render(cfg: &ServeConfig, stats: &SchedStats, summary: &LatencySummary) -
     for (t, &done) in stats.completed_per_tenant.iter().enumerate() {
         let _ =
             writeln!(out, "  tenant {t}: {done} jobs, {} service cycles", stats.served_cycles[t]);
+        if let Some(lat) = summary.per_tenant.get(t) {
+            if !lat.total.is_empty() {
+                fmt_hist_line(&mut out, &format!("t{t} total"), &lat.total, freq);
+            }
+        }
     }
     out
 }
@@ -225,11 +267,19 @@ mod tests {
                 outcome: Outcome::Rejected { last_attempt: 500 },
             },
         ];
-        let s = summarize(&records);
+        let s = summarize(&records, 2);
         assert_eq!(s.queue.count(), 2, "rejected jobs carry no latency");
         assert_eq!(s.queue.max(), Some(90));
         assert_eq!(s.service.max(), Some(100));
         assert_eq!(s.total.max(), Some(160));
+        // Tenant split: all completions were tenant 0's; per-tenant
+        // histograms merged back equal the run-wide ones.
+        assert_eq!(s.per_tenant.len(), 2);
+        assert_eq!(s.per_tenant[0].total.count(), 2);
+        assert!(s.per_tenant[1].total.is_empty());
+        let mut merged = s.per_tenant[0].total.clone();
+        merged.merge(&s.per_tenant[1].total);
+        assert_eq!(merged, s.total);
     }
 
     #[test]
@@ -254,13 +304,15 @@ mod tests {
             first_arrival: 0,
             last_finish: 110,
         };
-        let summary = summarize(&records);
+        let summary = summarize(&records, 4);
         let doc = artifact_json(&cfg, &stats, &summary);
         assert_eq!(doc.get("kind").and_then(Json::as_str), Some("latency"));
-        assert_eq!(doc.get("v").and_then(Json::as_u64), Some(1));
+        assert_eq!(doc.get("v").and_then(Json::as_u64), Some(2));
         let counters = doc.get("counters").expect("counters object");
         assert_eq!(counters.get("jobs_completed").and_then(Json::as_u64), Some(1));
         assert_eq!(counters.get("total_p50_cycles").and_then(Json::as_u64), Some(110));
+        assert_eq!(counters.get("tenant0_total_p99_cycles").and_then(Json::as_u64), Some(110));
+        assert_eq!(counters.get("tenant3_total_p99_cycles").and_then(Json::as_u64), Some(0));
         assert!(doc.get("derived").and_then(|d| d.get("throughput_jobs_per_sec")).is_some());
         // Canonical doc text parses back; whole-number floats re-read as
         // integers, so compare through the numeric accessor.

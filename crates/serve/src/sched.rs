@@ -148,6 +148,50 @@ impl SchedStats {
     }
 }
 
+/// Scheduler lifecycle hooks, called synchronously from inside the
+/// event loop — in virtual time, before any OS thread touches a job —
+/// so an observer inherits the scheduler's determinism for free. This
+/// is how the telemetry plane watches a run without the scheduler
+/// knowing what a metric is.
+///
+/// Every hook has a no-op default; implement only what you watch.
+pub trait SchedObserver {
+    /// An offer hit admission at cycle `now` (first try or retry).
+    fn on_arrival(&mut self, now: u64, job: &OfferedJob, attempt: u32) {
+        let _ = (now, job, attempt);
+    }
+    /// The offer was refused; `final_reject` when the producer gave up.
+    fn on_reject(&mut self, now: u64, job: &OfferedJob, attempt: u32, final_reject: bool) {
+        let _ = (now, job, attempt, final_reject);
+    }
+    /// The offer passed admission; `pending` counts it.
+    fn on_admit(&mut self, now: u64, job: &OfferedJob, attempt: u32, pending: usize) {
+        let _ = (now, job, attempt, pending);
+    }
+    /// Worker `worker` took a `batch`-job batch from `tenant` at `now`,
+    /// paying `dispatch_cycles` once; `pending` no longer counts them.
+    fn on_dispatch(
+        &mut self,
+        now: u64,
+        worker: usize,
+        tenant: usize,
+        batch: usize,
+        dispatch_cycles: u64,
+        pending: usize,
+    ) {
+        let _ = (now, worker, tenant, batch, dispatch_cycles, pending);
+    }
+    /// One job of the batch resolved (always `Outcome::Completed` here).
+    fn on_complete(&mut self, rec: &JobRecord) {
+        let _ = rec;
+    }
+}
+
+/// The observer `schedule` runs with: watches nothing.
+pub struct NoopObserver;
+
+impl SchedObserver for NoopObserver {}
+
 /// A job sitting in its tenant queue.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
@@ -206,6 +250,24 @@ pub fn schedule(
     service_cycles: &[u64],
     cfg: &SchedConfig,
 ) -> (Vec<JobRecord>, SchedStats) {
+    schedule_with(offered, service_cycles, cfg, &mut NoopObserver)
+}
+
+/// [`schedule`] with a [`SchedObserver`] riding along. The observer
+/// cannot change a single decision — hooks fire after each one is made
+/// — so `schedule_with(.., &mut NoopObserver)` and any instrumented run
+/// produce identical records and stats.
+///
+/// # Panics
+///
+/// Same conditions as [`schedule`].
+#[must_use]
+pub fn schedule_with(
+    offered: &[OfferedJob],
+    service_cycles: &[u64],
+    cfg: &SchedConfig,
+    obs: &mut dyn SchedObserver,
+) -> (Vec<JobRecord>, SchedStats) {
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.batch_max > 0, "batches hold at least one job");
     assert!(!cfg.weights.is_empty(), "need at least one tenant");
@@ -262,6 +324,7 @@ pub fn schedule(
         let now = ev.time;
         match ev.kind {
             EvKind::Arrival { job, attempt } => {
+                obs.on_arrival(now, &job, attempt);
                 if pending >= high_water {
                     stats.backpressure_events += 1;
                 }
@@ -269,6 +332,7 @@ pub fn schedule(
                     // Refuse with retry-after; the producer re-offers
                     // until it runs out of patience.
                     stats.reject_events += 1;
+                    obs.on_reject(now, &job, attempt, attempt > cfg.max_retries);
                     if attempt <= cfg.max_retries {
                         stats.retries += 1;
                         push(
@@ -304,6 +368,7 @@ pub fn schedule(
                     });
                     pending += 1;
                     stats.max_pending = stats.max_pending.max(pending);
+                    obs.on_admit(now, &job, attempt, pending);
                 }
             }
             EvKind::Free { worker } => idle[worker] = true,
@@ -330,19 +395,22 @@ pub fn schedule(
                 let finish = start + p.service;
                 cursor = finish;
                 service_sum += p.service;
-                records[p.id] = Some(JobRecord {
+                let rec = JobRecord {
                     id: p.id,
                     tenant: t,
                     variant: p.variant,
                     arrival: p.arrival,
                     attempts: p.attempts,
                     outcome: Outcome::Completed { admit: p.admit, start, finish, worker: w },
-                });
+                };
+                obs.on_complete(&rec);
+                records[p.id] = Some(rec);
                 stats.completed += 1;
                 stats.completed_per_tenant[t] += 1;
                 stats.served_cycles[t] += p.service;
             }
             pending -= take;
+            obs.on_dispatch(now, w, t, take, cfg.dispatch_cycles, pending);
             vfloor = vfloor.max(tenants[t].vtime);
             tenants[t].vtime += u128::from(service_sum) * VSCALE / u128::from(cfg.weights[t]);
             idle[w] = false;
@@ -489,6 +557,74 @@ mod tests {
             (share - 0.75).abs() < 0.05,
             "weight-3 tenant got {share} of early service, want ~0.75"
         );
+    }
+
+    #[test]
+    fn observer_sees_every_decision_and_changes_nothing() {
+        #[derive(Default)]
+        struct Counting {
+            arrivals: u64,
+            rejects: u64,
+            final_rejects: u64,
+            admits: u64,
+            dispatches: u64,
+            completes: u64,
+            batched_jobs: u64,
+        }
+        impl SchedObserver for Counting {
+            fn on_arrival(&mut self, _now: u64, _job: &OfferedJob, _attempt: u32) {
+                self.arrivals += 1;
+            }
+            fn on_reject(&mut self, _now: u64, _job: &OfferedJob, _attempt: u32, fin: bool) {
+                self.rejects += 1;
+                self.final_rejects += u64::from(fin);
+            }
+            fn on_admit(&mut self, _now: u64, _job: &OfferedJob, _attempt: u32, _pending: usize) {
+                self.admits += 1;
+            }
+            fn on_dispatch(
+                &mut self,
+                _now: u64,
+                _worker: usize,
+                _tenant: usize,
+                batch: usize,
+                _dispatch_cycles: u64,
+                _pending: usize,
+            ) {
+                self.dispatches += 1;
+                self.batched_jobs += batch as u64;
+            }
+            fn on_complete(&mut self, rec: &JobRecord) {
+                assert!(matches!(rec.outcome, Outcome::Completed { .. }));
+                self.completes += 1;
+            }
+        }
+
+        let mut cfg = base_cfg(2, 3);
+        cfg.bounded = true;
+        cfg.queue_cap = 3;
+        cfg.max_retries = 1;
+        let mut jobs = Vec::new();
+        for i in 0..300u64 {
+            jobs.push((i * 13 % 511, (i % 3) as usize, 0usize));
+        }
+        let mut jobs = offered(&jobs);
+        jobs.sort_by_key(|j| j.arrival);
+        for (id, j) in jobs.iter_mut().enumerate() {
+            j.id = id;
+        }
+        let (plain, plain_stats) = schedule(&jobs, &[2_000], &cfg);
+        let mut obs = Counting::default();
+        let (watched, watched_stats) = schedule_with(&jobs, &[2_000], &cfg, &mut obs);
+        assert_eq!(plain, watched, "observer must not perturb the schedule");
+        assert_eq!(plain_stats, watched_stats);
+        assert_eq!(obs.arrivals, watched_stats.offered + watched_stats.retries);
+        assert_eq!(obs.rejects, watched_stats.reject_events);
+        assert_eq!(obs.final_rejects, watched_stats.rejected);
+        assert_eq!(obs.admits, watched_stats.admitted);
+        assert_eq!(obs.dispatches, watched_stats.batches);
+        assert_eq!(obs.completes, watched_stats.completed);
+        assert_eq!(obs.batched_jobs, watched_stats.completed);
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! The serving harness's telemetry plane: a [`SchedObserver`] that
+//! feeds windowed metrics, per-tenant SLO accounting and job-lifecycle
+//! spans from the scheduler's own event loop.
+//!
+//! Everything is stamped in the scheduler's virtual time, so the whole
+//! plane inherits the byte-identical determinism guarantee: time
+//! series, SLO artifact and span trace depend only on the schedule,
+//! never on pool thread counts or wall clocks. The observer is
+//! write-only during the run (the scheduler cannot see it), and
+//! [`ServeTelemetry::finish`] folds it into a [`TelemetryOutcome`].
+//!
+//! The span model reuses the executor-level Chrome-trace vocabulary
+//! ([`ExecEventKind`]) rather than inventing a new one:
+//!
+//! * lane per **tenant** (queue residency) then lane per **worker**
+//!   (service), so a run opens in a trace viewer with per-tenant lanes;
+//! * task `2*job` is the job's *queue* slice (admission → service
+//!   start, on its tenant's lane) and task `2*job + 1` its *service*
+//!   slice (start → finish, on its worker's lane);
+//! * admission is an `Enqueue` instant, a bounced offer a `DepWait`
+//!   instant (the producer is blocked by backpressure; the mask is the
+//!   attempt number), and each batch dispatch a `Wakeup` instant on the
+//!   worker lane carrying the dispatch fee it paid.
+
+use crate::load::OfferedJob;
+use crate::sched::{JobRecord, Outcome, SchedObserver};
+use crate::ServeConfig;
+use gpstream_core::trace::{chrome_trace, ExecEvent, ExecEventKind, TraceRun};
+use gpstream_core::TaskId;
+use gpstream_telemetry::{
+    CounterId, GaugeId, HistId, SloReport, SloTarget, SloTracker, Telemetry, TimeSeries,
+};
+use gpstream_util::Json;
+
+/// The scheduler observer that builds the telemetry plane.
+pub struct ServeTelemetry {
+    tel: Telemetry,
+    slo: SloTracker,
+    c_arrivals: CounterId,
+    c_admits: CounterId,
+    c_rejects: CounterId,
+    c_final_rejects: CounterId,
+    c_batches: CounterId,
+    c_dispatch_cycles: CounterId,
+    c_completions: CounterId,
+    c_served_cycles: CounterId,
+    c_tenant_completed: Vec<CounterId>,
+    g_pending: GaugeId,
+    h_queue: HistId,
+    h_service: HistId,
+    h_total: HistId,
+    events: Vec<ExecEvent>,
+    tenants: usize,
+}
+
+impl ServeTelemetry {
+    /// An observer for a run with the given window, tenants and
+    /// per-tenant SLO targets (`targets.len() == tenants`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target count disagrees with the tenant count, or
+    /// if `tenants + workers` exceeds the 256 trace lanes an event's
+    /// `who: u8` can name.
+    #[must_use]
+    pub fn new(window_cycles: u64, tenants: usize, workers: usize, targets: &[SloTarget]) -> Self {
+        assert_eq!(targets.len(), tenants, "one SLO target per tenant");
+        assert!(tenants + workers <= 256, "trace lanes are indexed by a u8");
+        let mut tel = Telemetry::new(window_cycles);
+        let mut slo = SloTracker::new(window_cycles);
+        for (t, target) in targets.iter().enumerate() {
+            let _ = slo.tenant(&format!("tenant{t}"), *target);
+        }
+        let c_arrivals = tel.counter("arrivals");
+        let c_admits = tel.counter("admits");
+        let c_rejects = tel.counter("reject_events");
+        let c_final_rejects = tel.counter("final_rejects");
+        let c_batches = tel.counter("batches");
+        let c_dispatch_cycles = tel.counter("dispatch_cycles");
+        let c_completions = tel.counter("completions");
+        let c_served_cycles = tel.counter("served_cycles");
+        let c_tenant_completed =
+            (0..tenants).map(|t| tel.counter(&format!("tenant{t}_completed"))).collect();
+        let g_pending = tel.gauge("pending");
+        let h_queue = tel.hist("queue_cycles");
+        let h_service = tel.hist("service_cycles");
+        let h_total = tel.hist("total_cycles");
+        Self {
+            tel,
+            slo,
+            c_arrivals,
+            c_admits,
+            c_rejects,
+            c_final_rejects,
+            c_batches,
+            c_dispatch_cycles,
+            c_completions,
+            c_served_cycles,
+            c_tenant_completed,
+            g_pending,
+            h_queue,
+            h_service,
+            h_total,
+            events: Vec::new(),
+            tenants,
+        }
+    }
+
+    fn tenant_lane(&self, tenant: usize) -> u8 {
+        u8::try_from(tenant).expect("tenant lane fits u8")
+    }
+
+    fn worker_lane(&self, worker: usize) -> u8 {
+        u8::try_from(self.tenants + worker).expect("worker lane fits u8")
+    }
+
+    fn queue_task(id: usize) -> TaskId {
+        TaskId(u32::try_from(2 * id).expect("job id fits the span task space"))
+    }
+
+    fn service_task(id: usize) -> TaskId {
+        TaskId(u32::try_from(2 * id + 1).expect("job id fits the span task space"))
+    }
+
+    /// Fold the observed run into its exported outcome. `cfg` labels
+    /// the trace and the SLO artifact; `records` name the span tasks.
+    #[must_use]
+    pub fn finish(self, cfg: &ServeConfig, records: &[JobRecord]) -> TelemetryOutcome {
+        let window_cycles = self.tel.window_cycles();
+        let series = self.tel.series();
+        let slo = self.slo.report();
+        let slo_artifact = slo
+            .artifact_json(
+                &cfg.workload,
+                &[
+                    ("jobs", Json::from(cfg.jobs)),
+                    ("rate_jobs_per_sec", Json::F64(cfg.rate)),
+                    ("tenants", Json::from(cfg.tenants)),
+                    ("workers", Json::from(cfg.workers)),
+                    ("bounded", Json::from(cfg.bounded)),
+                    ("seed", Json::U64(cfg.seed)),
+                    ("freq_ghz", Json::F64(cfg.freq_ghz())),
+                ],
+            )
+            .to_doc_string();
+
+        let mut lanes: Vec<String> = (0..cfg.tenants).map(|t| format!("tenant {t}")).collect();
+        lanes.extend((0..cfg.workers).map(|w| format!("worker {w}")));
+        let mut task_names = vec![String::new(); 2 * records.len()];
+        let mut task_cats = vec![""; 2 * records.len()];
+        for r in records {
+            task_names[2 * r.id] = format!("job {} queue (t{})", r.id, r.tenant);
+            task_cats[2 * r.id] = "queue";
+            task_names[2 * r.id + 1] = format!("job {} service (v{})", r.id, r.variant);
+            task_cats[2 * r.id + 1] = "service";
+        }
+        let trace = TraceRun {
+            name: format!("serve-{}", cfg.workload),
+            ticks_per_us: cfg.freq_ghz() * 1e3,
+            lanes,
+            task_names,
+            task_cats,
+            events: self.events,
+            dropped: 0,
+        };
+        TelemetryOutcome { window_cycles, series, slo, slo_artifact, trace }
+    }
+}
+
+impl SchedObserver for ServeTelemetry {
+    fn on_arrival(&mut self, now: u64, _job: &OfferedJob, _attempt: u32) {
+        self.tel.add(self.c_arrivals, now, 1);
+    }
+
+    fn on_reject(&mut self, now: u64, job: &OfferedJob, attempt: u32, final_reject: bool) {
+        self.tel.add(self.c_rejects, now, 1);
+        if final_reject {
+            self.tel.add(self.c_final_rejects, now, 1);
+        }
+        self.events.push(ExecEvent {
+            ts: now,
+            who: self.tenant_lane(job.tenant),
+            task: Some(Self::queue_task(job.id)),
+            kind: ExecEventKind::DepWait { mask: u64::from(attempt) },
+        });
+    }
+
+    fn on_admit(&mut self, now: u64, job: &OfferedJob, _attempt: u32, pending: usize) {
+        self.tel.add(self.c_admits, now, 1);
+        self.tel.set(self.g_pending, now, pending as u64);
+        self.events.push(ExecEvent {
+            ts: now,
+            who: self.tenant_lane(job.tenant),
+            task: Some(Self::queue_task(job.id)),
+            kind: ExecEventKind::Enqueue,
+        });
+    }
+
+    fn on_dispatch(
+        &mut self,
+        now: u64,
+        worker: usize,
+        _tenant: usize,
+        _batch: usize,
+        dispatch_cycles: u64,
+        pending: usize,
+    ) {
+        self.tel.add(self.c_batches, now, 1);
+        self.tel.add(self.c_dispatch_cycles, now, dispatch_cycles);
+        self.tel.set(self.g_pending, now, pending as u64);
+        self.events.push(ExecEvent {
+            ts: now,
+            who: self.worker_lane(worker),
+            task: None,
+            kind: ExecEventKind::Wakeup { dispatch: dispatch_cycles },
+        });
+    }
+
+    fn on_complete(&mut self, rec: &JobRecord) {
+        let Outcome::Completed { admit, start, finish, worker } = rec.outcome else {
+            unreachable!("on_complete only fires for completed jobs");
+        };
+        let (queue, service, total) = (start - admit, finish - start, finish - rec.arrival);
+        // Windowed metrics are stamped at the *finish* cycle: a latency
+        // is only known once the job completes, and filing it where it
+        // completed is what makes window deltas sum to run totals.
+        self.tel.add(self.c_completions, finish, 1);
+        self.tel.add(self.c_served_cycles, finish, service);
+        self.tel.add(self.c_tenant_completed[rec.tenant], finish, 1);
+        self.tel.observe(self.h_queue, finish, queue);
+        self.tel.observe(self.h_service, finish, service);
+        self.tel.observe(self.h_total, finish, total);
+        self.slo.record(rec.tenant, finish, total);
+
+        let (qt, st) = (Self::queue_task(rec.id), Self::service_task(rec.id));
+        let tenant = self.tenant_lane(rec.tenant);
+        let worker = self.worker_lane(worker);
+        // Start precedes Finish in event order (the exporter pairs by
+        // order, not by timestamp), so emit each slice's pair together.
+        self.events.extend([
+            ExecEvent { ts: admit, who: tenant, task: Some(qt), kind: ExecEventKind::Start },
+            ExecEvent { ts: start, who: tenant, task: Some(qt), kind: ExecEventKind::Finish },
+            ExecEvent { ts: start, who: worker, task: Some(st), kind: ExecEventKind::Start },
+            ExecEvent { ts: finish, who: worker, task: Some(st), kind: ExecEventKind::Finish },
+        ]);
+    }
+}
+
+/// The telemetry plane's exported view of one serving run.
+#[derive(Debug, Clone)]
+pub struct TelemetryOutcome {
+    /// Tumbling-window length in cycles.
+    pub window_cycles: u64,
+    /// The windowed metric series (delta-sum invariants already
+    /// asserted by construction).
+    pub series: TimeSeries,
+    /// Per-tenant SLO accounting.
+    pub slo: SloReport,
+    /// The `slo` artifact document (single line + newline).
+    pub slo_artifact: String,
+    /// The job-lifecycle span trace (per-tenant queue lanes, per-worker
+    /// service lanes).
+    pub trace: TraceRun,
+}
+
+impl TelemetryOutcome {
+    /// The time series as CSV.
+    #[must_use]
+    pub fn timeseries_csv(&self) -> String {
+        self.series.to_csv()
+    }
+
+    /// The time series as a canonical one-line JSON document.
+    #[must_use]
+    pub fn timeseries_json(&self) -> String {
+        self.series.to_json().to_doc_string()
+    }
+
+    /// The span trace as Chrome `trace_event` JSON.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(std::slice::from_ref(&self.trace))
+    }
+}

@@ -1,11 +1,14 @@
 //! Integration gates for the serving harness.
 //!
-//! Three contracts are enforced here rather than trusted:
+//! Four contracts are enforced here rather than trusted:
 //!
 //! * **Determinism** — the same seed and config produce a byte-identical
 //!   latency artifact across repeated runs *and* across execution-pool
 //!   thread counts, at the acceptance scale (10 000 open-loop jobs,
-//!   4 tenants).
+//!   4 tenants). The telemetry plane (windowed time series, SLO
+//!   artifact, span trace) is held to the same byte-identical bar.
+//! * **Committed SLO baseline** — re-running the catalog-mix SLO
+//!   experiment reproduces `profiles/serve/slo-mix.json` byte for byte.
 //! * **Backpressure** — under 2x overload, bounded admission beats
 //!   unbounded queueing on p99 total latency (the committed ablation).
 //! * **Fair sharing** — the weighted fair scheduler is work-conserving
@@ -46,6 +49,28 @@ fn ten_thousand_jobs_same_seed_byte_identical_artifact() {
     cfg.exec_pool_threads = 4;
     let b = run_service(&cfg).expect("known workload");
     assert_eq!(a.artifact, b.artifact, "artifact must be byte-identical across runs and pools");
+    // The whole telemetry plane is held to the same bar: windowed time
+    // series, SLO burn-rate artifact, and the span trace all in virtual
+    // time, so pool threads must not move a byte of any of them.
+    assert_eq!(
+        a.telemetry.timeseries_csv(),
+        b.telemetry.timeseries_csv(),
+        "windowed time series must be byte-identical across runs and pools"
+    );
+    assert_eq!(
+        a.telemetry.timeseries_json(),
+        b.telemetry.timeseries_json(),
+        "time-series JSON must be byte-identical across runs and pools"
+    );
+    assert_eq!(
+        a.telemetry.slo_artifact, b.telemetry.slo_artifact,
+        "SLO artifact must be byte-identical across runs and pools"
+    );
+    assert_eq!(
+        a.telemetry.chrome_trace(),
+        b.telemetry.chrome_trace(),
+        "span trace must be byte-identical across runs and pools"
+    );
 
     // A different seed genuinely moves the artifact (the gate is not
     // vacuously comparing constants); cheap at a small job count.
@@ -54,6 +79,31 @@ fn ten_thousand_jobs_same_seed_byte_identical_artifact() {
     cfg.seed ^= 1;
     let d = run_service(&cfg).expect("known workload");
     assert_ne!(c.artifact, d.artifact);
+}
+
+#[test]
+fn committed_slo_artifact_reproduces_byte_for_byte() {
+    // The exact run CI publishes and diffs:
+    //   figures serve mix --slo --jobs 5000 --out profiles/serve/slo-mix.json
+    // Regenerate it here and compare against the committed bytes, so the
+    // baseline can never drift silently out of sync with the code.
+    let mut cfg = ServeConfig::new("mix");
+    cfg.jobs = 5_000;
+    let outcome = run_service(&cfg).expect("known workload");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../profiles/serve/slo-mix.json");
+    let committed = std::fs::read_to_string(path).expect(
+        "profiles/serve/slo-mix.json is committed; regenerate with \
+         `figures serve mix --slo --jobs 5000 --out profiles/serve/slo-mix.json`",
+    );
+    assert_eq!(
+        outcome.telemetry.slo_artifact, committed,
+        "SLO artifact for the catalog mix drifted from the committed baseline; \
+         regenerate profiles/serve/slo-mix.json if the change is intentional"
+    );
+    // The committed document parses as an `slo`-kind artifact, so
+    // `figures diff` can read it.
+    let art = gpstream_profile::Artifact::parse(committed.trim_end()).expect("slo parses");
+    assert_eq!(art.kind.name(), "slo");
 }
 
 #[test]

@@ -1,0 +1,498 @@
+//! A deterministic metrics registry with tumbling windows in virtual time.
+//!
+//! Producers register named instruments up front (a counter, a gauge, or
+//! an exact [`Histogram`]) and then stamp every update with the virtual
+//! cycle it happened at. The registry buckets updates into tumbling
+//! windows of `window_cycles` each — window `k` covers cycles
+//! `[k * window_cycles, (k+1) * window_cycles)` — keyed by
+//! `cycle / window_cycles` in a `BTreeMap`, so out-of-order stamps (a
+//! batch whose completions land before an earlier batch's) file into the
+//! right window without any notion of "closing" windows in arrival order.
+//!
+//! The contract that makes the time series trustworthy:
+//!
+//! * **Counters** store per-window *deltas* plus a separately-maintained
+//!   run total; summing the deltas over all windows must reproduce the
+//!   total exactly (asserted by [`TimeSeries`] construction and by the
+//!   crate's tests, not assumed).
+//! * **Histograms** store a per-window `Histogram` plus a run-total
+//!   `Histogram` fed by the same `record` calls; merging the windows
+//!   must equal the total byte-for-byte (`Histogram` is `Eq`, and its
+//!   JSON summary is deterministic).
+//! * **Gauges** are last-writer-wins per window (greatest stamp wins,
+//!   later write breaking ties) and carry forward across empty windows
+//!   in the dense series — a gauge is a level, not a flow.
+//!
+//! Nothing here reads a clock: determinism is inherited from the
+//! producer's virtual time, which is what lets the serving harness emit
+//! byte-identical CSV/JSON series across runs and exec-pool thread
+//! counts.
+
+use gpstream_util::{Histogram, Json};
+use std::collections::BTreeMap;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+#[derive(Debug, Clone)]
+struct Counter {
+    name: String,
+    total: u64,
+    windows: BTreeMap<u64, u64>,
+}
+
+#[derive(Debug, Clone)]
+struct Gauge {
+    name: String,
+    /// Per window: the `(cycle, value)` pair with the greatest stamp.
+    windows: BTreeMap<u64, (u64, u64)>,
+}
+
+#[derive(Debug, Clone)]
+struct Hist {
+    name: String,
+    total: Histogram,
+    windows: BTreeMap<u64, Histogram>,
+}
+
+/// A windowed metrics registry stamped in virtual cycles.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    window_cycles: u64,
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    hists: Vec<Hist>,
+}
+
+impl Telemetry {
+    /// A registry whose tumbling windows are `window_cycles` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is zero.
+    #[must_use]
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "telemetry window must be at least one cycle");
+        Self { window_cycles, counters: Vec::new(), gauges: Vec::new(), hists: Vec::new() }
+    }
+
+    /// Window length in cycles.
+    #[must_use]
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    fn assert_fresh(&self, name: &str) {
+        let taken = self
+            .counters
+            .iter()
+            .map(|c| c.name.as_str())
+            .chain(self.gauges.iter().map(|g| g.name.as_str()))
+            .chain(self.hists.iter().map(|h| h.name.as_str()))
+            .any(|n| n == name);
+        assert!(!taken, "telemetry instrument {name:?} registered twice");
+    }
+
+    /// Register a monotonically accumulating counter.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.assert_fresh(name);
+        self.counters.push(Counter { name: name.to_string(), total: 0, windows: BTreeMap::new() });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a last-writer-wins level gauge.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.assert_fresh(name);
+        self.gauges.push(Gauge { name: name.to_string(), windows: BTreeMap::new() });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register an exact histogram.
+    pub fn hist(&mut self, name: &str) -> HistId {
+        self.assert_fresh(name);
+        self.hists.push(Hist {
+            name: name.to_string(),
+            total: Histogram::new(),
+            windows: BTreeMap::new(),
+        });
+        HistId(self.hists.len() - 1)
+    }
+
+    fn window_of(&self, cycle: u64) -> u64 {
+        cycle / self.window_cycles
+    }
+
+    /// Add `delta` to a counter at virtual cycle `cycle`.
+    pub fn add(&mut self, id: CounterId, cycle: u64, delta: u64) {
+        let w = self.window_of(cycle);
+        let c = &mut self.counters[id.0];
+        c.total += delta;
+        *c.windows.entry(w).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to `value` at virtual cycle `cycle`. Within a window
+    /// the greatest stamp wins; an equal stamp lets the later write win.
+    pub fn set(&mut self, id: GaugeId, cycle: u64, value: u64) {
+        let w = self.window_of(cycle);
+        let g = &mut self.gauges[id.0];
+        let slot = g.windows.entry(w).or_insert((cycle, value));
+        if cycle >= slot.0 {
+            *slot = (cycle, value);
+        }
+    }
+
+    /// Record `value` into a histogram at virtual cycle `cycle`.
+    pub fn observe(&mut self, id: HistId, cycle: u64, value: u64) {
+        let w = self.window_of(cycle);
+        let h = &mut self.hists[id.0];
+        h.total.record(value);
+        h.windows.entry(w).or_default().record(value);
+    }
+
+    /// Run total of a counter.
+    #[must_use]
+    pub fn counter_total(&self, id: CounterId) -> u64 {
+        self.counters[id.0].total
+    }
+
+    /// Run-total histogram (every `observe` merged).
+    #[must_use]
+    pub fn hist_total(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0].total
+    }
+
+    /// Merge every per-window histogram of `id` back together — the
+    /// delta-sum invariant says this equals [`Self::hist_total`].
+    #[must_use]
+    pub fn hist_remerged(&self, id: HistId) -> Histogram {
+        let mut all = Histogram::new();
+        for h in self.hists[id.0].windows.values() {
+            all.merge(h);
+        }
+        all
+    }
+
+    /// Materialize the dense time series: one snapshot per window from 0
+    /// through the last window any instrument touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter's window deltas fail to sum to its run
+    /// total or any histogram's windows fail to re-merge to its run
+    /// total — that would mean the registry itself is broken, and a
+    /// corrupt series must never be exported silently.
+    #[must_use]
+    pub fn series(&self) -> TimeSeries {
+        let last = self
+            .counters
+            .iter()
+            .filter_map(|c| c.windows.keys().next_back())
+            .chain(self.gauges.iter().filter_map(|g| g.windows.keys().next_back()))
+            .chain(self.hists.iter().filter_map(|h| h.windows.keys().next_back()))
+            .copied()
+            .max();
+        let n_windows = last.map_or(0, |l| l + 1);
+
+        let mut windows = Vec::with_capacity(usize::try_from(n_windows).unwrap_or(0));
+        // Gauges carry their last-set value forward across empty windows.
+        let mut gauge_level: Vec<u64> = vec![0; self.gauges.len()];
+        for w in 0..n_windows {
+            let counters: Vec<u64> =
+                self.counters.iter().map(|c| c.windows.get(&w).copied().unwrap_or(0)).collect();
+            for (level, g) in gauge_level.iter_mut().zip(&self.gauges) {
+                if let Some(&(_, v)) = g.windows.get(&w) {
+                    *level = v;
+                }
+            }
+            let hists: Vec<Histogram> =
+                self.hists.iter().map(|h| h.windows.get(&w).cloned().unwrap_or_default()).collect();
+            windows.push(WindowSnapshot {
+                index: w,
+                start_cycle: w * self.window_cycles,
+                end_cycle: (w + 1) * self.window_cycles,
+                counters,
+                gauges: gauge_level.clone(),
+                hists,
+            });
+        }
+
+        for (i, c) in self.counters.iter().enumerate() {
+            let sum: u64 = windows.iter().map(|s| s.counters[i]).sum();
+            assert_eq!(sum, c.total, "counter {} window deltas must sum to run total", c.name);
+        }
+        for (i, h) in self.hists.iter().enumerate() {
+            let mut all = Histogram::new();
+            for s in &windows {
+                all.merge(&s.hists[i]);
+            }
+            assert_eq!(all, h.total, "hist {} windows must re-merge to run total", h.name);
+        }
+
+        TimeSeries {
+            window_cycles: self.window_cycles,
+            counter_names: self.counters.iter().map(|c| c.name.clone()).collect(),
+            gauge_names: self.gauges.iter().map(|g| g.name.clone()).collect(),
+            hist_names: self.hists.iter().map(|h| h.name.clone()).collect(),
+            counter_totals: self.counters.iter().map(|c| c.total).collect(),
+            hist_totals: self.hists.iter().map(|h| h.total.clone()).collect(),
+            windows,
+        }
+    }
+}
+
+/// One tumbling window's worth of metric activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Window index (`start_cycle / window_cycles`).
+    pub index: u64,
+    /// First cycle covered (inclusive).
+    pub start_cycle: u64,
+    /// One past the last cycle covered (exclusive).
+    pub end_cycle: u64,
+    /// Counter deltas within the window, in registration order.
+    pub counters: Vec<u64>,
+    /// Gauge levels as of the window's close (carried forward), in
+    /// registration order.
+    pub gauges: Vec<u64>,
+    /// Histogram of observations within the window, in registration
+    /// order.
+    pub hists: Vec<Histogram>,
+}
+
+/// The dense, exported form of a [`Telemetry`] registry.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Window length in cycles.
+    pub window_cycles: u64,
+    /// Counter names, in registration order.
+    pub counter_names: Vec<String>,
+    /// Gauge names, in registration order.
+    pub gauge_names: Vec<String>,
+    /// Histogram names, in registration order.
+    pub hist_names: Vec<String>,
+    /// Run totals per counter (equal to the window-delta sums).
+    pub counter_totals: Vec<u64>,
+    /// Run-total histograms (equal to the window merges).
+    pub hist_totals: Vec<Histogram>,
+    /// Every window from index 0 through the last active one.
+    pub windows: Vec<WindowSnapshot>,
+}
+
+impl TimeSeries {
+    /// CSV export: one row per window. Counters are per-window deltas,
+    /// gauges are end-of-window levels, histograms expand to
+    /// `count/p50/p99/p999/max` columns.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("window,start_cycle,end_cycle");
+        for n in &self.counter_names {
+            out.push(',');
+            out.push_str(n);
+        }
+        for n in &self.gauge_names {
+            out.push(',');
+            out.push_str(n);
+        }
+        for n in &self.hist_names {
+            for suffix in ["count", "p50", "p99", "p999", "max"] {
+                out.push(',');
+                out.push_str(n);
+                out.push('_');
+                out.push_str(suffix);
+            }
+        }
+        out.push('\n');
+        for w in &self.windows {
+            out.push_str(&format!("{},{},{}", w.index, w.start_cycle, w.end_cycle));
+            for v in &w.counters {
+                out.push_str(&format!(",{v}"));
+            }
+            for v in &w.gauges {
+                out.push_str(&format!(",{v}"));
+            }
+            for h in &w.hists {
+                let (p50, p99, p999) = h.p50_p99_p999();
+                out.push_str(&format!(
+                    ",{},{},{},{},{}",
+                    h.count(),
+                    p50,
+                    p99,
+                    p999,
+                    h.max().unwrap_or(0)
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Canonical one-line JSON document of the full series plus run
+    /// totals, suitable for byte-for-byte determinism comparison.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let names = |ns: &[String]| Json::arr(ns.iter().map(|n| Json::Str(n.clone())));
+        let windows = Json::arr(self.windows.iter().map(|w| {
+            Json::obj([
+                ("window", Json::U64(w.index)),
+                ("start_cycle", Json::U64(w.start_cycle)),
+                ("end_cycle", Json::U64(w.end_cycle)),
+                ("counters", Json::arr(w.counters.iter().map(|&v| Json::U64(v)))),
+                ("gauges", Json::arr(w.gauges.iter().map(|&v| Json::U64(v)))),
+                ("hists", Json::arr(w.hists.iter().map(Histogram::summary_json))),
+            ])
+        }));
+        Json::obj([
+            ("window_cycles", Json::U64(self.window_cycles)),
+            ("counters", names(&self.counter_names)),
+            ("gauges", names(&self.gauge_names)),
+            ("hists", names(&self.hist_names)),
+            (
+                "totals",
+                Json::obj([
+                    ("counters", Json::arr(self.counter_totals.iter().map(|&v| Json::U64(v)))),
+                    ("hists", Json::arr(self.hist_totals.iter().map(Histogram::summary_json))),
+                ]),
+            ),
+            ("windows", windows),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpstream_util::check::run_cases;
+
+    #[test]
+    fn counter_deltas_sum_to_total() {
+        let mut t = Telemetry::new(100);
+        let c = t.counter("jobs");
+        t.add(c, 5, 1);
+        t.add(c, 99, 2);
+        t.add(c, 100, 3); // next window
+        t.add(c, 950, 4);
+        let s = t.series();
+        assert_eq!(s.windows.len(), 10);
+        assert_eq!(s.windows[0].counters[0], 3);
+        assert_eq!(s.windows[1].counters[0], 3);
+        assert_eq!(s.windows[9].counters[0], 4);
+        assert_eq!(s.counter_totals[0], 10);
+        assert_eq!(s.windows.iter().map(|w| w.counters[0]).sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn gauges_carry_forward_and_last_stamp_wins() {
+        let mut t = Telemetry::new(10);
+        let g = t.gauge("pending");
+        t.set(g, 25, 7); // window 2
+        t.set(g, 21, 3); // earlier stamp in same window loses
+        t.set(g, 25, 9); // equal stamp: later write wins
+        t.set(g, 55, 1); // window 5
+        let s = t.series();
+        let levels: Vec<u64> = s.windows.iter().map(|w| w.gauges[0]).collect();
+        assert_eq!(levels, [0, 0, 9, 9, 9, 1]);
+    }
+
+    #[test]
+    fn out_of_order_stamps_file_into_their_windows() {
+        let mut t = Telemetry::new(50);
+        let c = t.counter("done");
+        let h = t.hist("lat");
+        // Completions land in reverse cycle order, as batched service
+        // can produce.
+        for cycle in [160u64, 40, 90, 10] {
+            t.add(c, cycle, 1);
+            t.observe(h, cycle, cycle);
+        }
+        let s = t.series();
+        let per_window: Vec<u64> = s.windows.iter().map(|w| w.counters[0]).collect();
+        assert_eq!(per_window, [2, 1, 0, 1]);
+        assert_eq!(s.windows[0].hists[0].max(), Some(40));
+        assert_eq!(t.hist_remerged(h), *t.hist_total(h));
+    }
+
+    #[test]
+    fn empty_registry_series_is_empty() {
+        let mut t = Telemetry::new(64);
+        let _ = t.counter("never");
+        let s = t.series();
+        assert!(s.windows.is_empty());
+        assert_eq!(s.counter_totals, [0]);
+        assert_eq!(s.to_csv(), "window,start_cycle,end_cycle,never\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_names_are_rejected() {
+        let mut t = Telemetry::new(1);
+        let _ = t.counter("x");
+        let _ = t.hist("x");
+    }
+
+    #[test]
+    fn csv_and_json_are_deterministic_and_shaped() {
+        let mut t = Telemetry::new(100);
+        let c = t.counter("admits");
+        let g = t.gauge("depth");
+        let h = t.hist("latency");
+        t.add(c, 10, 2);
+        t.set(g, 150, 4);
+        t.observe(h, 160, 900);
+        t.observe(h, 170, 1100);
+        let s = t.series();
+        let csv = s.to_csv();
+        assert!(csv.starts_with(
+            "window,start_cycle,end_cycle,admits,depth,latency_count,latency_p50,latency_p99,latency_p999,latency_max\n"
+        ));
+        assert!(csv.contains("\n0,0,100,2,0,0,0,0,0,0\n"));
+        assert!(csv.contains("\n1,100,200,0,4,2,900,1100,1100,1100\n"));
+        let doc = s.to_json().to_doc_string();
+        assert_eq!(doc, t.series().to_json().to_doc_string());
+        assert!(doc.contains("\"window_cycles\":100"));
+        let parsed = Json::parse(&doc).expect("series JSON must parse");
+        assert_eq!(
+            parsed
+                .get("totals")
+                .and_then(|t| t.get("counters"))
+                .and_then(|a| a.as_arr())
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn windowed_hists_remerge_to_run_total_randomly() {
+        // The crate-level invariant on random workloads: per-window
+        // histograms merged back together equal the histogram fed by
+        // the same observations, byte-identically (Histogram is Eq and
+        // its summary JSON is value-determined).
+        run_cases("telemetry-remerge", 0x6a79_2005, 64, |rng| {
+            let window = 1 + rng.below(1000);
+            let mut t = Telemetry::new(window);
+            let h = t.hist("lat");
+            let c = t.counter("events");
+            let mut expect = Histogram::new();
+            for _ in 0..rng.range_usize_inclusive(0, 500) {
+                let cycle = rng.below(1 << 20);
+                let v = rng.below(5000);
+                t.observe(h, cycle, v);
+                t.add(c, cycle, 1);
+                expect.record(v);
+            }
+            assert_eq!(t.hist_remerged(h), expect);
+            assert_eq!(*t.hist_total(h), expect);
+            let s = t.series(); // internally asserts delta-sum invariants
+            assert_eq!(s.counter_totals[0], expect.count());
+            assert_eq!(s.to_json().to_doc_string(), t.series().to_json().to_doc_string());
+        });
+    }
+}

@@ -231,6 +231,47 @@ mod tests {
     }
 
     #[test]
+    fn merged_shard_quantiles_match_pooled_sorted_reference() {
+        // The windowed telemetry registry keeps one histogram per
+        // tumbling window and re-merges them into the run total; the
+        // merged order statistics must be *exactly* those of pooling
+        // every raw sample and sorting — no drift, any shard count.
+        run_cases("hist-merge-quantiles", 0x6a79_2005, 96, |rng| {
+            let shards = rng.range_usize_inclusive(1, 12);
+            let bound = *[5u64, 60, 4000].get(rng.below_usize(3)).unwrap();
+            let mut merged = Histogram::new();
+            let mut pooled = Vec::new();
+            for _ in 0..shards {
+                let mut shard = Histogram::new();
+                for _ in 0..rng.range_usize_inclusive(0, 80) {
+                    let v = rng.below(bound);
+                    shard.record(v);
+                    pooled.push(v);
+                }
+                merged.merge(&shard);
+            }
+            pooled.sort_unstable();
+            assert_eq!(merged.count(), pooled.len() as u64);
+            if pooled.is_empty() {
+                assert_eq!(merged.quantile(0.5), None);
+                return;
+            }
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    merged.quantile(q),
+                    Some(sorted_quantile(&pooled, q)),
+                    "q={q} shards={shards} n={}",
+                    pooled.len()
+                );
+            }
+            for _ in 0..8 {
+                let q = rng.f64();
+                assert_eq!(merged.quantile(q), Some(sorted_quantile(&pooled, q)), "q={q}");
+            }
+        });
+    }
+
+    #[test]
     fn summary_json_is_deterministic() {
         let mut h = Histogram::new();
         for v in [5u64, 1, 9, 5, 7] {

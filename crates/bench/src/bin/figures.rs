@@ -10,10 +10,12 @@
 //! figures scale [WORKLOAD] [--max N] [--out FILE] [--fast-sim]
 //! figures diff A.json B.json [--strict]
 //! figures simspeed [--reps N] [--out FILE] [--check]
+//! figures servespeed [--reps N] [--out FILE] [--check]
 //! figures serve [WORKLOAD] [--jobs N] [--rate R] [--tenants T] [--workers W]
 //!               [--ctx C] [--seed S] [--unbounded] [--ablation] [--out FILE]
 //!               [--slo] [--slo-latency CYC[,CYC..]] [--slo-objective F]
 //!               [--window CYC] [--trace FILE] [--timeseries FILE]
+//!               [--sketch] [--sketch-gamma G] [--span-cap N] [--quiet]
 //! figures --list
 //! ```
 //!
@@ -121,6 +123,29 @@
 //! tenant and per worker; `--timeseries FILE` writes the per-window
 //! counter/gauge/histogram series as CSV. All of it is byte-identical
 //! for a fixed seed and config.
+//!
+//! `--sketch` switches the run to bounded memory for 10⁶–10⁷-job
+//! traces: latency quantiles come from a mergeable log-bucketed sketch
+//! (relative error ≤ `--sketch-gamma`, default 1%; the artifact
+//! records the estimator kind and its bound), registry windows stream
+//! out and are evicted as virtual time passes them, and only a
+//! deterministic 1-in-stride record sample is kept for the functional
+//! replay — memory is O(pending + open windows), independent of
+//! `--jobs`. Exact mode refuses more than 200 000 jobs and points
+//! here. The span buffer is always bounded (`--span-cap`, default
+//! 262144 events); overflow drops spans, counts them in the artifact's
+//! `spans_dropped`, and warns on stderr. Long runs print a stderr
+//! heartbeat every ~10% of jobs when stderr is a TTY; `--quiet`
+//! silences it. None of this changes artifact bytes.
+//!
+//! `servespeed` measures the serving harness itself: offered jobs
+//! scheduled and aggregated per wall-clock second through the full
+//! virtual pipeline (lazy arrivals, admission, fair-share batching,
+//! sketch estimators, streaming registry, SLO accounting, bounded
+//! spans) — the functional replay excluded. `--reps N` takes the best
+//! of N timed runs per workload (default 3), `--out FILE` writes the
+//! table as a canonical JSON artifact, and `--check` exits non-zero
+//! below a conservative jobs/s floor (the CI regression gate).
 //!
 //! `simspeed` measures the simulator itself: simulated cycles per
 //! wall-clock second for the cycle-stepped vs event-driven engines on
@@ -616,6 +641,7 @@ fn serve_main(args: &[String]) -> ! {
     let mut out_file: Option<String> = None;
     let mut ablation = false;
     let mut slo = false;
+    let mut quiet = false;
     let mut trace_file: Option<String> = None;
     let mut timeseries_file: Option<String> = None;
     let usage = |msg: &str| -> ! {
@@ -624,7 +650,8 @@ fn serve_main(args: &[String]) -> ! {
             "usage: figures serve [WORKLOAD] [--jobs N] [--rate R] [--tenants T] \
              [--workers W] [--ctx C] [--seed S] [--unbounded] [--ablation] [--out FILE] \
              [--slo] [--slo-latency CYC[,CYC..]] [--slo-objective F] [--window CYC] \
-             [--trace FILE] [--timeseries FILE]"
+             [--trace FILE] [--timeseries FILE] [--sketch] [--sketch-gamma G] \
+             [--span-cap N] [--quiet]"
         );
         eprintln!("workloads: {}", gpstream_serve::WORKLOADS.join(" "));
         std::process::exit(2);
@@ -718,6 +745,24 @@ fn serve_main(args: &[String]) -> ! {
                     usage("--window needs a positive cycle count");
                 }
             }
+            "--sketch" => cfg.sketch = true,
+            "--sketch-gamma" => {
+                cfg.sketch_gamma = value(&mut i, "--sketch-gamma")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--sketch-gamma needs a number"));
+                if !(cfg.sketch_gamma > 0.0 && cfg.sketch_gamma < 1.0) {
+                    usage("--sketch-gamma needs a fraction strictly between 0 and 1");
+                }
+            }
+            "--span-cap" => {
+                cfg.span_capacity = value(&mut i, "--span-cap")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--span-cap needs an event count"));
+                if cfg.span_capacity == 0 {
+                    usage("--span-cap needs a positive event count");
+                }
+            }
+            "--quiet" => quiet = true,
             "--trace" => trace_file = Some(value(&mut i, "--trace")),
             "--timeseries" => timeseries_file = Some(value(&mut i, "--timeseries")),
             "--out" => out_file = Some(value(&mut i, "--out")),
@@ -736,6 +781,18 @@ fn serve_main(args: &[String]) -> ! {
             cfg.tenants
         ));
     }
+    if !cfg.sketch && cfg.jobs > gpstream_serve::EXACT_MODE_MAX_JOBS {
+        usage(&format!(
+            "--jobs {} exceeds the exact-mode limit of {} (exact quantiles keep every \
+             distinct latency and every record in memory); rerun with --sketch for \
+             bounded-memory estimators",
+            cfg.jobs,
+            gpstream_serve::EXACT_MODE_MAX_JOBS
+        ));
+    }
+    // Progress heartbeat: stderr-only, so it can never perturb an
+    // artifact; auto-off when stderr is not a terminal (CI logs).
+    cfg.progress = !quiet && std::io::IsTerminal::is_terminal(&std::io::stderr());
     if ablation {
         let Some((bounded, unbounded)) = gpstream_serve::ablation(&cfg) else {
             usage(&format!("unknown workload `{}`", cfg.workload))
@@ -769,6 +826,12 @@ fn serve_main(args: &[String]) -> ! {
         usage(&format!("unknown workload `{}`", cfg.workload))
     };
     print!("{}", outcome.text);
+    if outcome.telemetry.spans_dropped > 0 {
+        eprintln!(
+            "warning: span buffer full — dropped {} span events (raise --span-cap to keep more)",
+            outcome.telemetry.spans_dropped
+        );
+    }
     if let Some(path) = &out_file {
         // `--slo` switches the `--out` artifact from the latency summary
         // to the windowed SLO burn-rate document (`figures diff` reads
@@ -850,6 +913,74 @@ fn simspeed_main(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// Conservative `figures servespeed --check` floor in offered jobs per
+/// wall-clock second. The release build schedules+aggregates well over
+/// 10^6 jobs/s per workload on commodity hardware; 50k/s catches an
+/// order-of-magnitude regression without flaking on slow CI runners.
+const SERVESPEED_FLOOR_JOBS_PER_SEC: f64 = 50_000.0;
+
+/// `figures servespeed` subcommand. Exits the process: 0 on success, 1
+/// when `--check` finds a workload under the jobs/s floor, 2 on usage
+/// errors.
+fn servespeed_main(args: &[String]) -> ! {
+    let mut reps: u32 = 3;
+    let mut out_file: Option<String> = None;
+    let mut check = false;
+    let usage = |msg: &str| -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: figures servespeed [--reps N] [--out FILE] [--check]");
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--reps needs a positive number"));
+                if reps == 0 {
+                    usage("--reps needs a positive number");
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_file =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--out needs a file path")));
+            }
+            "--check" => check = true,
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    let rows = fig::servespeed::default_rows(reps);
+    print!("{}", fig::servespeed::render(&rows));
+    if let Some(path) = &out_file {
+        let doc = fig::servespeed::to_json(&rows).to_doc_string();
+        std::fs::write(path, doc).expect("write servespeed JSON");
+        println!("wrote throughput table to {path}");
+    }
+    if check {
+        let worst = rows
+            .iter()
+            .map(fig::servespeed::ServeSpeedRow::jobs_per_sec)
+            .fold(f64::INFINITY, f64::min);
+        if worst < SERVESPEED_FLOOR_JOBS_PER_SEC {
+            eprintln!(
+                "servespeed check FAILED: worst throughput {worst:.0} jobs/s \
+                 < {SERVESPEED_FLOOR_JOBS_PER_SEC:.0} jobs/s floor"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "servespeed check passed: worst throughput {worst:.0} jobs/s \
+             >= {SERVESPEED_FLOOR_JOBS_PER_SEC:.0} jobs/s floor"
+        );
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
@@ -858,6 +989,7 @@ fn main() {
         Some("scale") => scale_main(&raw[1..]),
         Some("diff") => diff_main(&raw[1..]),
         Some("simspeed") => simspeed_main(&raw[1..]),
+        Some("servespeed") => servespeed_main(&raw[1..]),
         Some("serve") => serve_main(&raw[1..]),
         _ => {}
     }

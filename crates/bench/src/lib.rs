@@ -22,6 +22,7 @@ use gpstream_tune::{workloads as tune_workloads, EvalCache, TuneOutcome, Tuner};
 
 pub mod profiling;
 pub mod scale;
+pub mod servespeed;
 
 /// Default seed for every figure (results are fully deterministic).
 pub const SEED: u64 = 0x6a79_2005;

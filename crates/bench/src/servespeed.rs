@@ -1,0 +1,156 @@
+//! Serve-speed probe: wall-clock throughput of the serving harness's
+//! virtual pipeline.
+//!
+//! `figures serve` artifacts are measured in *simulated* cycles; this
+//! probe measures how fast the harness itself chews through offered
+//! jobs — lazy arrival generation, admission, weighted-fair batching,
+//! and the full streaming aggregation plane (latency estimators,
+//! windowed registry, SLO accounting, bounded span buffer) — in
+//! offered jobs per wall-clock second. The functional replay is
+//! excluded on purpose: it scales with pool threads, not with the
+//! scheduler, and the 10⁶–10⁷-job story lives entirely on the virtual
+//! side ([`gpstream_serve::schedule_service`]).
+//!
+//! Rows run in sketch mode, the bounded-memory configuration the big
+//! runs require; a run's stats are asserted against a second identical
+//! run so a timing rep can never drift the schedule.
+
+use gpstream_serve::{build_table, schedule_service, ServeConfig};
+use gpstream_util::Json;
+use std::time::Instant;
+
+/// One workload's serving-throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ServeSpeedRow {
+    /// Workload name.
+    pub workload: String,
+    /// Offered jobs per measured run.
+    pub jobs: u64,
+    /// Jobs completed by the schedule (identical across reps; asserted).
+    pub completed: u64,
+    /// Best-of-reps wall nanoseconds for the full virtual pipeline.
+    pub wall_ns: u64,
+}
+
+impl ServeSpeedRow {
+    /// Offered jobs scheduled and aggregated per wall-clock second.
+    #[must_use]
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.jobs as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+/// Measure one config: time `reps` full `schedule_service` runs (table
+/// built once, outside the timer) and keep the best.
+///
+/// # Panics
+///
+/// Panics if the workload is unknown, `reps` is zero, or two reps
+/// disagree on scheduler stats (determinism broken).
+#[must_use]
+pub fn measure(cfg: &ServeConfig, reps: u32) -> ServeSpeedRow {
+    assert!(reps > 0, "need at least one rep");
+    let table = build_table(&cfg.workload, cfg.ctx).expect("known workload");
+    let mut best = u64::MAX;
+    let mut stats = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let run = schedule_service(cfg, &table);
+        let dt = t0.elapsed().as_nanos() as u64;
+        best = best.min(dt.max(1));
+        match &stats {
+            None => stats = Some(run.stats),
+            Some(first) => assert_eq!(
+                *first, run.stats,
+                "{}: reps disagree on scheduler stats — determinism broken",
+                cfg.workload
+            ),
+        }
+    }
+    let stats = stats.expect("at least one rep ran");
+    ServeSpeedRow {
+        workload: cfg.workload.clone(),
+        jobs: cfg.jobs as u64,
+        completed: stats.completed,
+        wall_ns: best,
+    }
+}
+
+/// The report's probe configs: 50 000 jobs in sketch mode on the mixed
+/// and `ldstcomp` workloads at the committed default shape (4 tenants,
+/// 2 workers, bounded admission), offered at 4× the default rate so
+/// the scheduler works through real queueing, not an idle trickle.
+#[must_use]
+pub fn default_rows(reps: u32) -> Vec<ServeSpeedRow> {
+    ["mix", "ldstcomp"]
+        .iter()
+        .map(|w| {
+            let mut cfg = ServeConfig::new(w);
+            cfg.jobs = 50_000;
+            cfg.rate = 2_000.0;
+            cfg.sketch = true;
+            measure(&cfg, reps)
+        })
+        .collect()
+}
+
+/// Render the throughput table as aligned text.
+#[must_use]
+pub fn render(rows: &[ServeSpeedRow]) -> String {
+    let mut out = String::new();
+    out.push_str("serve speed: offered jobs scheduled+aggregated per wall-clock second\n\n");
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>12} {:>14}\n",
+        "workload", "jobs", "completed", "wall ms", "jobs/s"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>10} {:>12.2} {:>14.3e}\n",
+            r.workload,
+            r.jobs,
+            r.completed,
+            r.wall_ns as f64 / 1e6,
+            r.jobs_per_sec()
+        ));
+    }
+    out
+}
+
+/// Canonical JSON form of the throughput table (uploaded as a CI
+/// artifact).
+#[must_use]
+pub fn to_json(rows: &[ServeSpeedRow]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("workload", Json::Str(r.workload.clone())),
+            ("jobs", Json::U64(r.jobs)),
+            ("completed", Json::U64(r.completed)),
+            ("wall_ns", Json::U64(r.wall_ns)),
+            ("jobs_per_sec", Json::F64(r.jobs_per_sec())),
+        ])
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_is_deterministic_and_renders() {
+        let mut cfg = ServeConfig::new("ldstcomp");
+        cfg.jobs = 2_000;
+        cfg.rate = 2_000.0;
+        cfg.sketch = true;
+        let row = measure(&cfg, 2);
+        assert_eq!(row.jobs, 2_000);
+        assert!(row.completed > 0);
+        assert!(row.wall_ns > 0);
+        let table = render(std::slice::from_ref(&row));
+        assert!(table.contains("ldstcomp"));
+        let doc = to_json(&[row]).to_doc_string();
+        assert!(doc.contains("\"jobs_per_sec\""));
+    }
+}

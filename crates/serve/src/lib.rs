@@ -45,14 +45,18 @@ pub mod telemetry;
 
 pub use exec::ExecSummary;
 pub use job::{build_table, VariantTable, WORKLOADS};
-pub use load::{LoadConfig, OfferedJob};
-pub use report::{artifact_json, render, summarize, LatencySummary, TenantLatency};
-pub use sched::{
-    schedule, schedule_with, JobRecord, Outcome, SchedConfig, SchedObserver, SchedStats,
+pub use load::{Arrivals, LoadConfig, OfferedJob};
+pub use report::{
+    artifact_json, render, summarize, LatencyObserver, LatencySummary, TenantLatency,
 };
-pub use telemetry::{ServeTelemetry, TelemetryOutcome};
+pub use sched::{
+    schedule, schedule_stream, schedule_with, JobRecord, Outcome, SchedConfig, SchedObserver,
+    SchedStats,
+};
+pub use telemetry::{SeriesExport, ServeTelemetry, TelemetryOutcome, DEFAULT_SPAN_CAPACITY};
 
 use gpstream_telemetry::SloTarget;
+use gpstream_util::Estimator;
 
 use gpstream_machine::WaitPolicy;
 use gpstream_microbench::spinwait;
@@ -60,6 +64,13 @@ use std::sync::Arc;
 
 /// Default RNG seed (the paper's venue, MICRO 2005).
 pub const DEFAULT_SEED: u64 = 0x6a79_2005;
+
+/// Most offered jobs exact mode will accept. Exact estimators keep
+/// per-distinct-value state and exact mode materializes every record
+/// for the functional replay, so memory grows with the job count; past
+/// this point a run must opt into bounded memory with sketch mode
+/// ([`ServeConfig::sketch`], `figures serve --sketch`).
+pub const EXACT_MODE_MAX_JOBS: usize = 200_000;
 
 /// Full configuration of one serving run. Zero/empty means "derive the
 /// default" for the fields documented as such.
@@ -105,6 +116,22 @@ pub struct ServeConfig {
     /// Telemetry/SLO tumbling-window length in cycles; 0 derives
     /// roughly 48 windows across the offered trace.
     pub window_cycles: u64,
+    /// Bounded-memory mode: sketch quantile estimators, streaming
+    /// (evict-as-you-go) registry windows, sampled record keeping.
+    /// Required above [`EXACT_MODE_MAX_JOBS`] offered jobs.
+    pub sketch: bool,
+    /// Sketch relative-error bound γ; 0 derives
+    /// [`gpstream_util::sketch::DEFAULT_GAMMA`] (1%). The estimator
+    /// rounds it down to the next power of two.
+    pub sketch_gamma: f64,
+    /// Span-trace buffer capacity in events; 0 derives
+    /// [`DEFAULT_SPAN_CAPACITY`]. Overflow drops spans and counts them
+    /// (`spans_dropped`), never grows the buffer.
+    pub span_capacity: usize,
+    /// Print a stderr progress heartbeat (roughly every 10% of offered
+    /// jobs). Never affects artifacts; the CLI enables it only on a
+    /// TTY and without `--quiet`.
+    pub progress: bool,
 }
 
 impl ServeConfig {
@@ -131,6 +158,10 @@ impl ServeConfig {
             slo_latency: Vec::new(),
             slo_objective: 0.0,
             window_cycles: 0,
+            sketch: false,
+            sketch_gamma: 0.0,
+            span_capacity: 0,
+            progress: false,
         }
     }
 
@@ -235,42 +266,209 @@ impl ServeConfig {
         let gap = self.mean_interarrival_cycles();
         (self.jobs as u64 * gap / 48).max(gap).max(1)
     }
+
+    /// The sketch relative-error bound actually used (1% when unset).
+    #[must_use]
+    pub fn effective_sketch_gamma(&self) -> f64 {
+        if self.sketch_gamma == 0.0 {
+            gpstream_util::sketch::DEFAULT_GAMMA
+        } else {
+            self.sketch_gamma
+        }
+    }
+
+    /// The span-trace capacity actually used, in events.
+    #[must_use]
+    pub fn effective_span_capacity(&self) -> usize {
+        if self.span_capacity == 0 {
+            DEFAULT_SPAN_CAPACITY
+        } else {
+            self.span_capacity
+        }
+    }
+
+    /// The latency-estimator template this config aggregates with: an
+    /// exact histogram, or a sketch with the configured error bound.
+    #[must_use]
+    pub fn estimator_template(&self) -> Estimator {
+        if self.sketch {
+            Estimator::new_sketch(self.effective_sketch_gamma())
+        } else {
+            Estimator::new_exact()
+        }
+    }
+
+    /// Record-keeping stride: exact mode keeps every record; sketch
+    /// mode keeps a deterministic 1-in-stride sample by job id (~1024
+    /// records) for the functional replay and spot checks.
+    #[must_use]
+    pub fn record_stride(&self) -> usize {
+        if self.sketch {
+            (self.jobs / 1024).max(1)
+        } else {
+            1
+        }
+    }
 }
 
-/// Everything one serving run produced.
-pub struct ServiceOutcome {
-    /// The config the run used (defaults resolved where applicable).
-    pub cfg: ServeConfig,
-    /// The variant table jobs were drawn from.
-    pub table: Arc<VariantTable>,
+/// Fans scheduler callbacks out to several observers, in order.
+struct FanObserver<'a> {
+    obs: Vec<&'a mut dyn SchedObserver>,
+}
+
+impl SchedObserver for FanObserver<'_> {
+    fn on_arrival(&mut self, now: u64, job: &OfferedJob, attempt: u32) {
+        for o in &mut self.obs {
+            o.on_arrival(now, job, attempt);
+        }
+    }
+    fn on_reject(&mut self, now: u64, job: &OfferedJob, attempt: u32, final_reject: bool) {
+        for o in &mut self.obs {
+            o.on_reject(now, job, attempt, final_reject);
+        }
+    }
+    fn on_admit(&mut self, now: u64, job: &OfferedJob, attempt: u32, pending: usize) {
+        for o in &mut self.obs {
+            o.on_admit(now, job, attempt, pending);
+        }
+    }
+    fn on_dispatch(
+        &mut self,
+        now: u64,
+        worker: usize,
+        tenant: usize,
+        batch: usize,
+        dispatch_cycles: u64,
+        pending: usize,
+    ) {
+        for o in &mut self.obs {
+            o.on_dispatch(now, worker, tenant, batch, dispatch_cycles, pending);
+        }
+    }
+    fn on_complete(&mut self, rec: &JobRecord) {
+        for o in &mut self.obs {
+            o.on_complete(rec);
+        }
+    }
+    fn on_rejected(&mut self, rec: &JobRecord) {
+        for o in &mut self.obs {
+            o.on_rejected(rec);
+        }
+    }
+}
+
+/// Keeps a deterministic 1-in-`stride` sample of resolved records by
+/// job id (stride 1 keeps everything). Records retire in completion
+/// order; the sample is re-sorted by id at the end because downstream
+/// consumers (the functional replay's exactly-once bookkeeping) expect
+/// id order.
+struct RecordKeeper {
+    stride: usize,
+    records: Vec<JobRecord>,
+}
+
+impl RecordKeeper {
+    fn new(stride: usize) -> Self {
+        assert!(stride > 0, "record stride must be positive");
+        Self { stride, records: Vec::new() }
+    }
+
+    fn keep(&mut self, rec: &JobRecord) {
+        if rec.id.is_multiple_of(self.stride) {
+            self.records.push(*rec);
+        }
+    }
+
+    fn into_records(mut self) -> Vec<JobRecord> {
+        self.records.sort_unstable_by_key(|r| r.id);
+        self.records
+    }
+}
+
+impl SchedObserver for RecordKeeper {
+    fn on_complete(&mut self, rec: &JobRecord) {
+        self.keep(rec);
+    }
+    fn on_rejected(&mut self, rec: &JobRecord) {
+        self.keep(rec);
+    }
+}
+
+/// A stderr progress heartbeat: one line roughly every 10% of offered
+/// jobs. Writes only to stderr, so it can never perturb an artifact.
+struct Heartbeat {
+    enabled: bool,
+    total: u64,
+    resolved: u64,
+    step: u64,
+    next_mark: u64,
+}
+
+impl Heartbeat {
+    fn new(enabled: bool, total: u64) -> Self {
+        let step = (total / 10).max(1);
+        Self { enabled, total, resolved: 0, step, next_mark: step }
+    }
+
+    fn tick(&mut self) {
+        self.resolved += 1;
+        if self.enabled && self.resolved >= self.next_mark {
+            eprintln!("serve: {}/{} jobs resolved", self.resolved, self.total);
+            self.next_mark += self.step;
+        }
+    }
+}
+
+impl SchedObserver for Heartbeat {
+    fn on_complete(&mut self, _rec: &JobRecord) {
+        self.tick();
+    }
+    fn on_rejected(&mut self, _rec: &JobRecord) {
+        self.tick();
+    }
+}
+
+/// The virtual half of one serving run: the schedule and every
+/// aggregate derived from it, but no functional replay yet.
+pub struct ScheduledService {
     /// Dispatch overhead charged per batch (measured MWAIT wake-up).
     pub dispatch_cycles: u64,
-    /// Every offered job's fate.
+    /// Kept records, sorted by id — every offered job in exact mode, a
+    /// deterministic 1-in-stride sample in sketch mode.
     pub records: Vec<JobRecord>,
     /// Scheduler counters.
     pub stats: SchedStats,
-    /// The three latency histograms.
+    /// The three latency distributions (exact or sketched per config).
     pub summary: LatencySummary,
-    /// What the execution pool did (oracle-checked, exactly-once).
-    pub exec: ExecSummary,
-    /// The `latency` artifact document (single line + newline).
-    pub artifact: String,
-    /// Human-readable summary.
-    pub text: String,
-    /// The telemetry plane's view: windowed time series, SLO burn
-    /// rates, span trace. Same determinism contract as `artifact`.
+    /// The telemetry plane's view of the run.
     pub telemetry: TelemetryOutcome,
 }
 
-/// Run the full service pipeline. Returns `None` for an unknown
-/// workload name.
+/// Schedule `cfg`'s offered load against an already-built variant
+/// table, streaming every job through the aggregation plane: arrivals
+/// are drawn lazily, records retire into latency estimators, windowed
+/// metrics, SLO accounting and the bounded span buffer as they
+/// resolve. Memory is O(pending + open windows + span capacity +
+/// kept records) — in sketch mode that is independent of the job
+/// count.
 ///
-/// The artifact depends only on `(cfg minus exec_pool_threads)` — it is
-/// byte-identical across runs and across pool thread counts.
+/// This is also the entry point `figures servespeed` times: the whole
+/// virtual pipeline without the functional replay.
+///
+/// # Panics
+///
+/// Panics if `cfg.jobs` exceeds [`EXACT_MODE_MAX_JOBS`] without
+/// `cfg.sketch` — exact mode materializes per-value and per-record
+/// state, which is exactly what sketch mode exists to avoid.
 #[must_use]
-pub fn run_service(cfg: &ServeConfig) -> Option<ServiceOutcome> {
-    let table = Arc::new(build_table(&cfg.workload, cfg.ctx)?);
-    let offered = load::generate(&LoadConfig {
+pub fn schedule_service(cfg: &ServeConfig, table: &VariantTable) -> ScheduledService {
+    assert!(
+        cfg.sketch || cfg.jobs <= EXACT_MODE_MAX_JOBS,
+        "exact mode keeps every record and every distinct latency for {} jobs; \
+         runs above {EXACT_MODE_MAX_JOBS} must use sketch mode (--sketch)",
+        cfg.jobs,
+    );
+    let arrivals = Arrivals::new(&LoadConfig {
         jobs: cfg.jobs,
         mean_interarrival: cfg.mean_interarrival_cycles(),
         tenants: cfg.tenants,
@@ -303,14 +501,76 @@ pub fn run_service(cfg: &ServeConfig) -> Option<ServiceOutcome> {
         .into_iter()
         .map(|cycles| SloTarget::new(cycles, objective))
         .collect();
-    let mut watcher =
-        ServeTelemetry::new(cfg.effective_window_cycles(), cfg.tenants, cfg.workers, &targets);
-    let (records, stats) =
-        sched::schedule_with(&offered, &table.service_cycles(), &sched_cfg, &mut watcher);
-    let summary = summarize(&records, cfg.tenants);
+    let sketch_gamma = cfg.sketch.then(|| cfg.effective_sketch_gamma());
+    let mut watcher = ServeTelemetry::new(
+        cfg.effective_window_cycles(),
+        cfg.tenants,
+        cfg.workers,
+        &targets,
+        sketch_gamma,
+        cfg.effective_span_capacity(),
+    );
+    let mut latency = LatencyObserver::new(cfg.tenants, &cfg.estimator_template());
+    let mut keeper = RecordKeeper::new(cfg.record_stride());
+    let mut heartbeat = Heartbeat::new(cfg.progress, cfg.jobs as u64);
+    let stats = {
+        let mut fan =
+            FanObserver { obs: vec![&mut watcher, &mut latency, &mut keeper, &mut heartbeat] };
+        sched::schedule_stream(arrivals, &table.service_cycles(), &sched_cfg, &mut fan)
+    };
+    ScheduledService {
+        dispatch_cycles,
+        records: keeper.into_records(),
+        stats,
+        summary: latency.into_summary(),
+        telemetry: watcher.finish(cfg),
+    }
+}
+
+/// Everything one serving run produced.
+pub struct ServiceOutcome {
+    /// The config the run used (defaults resolved where applicable).
+    pub cfg: ServeConfig,
+    /// The variant table jobs were drawn from.
+    pub table: Arc<VariantTable>,
+    /// Dispatch overhead charged per batch (measured MWAIT wake-up).
+    pub dispatch_cycles: u64,
+    /// Kept records, sorted by id — every offered job in exact mode, a
+    /// deterministic 1-in-stride sample by id in sketch mode.
+    pub records: Vec<JobRecord>,
+    /// Scheduler counters.
+    pub stats: SchedStats,
+    /// The three latency distributions (exact or sketched per config).
+    pub summary: LatencySummary,
+    /// What the execution pool did (oracle-checked, exactly-once) with
+    /// the kept records.
+    pub exec: ExecSummary,
+    /// The `latency` artifact document (single line + newline).
+    pub artifact: String,
+    /// Human-readable summary.
+    pub text: String,
+    /// The telemetry plane's view: windowed time series, SLO burn
+    /// rates, span trace. Same determinism contract as `artifact`.
+    pub telemetry: TelemetryOutcome,
+}
+
+/// Run the full service pipeline. Returns `None` for an unknown
+/// workload name.
+///
+/// The artifact depends only on `(cfg minus exec_pool_threads)` — it is
+/// byte-identical across runs and across pool thread counts.
+///
+/// # Panics
+///
+/// Panics if `cfg.jobs` exceeds [`EXACT_MODE_MAX_JOBS`] without
+/// `cfg.sketch` (see [`schedule_service`]).
+#[must_use]
+pub fn run_service(cfg: &ServeConfig) -> Option<ServiceOutcome> {
+    let table = Arc::new(build_table(&cfg.workload, cfg.ctx)?);
+    let scheduled = schedule_service(cfg, &table);
+    let ScheduledService { dispatch_cycles, records, stats, summary, telemetry } = scheduled;
     let exec = exec::execute(&table, &records, cfg.exec_pool_threads.max(1));
-    let artifact = artifact_json(cfg, &stats, &summary).to_doc_string();
-    let telemetry = watcher.finish(cfg, &records);
+    let artifact = artifact_json(cfg, &stats, &summary, telemetry.spans_dropped).to_doc_string();
     let mut text = render(cfg, &stats, &summary);
     text.push_str(&telemetry.slo.render());
     Some(ServiceOutcome {

@@ -98,6 +98,78 @@ fn pick_tenant(rng: &mut Rng64, shares: &[u64], total: u64) -> usize {
     unreachable!("shares sum to total")
 }
 
+/// A lazy arrival stream: each `next()` draws one job, so a 10⁷-job
+/// trace costs O(1) memory instead of a materialized `Vec<OfferedJob>`.
+/// The draw sequence is identical to [`generate`] (which is now just
+/// `Arrivals::new(cfg).collect()`), so streaming and materialized runs
+/// see byte-identical traces.
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    rng: Rng64,
+    now: u64,
+    next_id: usize,
+    jobs: usize,
+    mean_interarrival: u64,
+    arrival_shares: Vec<u64>,
+    share_total: u64,
+    variants: usize,
+}
+
+impl Arrivals {
+    /// A lazy arrival stream over `cfg`'s Poisson process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a structurally invalid config (zero
+    /// tenants/variants/mean, share list of the wrong length or summing
+    /// to zero).
+    #[must_use]
+    pub fn new(cfg: &LoadConfig) -> Self {
+        assert!(cfg.tenants > 0, "need at least one tenant");
+        assert!(cfg.variants > 0, "need at least one variant");
+        assert!(cfg.mean_interarrival > 0, "mean inter-arrival must be positive");
+        assert_eq!(cfg.arrival_shares.len(), cfg.tenants, "one arrival share per tenant");
+        let share_total: u64 = cfg.arrival_shares.iter().sum();
+        assert!(share_total > 0, "arrival shares must not all be zero");
+        Self {
+            rng: Rng64::seed_from_u64(cfg.seed),
+            now: 0,
+            next_id: 0,
+            jobs: cfg.jobs,
+            mean_interarrival: cfg.mean_interarrival,
+            arrival_shares: cfg.arrival_shares.clone(),
+            share_total,
+            variants: cfg.variants,
+        }
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = OfferedJob;
+
+    fn next(&mut self) -> Option<OfferedJob> {
+        if self.next_id == self.jobs {
+            return None;
+        }
+        self.now += exp_gap(&mut self.rng, self.mean_interarrival);
+        let job = OfferedJob {
+            id: self.next_id,
+            tenant: pick_tenant(&mut self.rng, &self.arrival_shares, self.share_total),
+            variant: self.rng.below_usize(self.variants),
+            arrival: self.now,
+        };
+        self.next_id += 1;
+        Some(job)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.jobs - self.next_id;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Arrivals {}
+
 /// Generate the full offered-arrival trace, sorted by arrival time.
 ///
 /// # Panics
@@ -106,25 +178,7 @@ fn pick_tenant(rng: &mut Rng64, shares: &[u64], total: u64) -> usize {
 /// share list of the wrong length or summing to zero).
 #[must_use]
 pub fn generate(cfg: &LoadConfig) -> Vec<OfferedJob> {
-    assert!(cfg.tenants > 0, "need at least one tenant");
-    assert!(cfg.variants > 0, "need at least one variant");
-    assert!(cfg.mean_interarrival > 0, "mean inter-arrival must be positive");
-    assert_eq!(cfg.arrival_shares.len(), cfg.tenants, "one arrival share per tenant");
-    let total: u64 = cfg.arrival_shares.iter().sum();
-    assert!(total > 0, "arrival shares must not all be zero");
-    let mut rng = Rng64::seed_from_u64(cfg.seed);
-    let mut now = 0u64;
-    (0..cfg.jobs)
-        .map(|id| {
-            now += exp_gap(&mut rng, cfg.mean_interarrival);
-            OfferedJob {
-                id,
-                tenant: pick_tenant(&mut rng, &cfg.arrival_shares, total),
-                variant: rng.below_usize(cfg.variants),
-                arrival: now,
-            }
-        })
-        .collect()
+    Arrivals::new(cfg).collect()
 }
 
 #[cfg(test)]
@@ -181,6 +235,17 @@ mod tests {
             assert!(j.tenant < 4);
             assert!(j.variant < 8);
         }
+    }
+
+    #[test]
+    fn lazy_arrivals_equal_the_materialized_trace() {
+        let cfg = unit_config(7);
+        let lazy: Vec<OfferedJob> = Arrivals::new(&cfg).collect();
+        assert_eq!(lazy, generate(&cfg));
+        let mut it = Arrivals::new(&cfg);
+        assert_eq!(it.len(), cfg.jobs);
+        let _ = it.next();
+        assert_eq!(it.len(), cfg.jobs - 1);
     }
 
     #[test]

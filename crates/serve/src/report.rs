@@ -11,27 +11,40 @@
 //! [`Json::to_doc_string`], so committed artifacts diff cleanly and the
 //! determinism gate can compare raw bytes.
 
-use crate::sched::{JobRecord, Outcome, SchedStats};
+use crate::sched::{JobRecord, Outcome, SchedObserver, SchedStats};
 use crate::ServeConfig;
-use gpstream_util::{Histogram, Json};
+use gpstream_util::{Estimator, Json};
 use std::fmt::Write as _;
 
-/// Version stamp of the latency artifact schema. v2 added per-tenant
-/// latency quantiles (before that a tenant's stats were only completed
-/// counts and summed service cycles, so one tenant's SLO violation was
-/// invisible in the artifact).
-pub const LATENCY_ARTIFACT_VERSION: u64 = 2;
+/// Version stamp of the latency artifact schema. v3 records which
+/// quantile estimator produced the latency counters (`config.estimator`
+/// plus its `quantile_rel_error_bound`) and the `spans_dropped` count of
+/// the bounded span-trace buffer. v2 added per-tenant latency quantiles
+/// (before that a tenant's stats were only completed counts and summed
+/// service cycles, so one tenant's SLO violation was invisible in the
+/// artifact).
+pub const LATENCY_ARTIFACT_VERSION: u64 = 3;
 
 /// One tenant's latency distributions, same split as the run-wide
 /// [`LatencySummary`].
 #[derive(Debug, Clone, Default)]
 pub struct TenantLatency {
     /// Admission to service start.
-    pub queue: Histogram,
+    pub queue: Estimator,
     /// Service start to finish.
-    pub service: Histogram,
+    pub service: Estimator,
     /// First arrival attempt to finish.
-    pub total: Histogram,
+    pub total: Estimator,
+}
+
+impl TenantLatency {
+    fn fresh(template: &Estimator) -> Self {
+        Self {
+            queue: template.fresh_like(),
+            service: template.fresh_like(),
+            total: template.fresh_like(),
+        }
+    }
 }
 
 /// The three latency distributions of a serving run, in cycles.
@@ -39,46 +52,97 @@ pub struct TenantLatency {
 pub struct LatencySummary {
     /// Admission to service start (includes dispatch overhead and any
     /// time spent behind other tenants).
-    pub queue: Histogram,
+    pub queue: Estimator,
     /// Service start to finish.
-    pub service: Histogram,
+    pub service: Estimator,
     /// First arrival attempt to finish — what a client experiences,
     /// retry delays included.
-    pub total: Histogram,
+    pub total: Estimator,
     /// The same three distributions split per tenant; merging a
     /// distribution across tenants reproduces the run-wide one exactly
     /// (the same `record` calls feed both).
     pub per_tenant: Vec<TenantLatency>,
 }
 
-/// Fold every completed job's latencies into the three histograms,
-/// run-wide and per tenant.
+impl LatencySummary {
+    /// An empty summary whose distributions are all fresh copies of
+    /// `template` — exact histograms or bounded-memory sketches.
+    #[must_use]
+    pub fn with_estimator(tenants: usize, template: &Estimator) -> Self {
+        Self {
+            queue: template.fresh_like(),
+            service: template.fresh_like(),
+            total: template.fresh_like(),
+            per_tenant: (0..tenants).map(|_| TenantLatency::fresh(template)).collect(),
+        }
+    }
+
+    /// Fold one resolved record in. Rejected jobs carry no latency and
+    /// are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a completed record names a tenant out of range.
+    pub fn record(&mut self, rec: &JobRecord) {
+        if let Outcome::Completed { admit, start, finish, .. } = rec.outcome {
+            let (queue, service, total) = (start - admit, finish - start, finish - rec.arrival);
+            self.queue.record(queue);
+            self.service.record(service);
+            self.total.record(total);
+            let t = &mut self.per_tenant[rec.tenant];
+            t.queue.record(queue);
+            t.service.record(service);
+            t.total.record(total);
+        }
+    }
+}
+
+/// A [`SchedObserver`] that folds retiring jobs straight into a
+/// [`LatencySummary`] — the streaming replacement for materializing a
+/// record vector and calling [`summarize`] afterwards. Feeding it the
+/// same records produces the identical summary (the distributions are
+/// order-independent multisets).
+#[derive(Debug, Clone)]
+pub struct LatencyObserver {
+    summary: LatencySummary,
+}
+
+impl LatencyObserver {
+    /// An observer aggregating with fresh copies of `template`.
+    #[must_use]
+    pub fn new(tenants: usize, template: &Estimator) -> Self {
+        Self { summary: LatencySummary::with_estimator(tenants, template) }
+    }
+
+    /// The finished summary.
+    #[must_use]
+    pub fn into_summary(self) -> LatencySummary {
+        self.summary
+    }
+}
+
+impl SchedObserver for LatencyObserver {
+    fn on_complete(&mut self, rec: &JobRecord) {
+        self.summary.record(rec);
+    }
+}
+
+/// Fold every completed job's latencies into the three exact
+/// histograms, run-wide and per tenant.
 ///
 /// # Panics
 ///
 /// Panics if a record names a tenant at or beyond `tenants`.
 #[must_use]
 pub fn summarize(records: &[JobRecord], tenants: usize) -> LatencySummary {
-    let mut s = LatencySummary {
-        per_tenant: (0..tenants).map(|_| TenantLatency::default()).collect(),
-        ..LatencySummary::default()
-    };
+    let mut s = LatencySummary::with_estimator(tenants, &Estimator::new_exact());
     for r in records {
-        if let Outcome::Completed { admit, start, finish, .. } = r.outcome {
-            let (queue, service, total) = (start - admit, finish - start, finish - r.arrival);
-            s.queue.record(queue);
-            s.service.record(service);
-            s.total.record(total);
-            let t = &mut s.per_tenant[r.tenant];
-            t.queue.record(queue);
-            t.service.record(service);
-            t.total.record(total);
-        }
+        s.record(r);
     }
     s
 }
 
-fn hist_counters(out: &mut Vec<(String, Json)>, prefix: &str, h: &Histogram) {
+fn hist_counters(out: &mut Vec<(String, Json)>, prefix: &str, h: &Estimator) {
     let (p50, p99, p999) = h.p50_p99_p999();
     out.push((format!("{prefix}_p50_cycles"), Json::U64(p50)));
     out.push((format!("{prefix}_p99_cycles"), Json::U64(p99)));
@@ -86,9 +150,16 @@ fn hist_counters(out: &mut Vec<(String, Json)>, prefix: &str, h: &Histogram) {
     out.push((format!("{prefix}_max_cycles"), Json::U64(h.max().unwrap_or(0))));
 }
 
-/// Build the `latency` artifact document.
+/// Build the `latency` artifact document. `spans_dropped` is the count
+/// of span-trace events the bounded buffer had to drop (0 when the
+/// trace fit).
 #[must_use]
-pub fn artifact_json(cfg: &ServeConfig, stats: &SchedStats, summary: &LatencySummary) -> Json {
+pub fn artifact_json(
+    cfg: &ServeConfig,
+    stats: &SchedStats,
+    summary: &LatencySummary,
+    spans_dropped: u64,
+) -> Json {
     let freq_hz = cfg.freq_ghz() * 1e9;
     let makespan = stats.makespan();
     let makespan_secs = makespan as f64 / freq_hz;
@@ -118,6 +189,8 @@ pub fn artifact_json(cfg: &ServeConfig, stats: &SchedStats, summary: &LatencySum
         ("freq_ghz", Json::F64(cfg.freq_ghz())),
         ("weights", Json::arr(cfg.effective_weights().into_iter().map(Json::U64))),
         ("arrival_shares", Json::arr(cfg.effective_arrival_shares().into_iter().map(Json::U64))),
+        ("estimator", Json::from(summary.total.kind())),
+        ("quantile_rel_error_bound", Json::F64(summary.total.rel_error_bound())),
     ]);
 
     let mut counters: Vec<(String, Json)> = vec![
@@ -132,6 +205,7 @@ pub fn artifact_json(cfg: &ServeConfig, stats: &SchedStats, summary: &LatencySum
         ("max_pending".into(), Json::U64(stats.max_pending as u64)),
         ("dispatch_cycles_total".into(), Json::U64(stats.dispatch_cycles_total)),
         ("makespan_cycles".into(), Json::U64(makespan)),
+        ("spans_dropped".into(), Json::U64(spans_dropped)),
     ];
     hist_counters(&mut counters, "queue", &summary.queue);
     hist_counters(&mut counters, "service", &summary.service);
@@ -179,7 +253,7 @@ pub fn artifact_json(cfg: &ServeConfig, stats: &SchedStats, summary: &LatencySum
     ])
 }
 
-fn fmt_hist_line(out: &mut String, name: &str, h: &Histogram, freq_ghz: f64) {
+fn fmt_hist_line(out: &mut String, name: &str, h: &Estimator, freq_ghz: f64) {
     let (p50, p99, p999) = h.p50_p99_p999();
     let us = |cycles: u64| cycles as f64 / (freq_ghz * 1e3);
     let _ = writeln!(
@@ -222,6 +296,13 @@ pub fn render(cfg: &ServeConfig, stats: &SchedStats, summary: &LatencySummary) -
         if stats.batches == 0 { 0.0 } else { stats.completed as f64 / stats.batches as f64 },
         stats.max_pending,
     );
+    if summary.total.kind() == "sketch" {
+        let _ = writeln!(
+            out,
+            "  quantiles: sketch estimator, relative error <= {:.4}",
+            summary.total.rel_error_bound(),
+        );
+    }
     fmt_hist_line(&mut out, "queue", &summary.queue, freq);
     fmt_hist_line(&mut out, "service", &summary.service, freq);
     fmt_hist_line(&mut out, "total", &summary.total, freq);
@@ -305,11 +386,16 @@ mod tests {
             last_finish: 110,
         };
         let summary = summarize(&records, 4);
-        let doc = artifact_json(&cfg, &stats, &summary);
+        let doc = artifact_json(&cfg, &stats, &summary, 7);
         assert_eq!(doc.get("kind").and_then(Json::as_str), Some("latency"));
-        assert_eq!(doc.get("v").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("v").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            doc.get("config").and_then(|c| c.get("estimator")).and_then(Json::as_str),
+            Some("exact")
+        );
         let counters = doc.get("counters").expect("counters object");
         assert_eq!(counters.get("jobs_completed").and_then(Json::as_u64), Some(1));
+        assert_eq!(counters.get("spans_dropped").and_then(Json::as_u64), Some(7));
         assert_eq!(counters.get("total_p50_cycles").and_then(Json::as_u64), Some(110));
         assert_eq!(counters.get("tenant0_total_p99_cycles").and_then(Json::as_u64), Some(110));
         assert_eq!(counters.get("tenant3_total_p99_cycles").and_then(Json::as_u64), Some(0));

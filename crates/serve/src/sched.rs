@@ -185,6 +185,13 @@ pub trait SchedObserver {
     fn on_complete(&mut self, rec: &JobRecord) {
         let _ = rec;
     }
+    /// The offer was finally rejected (always `Outcome::Rejected` here).
+    /// Together with [`SchedObserver::on_complete`] this hands the
+    /// observer exactly one resolved [`JobRecord`] per offered job —
+    /// the streaming replacement for the materialized record vector.
+    fn on_rejected(&mut self, rec: &JobRecord) {
+        let _ = rec;
+    }
 }
 
 /// The observer `schedule` runs with: watches nothing.
@@ -258,6 +265,11 @@ pub fn schedule(
 /// — so `schedule_with(.., &mut NoopObserver)` and any instrumented run
 /// produce identical records and stats.
 ///
+/// This is now a thin wrapper over [`schedule_stream`] that feeds the
+/// slice in time order and collects the retired records back into a
+/// vector; the event timeline (and therefore every record, stat and
+/// observer call) is byte-identical to the pre-streaming scheduler.
+///
 /// # Panics
 ///
 /// Same conditions as [`schedule`].
@@ -268,6 +280,92 @@ pub fn schedule_with(
     cfg: &SchedConfig,
     obs: &mut dyn SchedObserver,
 ) -> (Vec<JobRecord>, SchedStats) {
+    // The legacy scheduler seeded its heap with every arrival at seq =
+    // slice index, so events popped in (arrival, slice index) order; a
+    // stable sort by arrival reproduces that order for any input.
+    let mut order: Vec<usize> = (0..offered.len()).collect();
+    order.sort_by_key(|&i| offered[i].arrival);
+
+    struct Collect<'a> {
+        inner: &'a mut dyn SchedObserver,
+        records: Vec<Option<JobRecord>>,
+    }
+    impl SchedObserver for Collect<'_> {
+        fn on_arrival(&mut self, now: u64, job: &OfferedJob, attempt: u32) {
+            self.inner.on_arrival(now, job, attempt);
+        }
+        fn on_reject(&mut self, now: u64, job: &OfferedJob, attempt: u32, final_reject: bool) {
+            self.inner.on_reject(now, job, attempt, final_reject);
+        }
+        fn on_admit(&mut self, now: u64, job: &OfferedJob, attempt: u32, pending: usize) {
+            self.inner.on_admit(now, job, attempt, pending);
+        }
+        fn on_dispatch(
+            &mut self,
+            now: u64,
+            worker: usize,
+            tenant: usize,
+            batch: usize,
+            dispatch_cycles: u64,
+            pending: usize,
+        ) {
+            self.inner.on_dispatch(now, worker, tenant, batch, dispatch_cycles, pending);
+        }
+        fn on_complete(&mut self, rec: &JobRecord) {
+            self.inner.on_complete(rec);
+            self.records[rec.id] = Some(*rec);
+        }
+        fn on_rejected(&mut self, rec: &JobRecord) {
+            self.inner.on_rejected(rec);
+            self.records[rec.id] = Some(*rec);
+        }
+    }
+
+    let mut collect = Collect { inner: obs, records: vec![None; offered.len()] };
+    let mut stats =
+        schedule_stream(order.iter().map(|&i| offered[i]), service_cycles, cfg, &mut collect);
+    // Legacy semantics: "first" means first in the slice, not earliest.
+    stats.first_arrival = offered.first().map_or(0, |j| j.arrival);
+    let records: Vec<JobRecord> = collect
+        .records
+        .into_iter()
+        .enumerate()
+        .map(|(id, r)| r.unwrap_or_else(|| panic!("job {id} never resolved")))
+        .collect();
+    (records, stats)
+}
+
+/// The streaming scheduler core: pull arrivals lazily from an iterator
+/// (nondecreasing in time) and retire every resolved [`JobRecord`]
+/// through the observer ([`SchedObserver::on_complete`] /
+/// [`SchedObserver::on_rejected`]) instead of materializing a record
+/// vector. Live state is the pending queues, the in-flight retry/free
+/// events and one look-ahead arrival — O(pending), independent of how
+/// many jobs the iterator will offer.
+///
+/// Event ordering is exactly the legacy scheduler's `(time, seq)`: the
+/// i-th pulled arrival carries seq `i`, and dynamically scheduled
+/// events (retries, worker frees) number from the iterator's total
+/// length upward, so a streamed run's timeline is byte-identical to the
+/// materialized one.
+///
+/// # Panics
+///
+/// Panics on structurally invalid input: empty worker set or weights, a
+/// zero weight, a job naming a tenant or variant out of range, arrivals
+/// that go backwards in time, or (with `check_invariants`) a violation
+/// of work conservation.
+#[must_use]
+pub fn schedule_stream<I>(
+    offered: I,
+    service_cycles: &[u64],
+    cfg: &SchedConfig,
+    obs: &mut dyn SchedObserver,
+) -> SchedStats
+where
+    I: IntoIterator<Item = OfferedJob>,
+    I::IntoIter: ExactSizeIterator,
+{
     assert!(cfg.workers > 0, "need at least one worker");
     assert!(cfg.batch_max > 0, "batches hold at least one job");
     assert!(!cfg.weights.is_empty(), "need at least one tenant");
@@ -275,22 +373,21 @@ pub fn schedule_with(
     assert!(!cfg.bounded || cfg.queue_cap > 0, "bounded admission needs a positive cap");
     let tenants_n = cfg.weights.len();
 
-    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::with_capacity(offered.len() + cfg.workers);
-    let mut seq = 0u64;
+    let mut arrivals = offered.into_iter();
+    let total = arrivals.len();
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::with_capacity(cfg.workers + 64);
+    // Dynamic events continue the sequence after the offered arrivals,
+    // exactly where the legacy all-at-once seeding left it.
+    let mut seq = total as u64;
     let mut push = |heap: &mut BinaryHeap<Reverse<Ev>>, time: u64, kind: EvKind| {
         heap.push(Reverse(Ev { time, seq, kind }));
         seq += 1;
     };
-    for job in offered {
-        assert!(
-            job.tenant < tenants_n,
-            "job {} names tenant {} of {tenants_n}",
-            job.id,
-            job.tenant
-        );
-        assert!(job.variant < service_cycles.len(), "job {} variant out of range", job.id);
-        push(&mut heap, job.arrival, EvKind::Arrival { job: *job, attempt: 1 });
-    }
+
+    // One-arrival look-ahead, merged against the heap by (time, seq).
+    let mut pulled = 0u64;
+    let mut last_arrival_time = 0u64;
+    let mut next_arrival: Option<Ev> = None;
 
     let mut tenants: Vec<Tenant> =
         (0..tenants_n).map(|_| Tenant { queue: VecDeque::new(), vtime: 0 }).collect();
@@ -300,9 +397,8 @@ pub fn schedule_with(
     let high_water =
         if cfg.bounded { (cfg.queue_cap * 3 / 4).max(1) } else { cfg.workers * cfg.batch_max * 8 };
 
-    let mut records: Vec<Option<JobRecord>> = vec![None; offered.len()];
     let mut stats = SchedStats {
-        offered: offered.len() as u64,
+        offered: total as u64,
         admitted: 0,
         completed: 0,
         rejected: 0,
@@ -316,11 +412,54 @@ pub fn schedule_with(
         backpressure_events: 0,
         high_water,
         max_pending: 0,
-        first_arrival: offered.first().map_or(0, |j| j.arrival),
+        first_arrival: 0,
         last_finish: 0,
     };
 
-    while let Some(Reverse(ev)) = heap.pop() {
+    loop {
+        if next_arrival.is_none() {
+            if let Some(job) = arrivals.next() {
+                assert!(
+                    job.tenant < tenants_n,
+                    "job {} names tenant {} of {tenants_n}",
+                    job.id,
+                    job.tenant
+                );
+                assert!(job.variant < service_cycles.len(), "job {} variant out of range", job.id);
+                assert!(
+                    job.arrival >= last_arrival_time,
+                    "job {} arrives at {} after the stream reached {last_arrival_time}",
+                    job.id,
+                    job.arrival
+                );
+                last_arrival_time = job.arrival;
+                if pulled == 0 {
+                    stats.first_arrival = job.arrival;
+                }
+                next_arrival = Some(Ev {
+                    time: job.arrival,
+                    seq: pulled,
+                    kind: EvKind::Arrival { job, attempt: 1 },
+                });
+                pulled += 1;
+            }
+        }
+        let ev = match (next_arrival, heap.peek()) {
+            (Some(arr), Some(&Reverse(top))) => {
+                if (arr.time, arr.seq) <= (top.time, top.seq) {
+                    next_arrival = None;
+                    arr
+                } else {
+                    heap.pop().expect("peeked event").0
+                }
+            }
+            (Some(arr), None) => {
+                next_arrival = None;
+                arr
+            }
+            (None, Some(_)) => heap.pop().expect("peeked event").0,
+            (None, None) => break,
+        };
         let now = ev.time;
         match ev.kind {
             EvKind::Arrival { job, attempt } => {
@@ -342,7 +481,7 @@ pub fn schedule_with(
                         );
                     } else {
                         stats.rejected += 1;
-                        records[job.id] = Some(JobRecord {
+                        obs.on_rejected(&JobRecord {
                             id: job.id,
                             tenant: job.tenant,
                             variant: job.variant,
@@ -404,7 +543,6 @@ pub fn schedule_with(
                     outcome: Outcome::Completed { admit: p.admit, start, finish, worker: w },
                 };
                 obs.on_complete(&rec);
-                records[p.id] = Some(rec);
                 stats.completed += 1;
                 stats.completed_per_tenant[t] += 1;
                 stats.served_cycles[t] += p.service;
@@ -430,13 +568,8 @@ pub fn schedule_with(
         }
     }
 
-    let records: Vec<JobRecord> = records
-        .into_iter()
-        .enumerate()
-        .map(|(id, r)| r.unwrap_or_else(|| panic!("job {id} never resolved")))
-        .collect();
     debug_assert_eq!(stats.admitted, stats.completed, "every admitted job completes");
-    (records, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -625,6 +758,67 @@ mod tests {
         assert_eq!(obs.dispatches, watched_stats.batches);
         assert_eq!(obs.completes, watched_stats.completed);
         assert_eq!(obs.batched_jobs, watched_stats.completed);
+    }
+
+    #[test]
+    fn streaming_core_matches_materialized_wrapper() {
+        // schedule_stream fed the time-ordered jobs one at a time must
+        // retire the exact records and stats the slice wrapper returns —
+        // the byte-identity the 10⁶-job streaming mode rests on.
+        #[derive(Default)]
+        struct Retired {
+            records: Vec<JobRecord>,
+        }
+        impl SchedObserver for Retired {
+            fn on_complete(&mut self, rec: &JobRecord) {
+                self.records.push(*rec);
+            }
+            fn on_rejected(&mut self, rec: &JobRecord) {
+                self.records.push(*rec);
+            }
+        }
+        let mut cfg = base_cfg(2, 3);
+        cfg.bounded = true;
+        cfg.queue_cap = 3;
+        cfg.max_retries = 1;
+        let mut jobs = Vec::new();
+        for i in 0..300u64 {
+            jobs.push((i * 13 % 511, (i % 3) as usize, (i % 2) as usize));
+        }
+        let mut jobs = offered(&jobs);
+        jobs.sort_by_key(|j| j.arrival);
+        for (id, j) in jobs.iter_mut().enumerate() {
+            j.id = id;
+        }
+        let (want_recs, want_stats) = schedule(&jobs, &[2_000, 700], &cfg);
+        let mut retired = Retired::default();
+        let stream_stats = schedule_stream(jobs.iter().copied(), &[2_000, 700], &cfg, &mut retired);
+        assert_eq!(stream_stats, want_stats);
+        retired.records.sort_unstable_by_key(|r| r.id);
+        assert_eq!(retired.records, want_recs, "retired records must match the record vector");
+    }
+
+    #[test]
+    fn unsorted_input_schedules_as_its_time_ordering() {
+        // The wrapper stable-sorts by arrival, reproducing the legacy
+        // heap's (arrival, slice index) pop order for any input order.
+        let mut jobs = Vec::new();
+        for i in 0..120u64 {
+            jobs.push((i * 41 % 257, (i % 2) as usize, 0usize));
+        }
+        let jobs = offered(&jobs); // ids in slice order, arrivals scrambled
+        let cfg = base_cfg(1, 2);
+        let (a, sa) = schedule(&jobs, &[900], &cfg);
+        let mut sorted = jobs.clone();
+        sorted.sort_by_key(|j| j.arrival);
+        let (b, sb) = schedule(&sorted, &[900], &cfg);
+        let mut a_by_id = a;
+        a_by_id.sort_unstable_by_key(|r| r.id);
+        let mut b_by_id = b;
+        b_by_id.sort_unstable_by_key(|r| r.id);
+        assert_eq!(a_by_id, b_by_id);
+        assert_eq!(sa.completed, sb.completed);
+        assert_eq!(sa.last_finish, sb.last_finish);
     }
 
     #[test]

@@ -9,14 +9,35 @@
 //! write-only during the run (the scheduler cannot see it), and
 //! [`ServeTelemetry::finish`] folds it into a [`TelemetryOutcome`].
 //!
+//! Two properties make the plane safe at 10⁶–10⁷ jobs:
+//!
+//! * **Streaming registry.** In sketch mode the metrics registry is
+//!   wrapped in a [`StreamingTelemetry`]: the scheduler's event-loop
+//!   clock is a watermark, windows strictly behind it are finalized,
+//!   flushed through the incremental CSV/JSON appenders (and an
+//!   optional per-window sink) and evicted, so registry memory is
+//!   O(open windows) regardless of run length. The exports are
+//!   byte-identical to the materialized
+//!   [`gpstream_telemetry::TimeSeries`] ones. Latency
+//!   stamps land at a job's *finish* cycle, which is ahead of the
+//!   event-loop clock (a dispatched batch finishes in the future) —
+//!   that is exactly the watermark-safe direction, so the wrapper only
+//!   ever advances past windows nothing can stamp into anymore.
+//! * **Bounded span buffer.** The span trace keeps at most a
+//!   configurable number of events; once full, new spans are dropped
+//!   and counted (`spans_dropped`), mirroring the machine-level
+//!   `TraceBuffer`. Task ids are assigned compactly as spans are
+//!   actually kept, so the name table scales with the buffer, not with
+//!   the offered job count.
+//!
 //! The span model reuses the executor-level Chrome-trace vocabulary
 //! ([`ExecEventKind`]) rather than inventing a new one:
 //!
 //! * lane per **tenant** (queue residency) then lane per **worker**
 //!   (service), so a run opens in a trace viewer with per-tenant lanes;
-//! * task `2*job` is the job's *queue* slice (admission → service
-//!   start, on its tenant's lane) and task `2*job + 1` its *service*
-//!   slice (start → finish, on its worker's lane);
+//! * each job gets a *queue* slice (admission → service start, on its
+//!   tenant's lane) and a *service* slice (start → finish, on its
+//!   worker's lane);
 //! * admission is an `Enqueue` instant, a bounced offer a `DepWait`
 //!   instant (the producer is blocked by backpressure; the mask is the
 //!   attempt number), and each batch dispatch a `Wakeup` instant on the
@@ -28,13 +49,115 @@ use crate::ServeConfig;
 use gpstream_core::trace::{chrome_trace, ExecEvent, ExecEventKind, TraceRun};
 use gpstream_core::TaskId;
 use gpstream_telemetry::{
-    CounterId, GaugeId, HistId, SloReport, SloTarget, SloTracker, Telemetry, TimeSeries,
+    CounterId, GaugeId, HistId, SloReport, SloTarget, SloTracker, StreamingTelemetry, Telemetry,
+    WindowSink,
 };
-use gpstream_util::Json;
+use gpstream_util::{Estimator, Json};
+use std::collections::BTreeMap;
+
+/// Default span-trace capacity in events (not jobs): enough to hold a
+/// full default 10⁴-job run (~6 events per completed job) with room to
+/// spare, small enough that a 10⁷-job run stays bounded.
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 18;
+
+/// The registry, in one of its two lifetimes: materialized (windows
+/// kept until `series()` reads them all) or streaming (windows evicted
+/// behind the scheduler-clock watermark).
+enum Reg {
+    Plain(Telemetry),
+    Stream(Box<StreamingTelemetry>),
+}
+
+impl Reg {
+    fn add(&mut self, id: CounterId, cycle: u64, delta: u64) {
+        match self {
+            Reg::Plain(t) => t.add(id, cycle, delta),
+            Reg::Stream(t) => t.add(id, cycle, delta),
+        }
+    }
+
+    fn set(&mut self, id: GaugeId, cycle: u64, value: u64) {
+        match self {
+            Reg::Plain(t) => t.set(id, cycle, value),
+            Reg::Stream(t) => t.set(id, cycle, value),
+        }
+    }
+
+    fn observe(&mut self, id: HistId, cycle: u64, value: u64) {
+        match self {
+            Reg::Plain(t) => t.observe(id, cycle, value),
+            Reg::Stream(t) => t.observe(id, cycle, value),
+        }
+    }
+
+    /// Advance the watermark to the scheduler's event-loop clock,
+    /// flushing every window that ended before it. Only safe with the
+    /// *event-loop* time — never a completion stamp, which lies in the
+    /// future of the loop.
+    fn advance(&mut self, now: u64) {
+        if let Reg::Stream(t) = self {
+            t.advance(now);
+        }
+    }
+}
+
+/// A capacity-bounded span-event buffer with compact task-id
+/// assignment. Once the buffer is full new events are dropped and
+/// counted, never silently lost — the same contract as the machine
+/// trace's `TraceBuffer`.
+struct SpanBuffer {
+    events: Vec<ExecEvent>,
+    capacity: usize,
+    dropped: u64,
+    /// `(job id, is_service)` → compact task id, assigned in the order
+    /// tasks first appear in a *kept* event.
+    task_ids: BTreeMap<(usize, bool), u32>,
+    task_names: Vec<String>,
+    task_cats: Vec<&'static str>,
+}
+
+impl SpanBuffer {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span capacity must be positive");
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+            task_ids: BTreeMap::new(),
+            task_names: Vec::new(),
+            task_cats: Vec::new(),
+        }
+    }
+
+    /// The compact task id for a job's queue or service slice, naming
+    /// it on first use. Only called on the kept path, so the name table
+    /// scales with the buffer.
+    fn task(&mut self, job: usize, is_service: bool, name: impl FnOnce() -> String) -> TaskId {
+        if let Some(&id) = self.task_ids.get(&(job, is_service)) {
+            return TaskId(id);
+        }
+        let id = u32::try_from(self.task_names.len()).expect("span task table fits u32");
+        self.task_ids.insert((job, is_service), id);
+        self.task_names.push(name());
+        self.task_cats.push(if is_service { "service" } else { "queue" });
+        TaskId(id)
+    }
+
+    /// Room for `n` more events? Counts the whole group as dropped when
+    /// not — pairs are kept or dropped atomically so the exporter's
+    /// Start/Finish pairing never sees a widowed event.
+    fn reserve(&mut self, n: usize) -> bool {
+        if self.events.len() + n > self.capacity {
+            self.dropped += n as u64;
+            return false;
+        }
+        true
+    }
+}
 
 /// The scheduler observer that builds the telemetry plane.
 pub struct ServeTelemetry {
-    tel: Telemetry,
+    reg: Reg,
     slo: SloTracker,
     c_arrivals: CounterId,
     c_admits: CounterId,
@@ -49,7 +172,7 @@ pub struct ServeTelemetry {
     h_queue: HistId,
     h_service: HistId,
     h_total: HistId,
-    events: Vec<ExecEvent>,
+    spans: SpanBuffer,
     tenants: usize,
 }
 
@@ -57,13 +180,26 @@ impl ServeTelemetry {
     /// An observer for a run with the given window, tenants and
     /// per-tenant SLO targets (`targets.len() == tenants`).
     ///
+    /// `sketch_gamma: Some(γ)` switches the plane to bounded memory:
+    /// latency run totals become sketches with relative error ≤ γ and
+    /// the registry runs in streaming mode (windows evicted behind the
+    /// scheduler clock). `span_capacity` bounds the span buffer in
+    /// events.
+    ///
     /// # Panics
     ///
-    /// Panics if the target count disagrees with the tenant count, or
-    /// if `tenants + workers` exceeds the 256 trace lanes an event's
-    /// `who: u8` can name.
+    /// Panics if the target count disagrees with the tenant count, if
+    /// `tenants + workers` exceeds the 256 trace lanes an event's
+    /// `who: u8` can name, or if `span_capacity` is zero.
     #[must_use]
-    pub fn new(window_cycles: u64, tenants: usize, workers: usize, targets: &[SloTarget]) -> Self {
+    pub fn new(
+        window_cycles: u64,
+        tenants: usize,
+        workers: usize,
+        targets: &[SloTarget],
+        sketch_gamma: Option<f64>,
+        span_capacity: usize,
+    ) -> Self {
         assert_eq!(targets.len(), tenants, "one SLO target per tenant");
         assert!(tenants + workers <= 256, "trace lanes are indexed by a u8");
         let mut tel = Telemetry::new(window_cycles);
@@ -82,11 +218,20 @@ impl ServeTelemetry {
         let c_tenant_completed =
             (0..tenants).map(|t| tel.counter(&format!("tenant{t}_completed"))).collect();
         let g_pending = tel.gauge("pending");
-        let h_queue = tel.hist("queue_cycles");
-        let h_service = tel.hist("service_cycles");
-        let h_total = tel.hist("total_cycles");
+        let hist = |tel: &mut Telemetry, name: &str| match sketch_gamma {
+            Some(gamma) => tel.hist_sketch(name, gamma),
+            None => tel.hist(name),
+        };
+        let h_queue = hist(&mut tel, "queue_cycles");
+        let h_service = hist(&mut tel, "service_cycles");
+        let h_total = hist(&mut tel, "total_cycles");
+        let reg = if sketch_gamma.is_some() {
+            Reg::Stream(Box::new(StreamingTelemetry::new(tel)))
+        } else {
+            Reg::Plain(tel)
+        };
         Self {
-            tel,
+            reg,
             slo,
             c_arrivals,
             c_admits,
@@ -101,9 +246,29 @@ impl ServeTelemetry {
             h_queue,
             h_service,
             h_total,
-            events: Vec::new(),
+            spans: SpanBuffer::new(span_capacity),
             tenants,
         }
+    }
+
+    /// Attach a per-window sink, called once per finalized window in
+    /// ascending order as the run streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics in materialized (non-sketch) mode, where windows are not
+    /// finalized until the run ends.
+    pub fn set_window_sink(&mut self, sink: WindowSink) {
+        match &mut self.reg {
+            Reg::Stream(t) => t.set_sink(sink),
+            Reg::Plain(_) => panic!("window sinks need the streaming registry (sketch mode)"),
+        }
+    }
+
+    /// Span events dropped so far by the bounded buffer.
+    #[must_use]
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans.dropped
     }
 
     fn tenant_lane(&self, tenant: usize) -> u8 {
@@ -114,20 +279,53 @@ impl ServeTelemetry {
         u8::try_from(self.tenants + worker).expect("worker lane fits u8")
     }
 
-    fn queue_task(id: usize) -> TaskId {
-        TaskId(u32::try_from(2 * id).expect("job id fits the span task space"))
-    }
-
-    fn service_task(id: usize) -> TaskId {
-        TaskId(u32::try_from(2 * id + 1).expect("job id fits the span task space"))
+    fn queue_task(&mut self, id: usize, tenant: usize) -> TaskId {
+        self.spans.task(id, false, || format!("job {id} queue (t{tenant})"))
     }
 
     /// Fold the observed run into its exported outcome. `cfg` labels
-    /// the trace and the SLO artifact; `records` name the span tasks.
+    /// the trace and the SLO artifact.
+    ///
+    /// # Panics
+    ///
+    /// In streaming mode, panics if the flushed window deltas fail to
+    /// re-merge into the run totals (the sum-to-total invariant).
     #[must_use]
-    pub fn finish(self, cfg: &ServeConfig, records: &[JobRecord]) -> TelemetryOutcome {
-        let window_cycles = self.tel.window_cycles();
-        let series = self.tel.series();
+    pub fn finish(self, cfg: &ServeConfig) -> TelemetryOutcome {
+        let series = match self.reg {
+            Reg::Plain(tel) => {
+                let s = tel.series();
+                let windows = s.windows.len() as u64;
+                let csv = s.to_csv();
+                let json = s.to_json().to_doc_string();
+                SeriesExport {
+                    window_cycles: s.window_cycles,
+                    counter_names: s.counter_names,
+                    gauge_names: s.gauge_names,
+                    hist_names: s.hist_names,
+                    counter_totals: s.counter_totals,
+                    hist_totals: s.hist_totals,
+                    windows,
+                    csv,
+                    json,
+                }
+            }
+            Reg::Stream(streaming) => {
+                let s = streaming.finish();
+                SeriesExport {
+                    window_cycles: s.window_cycles,
+                    counter_names: s.counter_names,
+                    gauge_names: s.gauge_names,
+                    hist_names: s.hist_names,
+                    counter_totals: s.counter_totals,
+                    hist_totals: s.hist_totals,
+                    windows: s.windows_flushed,
+                    csv: s.csv,
+                    json: s.json,
+                }
+            }
+        };
+        let window_cycles = series.window_cycles;
         let slo = self.slo.report();
         let slo_artifact = slo
             .artifact_json(
@@ -146,54 +344,53 @@ impl ServeTelemetry {
 
         let mut lanes: Vec<String> = (0..cfg.tenants).map(|t| format!("tenant {t}")).collect();
         lanes.extend((0..cfg.workers).map(|w| format!("worker {w}")));
-        let mut task_names = vec![String::new(); 2 * records.len()];
-        let mut task_cats = vec![""; 2 * records.len()];
-        for r in records {
-            task_names[2 * r.id] = format!("job {} queue (t{})", r.id, r.tenant);
-            task_cats[2 * r.id] = "queue";
-            task_names[2 * r.id + 1] = format!("job {} service (v{})", r.id, r.variant);
-            task_cats[2 * r.id + 1] = "service";
-        }
+        let spans_dropped = self.spans.dropped;
         let trace = TraceRun {
             name: format!("serve-{}", cfg.workload),
             ticks_per_us: cfg.freq_ghz() * 1e3,
             lanes,
-            task_names,
-            task_cats,
-            events: self.events,
-            dropped: 0,
+            task_names: self.spans.task_names,
+            task_cats: self.spans.task_cats,
+            events: self.spans.events,
+            dropped: spans_dropped,
         };
-        TelemetryOutcome { window_cycles, series, slo, slo_artifact, trace }
+        TelemetryOutcome { window_cycles, series, slo, slo_artifact, trace, spans_dropped }
     }
 }
 
 impl SchedObserver for ServeTelemetry {
     fn on_arrival(&mut self, now: u64, _job: &OfferedJob, _attempt: u32) {
-        self.tel.add(self.c_arrivals, now, 1);
+        self.reg.advance(now);
+        self.reg.add(self.c_arrivals, now, 1);
     }
 
     fn on_reject(&mut self, now: u64, job: &OfferedJob, attempt: u32, final_reject: bool) {
-        self.tel.add(self.c_rejects, now, 1);
+        self.reg.advance(now);
+        self.reg.add(self.c_rejects, now, 1);
         if final_reject {
-            self.tel.add(self.c_final_rejects, now, 1);
+            self.reg.add(self.c_final_rejects, now, 1);
         }
-        self.events.push(ExecEvent {
-            ts: now,
-            who: self.tenant_lane(job.tenant),
-            task: Some(Self::queue_task(job.id)),
-            kind: ExecEventKind::DepWait { mask: u64::from(attempt) },
-        });
+        if self.spans.reserve(1) {
+            let who = self.tenant_lane(job.tenant);
+            let task = Some(self.queue_task(job.id, job.tenant));
+            self.spans.events.push(ExecEvent {
+                ts: now,
+                who,
+                task,
+                kind: ExecEventKind::DepWait { mask: u64::from(attempt) },
+            });
+        }
     }
 
     fn on_admit(&mut self, now: u64, job: &OfferedJob, _attempt: u32, pending: usize) {
-        self.tel.add(self.c_admits, now, 1);
-        self.tel.set(self.g_pending, now, pending as u64);
-        self.events.push(ExecEvent {
-            ts: now,
-            who: self.tenant_lane(job.tenant),
-            task: Some(Self::queue_task(job.id)),
-            kind: ExecEventKind::Enqueue,
-        });
+        self.reg.advance(now);
+        self.reg.add(self.c_admits, now, 1);
+        self.reg.set(self.g_pending, now, pending as u64);
+        if self.spans.reserve(1) {
+            let who = self.tenant_lane(job.tenant);
+            let task = Some(self.queue_task(job.id, job.tenant));
+            self.spans.events.push(ExecEvent { ts: now, who, task, kind: ExecEventKind::Enqueue });
+        }
     }
 
     fn on_dispatch(
@@ -205,15 +402,18 @@ impl SchedObserver for ServeTelemetry {
         dispatch_cycles: u64,
         pending: usize,
     ) {
-        self.tel.add(self.c_batches, now, 1);
-        self.tel.add(self.c_dispatch_cycles, now, dispatch_cycles);
-        self.tel.set(self.g_pending, now, pending as u64);
-        self.events.push(ExecEvent {
-            ts: now,
-            who: self.worker_lane(worker),
-            task: None,
-            kind: ExecEventKind::Wakeup { dispatch: dispatch_cycles },
-        });
+        self.reg.advance(now);
+        self.reg.add(self.c_batches, now, 1);
+        self.reg.add(self.c_dispatch_cycles, now, dispatch_cycles);
+        self.reg.set(self.g_pending, now, pending as u64);
+        if self.spans.reserve(1) {
+            self.spans.events.push(ExecEvent {
+                ts: now,
+                who: self.worker_lane(worker),
+                task: None,
+                kind: ExecEventKind::Wakeup { dispatch: dispatch_cycles },
+            });
+        }
     }
 
     fn on_complete(&mut self, rec: &JobRecord) {
@@ -223,27 +423,67 @@ impl SchedObserver for ServeTelemetry {
         let (queue, service, total) = (start - admit, finish - start, finish - rec.arrival);
         // Windowed metrics are stamped at the *finish* cycle: a latency
         // is only known once the job completes, and filing it where it
-        // completed is what makes window deltas sum to run totals.
-        self.tel.add(self.c_completions, finish, 1);
-        self.tel.add(self.c_served_cycles, finish, service);
-        self.tel.add(self.c_tenant_completed[rec.tenant], finish, 1);
-        self.tel.observe(self.h_queue, finish, queue);
-        self.tel.observe(self.h_service, finish, service);
-        self.tel.observe(self.h_total, finish, total);
+        // completed is what makes window deltas sum to run totals. The
+        // finish lies ahead of the event-loop clock, so these stamps
+        // never land behind the streaming watermark.
+        self.reg.add(self.c_completions, finish, 1);
+        self.reg.add(self.c_served_cycles, finish, service);
+        self.reg.add(self.c_tenant_completed[rec.tenant], finish, 1);
+        self.reg.observe(self.h_queue, finish, queue);
+        self.reg.observe(self.h_service, finish, service);
+        self.reg.observe(self.h_total, finish, total);
         self.slo.record(rec.tenant, finish, total);
 
-        let (qt, st) = (Self::queue_task(rec.id), Self::service_task(rec.id));
         let tenant = self.tenant_lane(rec.tenant);
         let worker = self.worker_lane(worker);
         // Start precedes Finish in event order (the exporter pairs by
-        // order, not by timestamp), so emit each slice's pair together.
-        self.events.extend([
-            ExecEvent { ts: admit, who: tenant, task: Some(qt), kind: ExecEventKind::Start },
-            ExecEvent { ts: start, who: tenant, task: Some(qt), kind: ExecEventKind::Finish },
-            ExecEvent { ts: start, who: worker, task: Some(st), kind: ExecEventKind::Start },
-            ExecEvent { ts: finish, who: worker, task: Some(st), kind: ExecEventKind::Finish },
-        ]);
+        // order, not by timestamp), so emit each slice's pair together
+        // — and keep or drop it atomically.
+        if self.spans.reserve(2) {
+            let qt = Some(self.queue_task(rec.id, rec.tenant));
+            self.spans.events.extend([
+                ExecEvent { ts: admit, who: tenant, task: qt, kind: ExecEventKind::Start },
+                ExecEvent { ts: start, who: tenant, task: qt, kind: ExecEventKind::Finish },
+            ]);
+        }
+        if self.spans.reserve(2) {
+            let (id, variant) = (rec.id, rec.variant);
+            let st = Some(self.spans.task(id, true, || format!("job {id} service (v{variant})")));
+            self.spans.events.extend([
+                ExecEvent { ts: start, who: worker, task: st, kind: ExecEventKind::Start },
+                ExecEvent { ts: finish, who: worker, task: st, kind: ExecEventKind::Finish },
+            ]);
+        }
     }
+}
+
+/// One run's exported metric series: names, run totals and the
+/// rendered CSV/JSON documents. In streaming mode the documents were
+/// appended window by window as the run progressed (byte-identical to
+/// the materialized exports); either way the per-window data lives in
+/// the documents, not in memory.
+#[derive(Debug, Clone)]
+pub struct SeriesExport {
+    /// Window length in cycles.
+    pub window_cycles: u64,
+    /// Counter names, in registration order.
+    pub counter_names: Vec<String>,
+    /// Gauge names, in registration order.
+    pub gauge_names: Vec<String>,
+    /// Histogram names, in registration order.
+    pub hist_names: Vec<String>,
+    /// Run totals per counter (window deltas sum to these —
+    /// property-checked by the registry).
+    pub counter_totals: Vec<u64>,
+    /// Run-total latency estimators — exact histograms, or sketches in
+    /// bounded-memory mode.
+    pub hist_totals: Vec<Estimator>,
+    /// Number of windows the series covers.
+    pub windows: u64,
+    /// The CSV document (one row per window).
+    pub csv: String,
+    /// The canonical one-line JSON document (trailing newline).
+    pub json: String,
 }
 
 /// The telemetry plane's exported view of one serving run.
@@ -253,27 +493,29 @@ pub struct TelemetryOutcome {
     pub window_cycles: u64,
     /// The windowed metric series (delta-sum invariants already
     /// asserted by construction).
-    pub series: TimeSeries,
+    pub series: SeriesExport,
     /// Per-tenant SLO accounting.
     pub slo: SloReport,
     /// The `slo` artifact document (single line + newline).
     pub slo_artifact: String,
     /// The job-lifecycle span trace (per-tenant queue lanes, per-worker
-    /// service lanes).
+    /// service lanes), bounded; see `spans_dropped`.
     pub trace: TraceRun,
+    /// Span events the bounded buffer dropped at capacity.
+    pub spans_dropped: u64,
 }
 
 impl TelemetryOutcome {
     /// The time series as CSV.
     #[must_use]
     pub fn timeseries_csv(&self) -> String {
-        self.series.to_csv()
+        self.series.csv.clone()
     }
 
     /// The time series as a canonical one-line JSON document.
     #[must_use]
     pub fn timeseries_json(&self) -> String {
-        self.series.to_json().to_doc_string()
+        self.series.json.clone()
     }
 
     /// The span trace as Chrome `trace_event` JSON.

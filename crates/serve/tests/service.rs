@@ -20,10 +20,11 @@
 //! latency-vs-profile comparison as a kind mismatch.
 
 use gpstream_serve::{
-    ablation, run_service, schedule, OfferedJob, Outcome, SchedConfig, ServeConfig,
+    ablation, build_table, run_service, schedule, schedule_service, OfferedJob, Outcome,
+    SchedConfig, ServeConfig, EXACT_MODE_MAX_JOBS,
 };
 use gpstream_util::check::run_cases;
-use gpstream_util::Rng64;
+use gpstream_util::{Estimator, Rng64};
 
 #[test]
 fn ten_thousand_jobs_same_seed_byte_identical_artifact() {
@@ -294,4 +295,156 @@ fn diff_flags_latency_vs_profile_as_kind_mismatch() {
     let same = gpstream_analyze::diff::diff(&latency, &rerun_art);
     assert_eq!(same.kind_mismatch, None);
     assert!(same.out_of_band().is_empty(), "identical runs diff clean");
+}
+
+#[test]
+fn committed_latency_artifact_reproduces_byte_for_byte() {
+    // The exact-mode baseline CI diffs freshly regenerated artifacts
+    // against:
+    //   figures serve mix --quiet --out profiles/serve/latency-mix-10k.json
+    // (the default config: 10 000 jobs, 500 jobs/s, 4 tenants).
+    let outcome = run_service(&ServeConfig::new("mix")).expect("known workload");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../profiles/serve/latency-mix-10k.json");
+    let committed = std::fs::read_to_string(path).expect(
+        "profiles/serve/latency-mix-10k.json is committed; regenerate with \
+         `figures serve mix --quiet --out profiles/serve/latency-mix-10k.json`",
+    );
+    assert_eq!(
+        outcome.artifact, committed,
+        "latency artifact for the catalog mix drifted from the committed baseline; \
+         regenerate profiles/serve/latency-mix-10k.json if the change is intentional"
+    );
+}
+
+#[test]
+fn sketch_mode_is_byte_identical_and_bounded() {
+    // The bounded-memory pipeline (sketch estimators, streaming
+    // registry, sampled records) is held to the same determinism bar as
+    // exact mode: byte-identical artifacts across runs and pool thread
+    // counts.
+    let mut cfg = ServeConfig::new("ldstcomp");
+    cfg.jobs = 10_000;
+    cfg.rate = 2_000.0;
+    cfg.sketch = true;
+    cfg.exec_pool_threads = 1;
+    let a = run_service(&cfg).expect("known workload");
+    cfg.exec_pool_threads = 4;
+    let b = run_service(&cfg).expect("known workload");
+    assert_eq!(a.artifact, b.artifact, "sketch artifact must not depend on runs or pools");
+    assert_eq!(a.telemetry.timeseries_csv(), b.telemetry.timeseries_csv());
+    assert_eq!(a.telemetry.timeseries_json(), b.telemetry.timeseries_json());
+    assert_eq!(a.telemetry.slo_artifact, b.telemetry.slo_artifact);
+    assert_eq!(a.telemetry.chrome_trace(), b.telemetry.chrome_trace());
+
+    // The artifact names its estimator and bound (v3 schema).
+    assert!(a.artifact.contains("\"estimator\":\"sketch\""));
+    assert!(a.artifact.contains("\"quantile_rel_error_bound\""));
+    // Record keeping really sampled: ~1024 kept out of 10 000.
+    assert_eq!(cfg.record_stride(), 9);
+    assert!(a.records.len() < 2_000, "sketch mode keeps a sample, got {}", a.records.len());
+    assert_eq!(
+        a.exec.executed,
+        a.records.iter().filter(|r| matches!(r.outcome, Outcome::Completed { .. })).count() as u64
+    );
+
+    // The streamed registry flushed every window and the CSV matches
+    // the exact-mode (materialized) export byte for byte: windows are
+    // exact in both modes, only run totals are sketched.
+    assert!(a.telemetry.series.windows > 0);
+    let mut exact_cfg = cfg.clone();
+    exact_cfg.sketch = false;
+    let e = run_service(&exact_cfg).expect("known workload");
+    assert_eq!(
+        a.telemetry.timeseries_csv(),
+        e.telemetry.timeseries_csv(),
+        "streamed window CSV must equal the materialized exact-mode export"
+    );
+}
+
+#[test]
+fn sketch_quantiles_stay_within_their_declared_bound_of_exact() {
+    // The acceptance differential at 10^4 scale: every sketch quantile
+    // of every latency distribution lands within its declared relative
+    // error bound of the exact histogram's answer on the same schedule.
+    let mut cfg = ServeConfig::new("mix");
+    cfg.jobs = 10_000;
+    cfg.rate = 2_000.0;
+    let table = build_table(&cfg.workload, cfg.ctx).expect("known workload");
+    let exact = schedule_service(&cfg, &table);
+    cfg.sketch = true;
+    let sketch = schedule_service(&cfg, &table);
+    assert_eq!(exact.stats, sketch.stats, "estimator choice must not move the schedule");
+
+    let dists: [(&str, &Estimator, &Estimator); 3] = [
+        ("queue", &exact.summary.queue, &sketch.summary.queue),
+        ("service", &exact.summary.service, &sketch.summary.service),
+        ("total", &exact.summary.total, &sketch.summary.total),
+    ];
+    let mut pairs: Vec<(String, Estimator, Estimator)> =
+        dists.iter().map(|(n, e, s)| ((*n).to_string(), (*e).clone(), (*s).clone())).collect();
+    for (t, (te, ts)) in exact.summary.per_tenant.iter().zip(&sketch.summary.per_tenant).enumerate()
+    {
+        pairs.push((format!("tenant{t} queue"), te.queue.clone(), ts.queue.clone()));
+        pairs.push((format!("tenant{t} service"), te.service.clone(), ts.service.clone()));
+        pairs.push((format!("tenant{t} total"), te.total.clone(), ts.total.clone()));
+    }
+    for (name, e, s) in &pairs {
+        assert_eq!(e.kind(), "exact");
+        assert_eq!(s.kind(), "sketch");
+        assert_eq!(e.count(), s.count(), "{name}: same multiset size");
+        for q in [0.25, 0.5, 0.9, 0.99, 0.999] {
+            let want = e.quantile(q).expect("completions exist");
+            let (got, bound) = s.quantile_with_bound(q).expect("completions exist");
+            // A sketch still on its exact low-count path declares a
+            // zero bound — and must then answer exactly.
+            assert!(bound <= cfg.effective_sketch_gamma());
+            let err = (got as f64 - want as f64).abs();
+            assert!(
+                err <= bound * want as f64 + 1.0,
+                "{name} q{q}: sketch {got} vs exact {want} — error {err:.1} exceeds \
+                 declared bound {bound} (allowance {:.1})",
+                bound * want as f64 + 1.0,
+            );
+        }
+    }
+    // The differential is not vacuous: at this scale at least one
+    // distribution must have left the exact low-count path and really
+    // exercised the bucketed estimator.
+    assert!(
+        pairs.iter().any(|(_, _, s)| s.rel_error_bound() > 0.0),
+        "no distribution promoted to sketch buckets — differential is vacuous"
+    );
+}
+
+#[test]
+#[should_panic(expected = "must use sketch mode")]
+fn exact_mode_fails_fast_above_the_job_limit() {
+    let mut cfg = ServeConfig::new("ldstcomp");
+    cfg.jobs = EXACT_MODE_MAX_JOBS + 1;
+    let table = build_table(&cfg.workload, cfg.ctx).expect("known workload");
+    // Panics before scheduling a single job.
+    let _ = schedule_service(&cfg, &table);
+}
+
+#[test]
+fn span_buffer_is_bounded_and_counts_drops() {
+    let mut cfg = ServeConfig::new("ldstcomp");
+    cfg.jobs = 500;
+    cfg.rate = 2_000.0;
+    cfg.span_capacity = 64;
+    let out = run_service(&cfg).expect("known workload");
+    assert!(out.telemetry.trace.events.len() <= 64, "span buffer overflowed its capacity");
+    assert!(out.telemetry.spans_dropped > 0, "500 jobs must overflow a 64-event buffer");
+    assert_eq!(out.telemetry.trace.dropped, out.telemetry.spans_dropped);
+    // The drop count reaches the artifact (a latency counter) so a
+    // truncated trace can never masquerade as a complete one.
+    assert!(out.artifact.contains(&format!("\"spans_dropped\":{}", out.telemetry.spans_dropped)));
+    // The task-name table scales with the buffer, not the job count.
+    assert!(out.telemetry.trace.task_names.len() <= 64);
+
+    // An uncapped (default) run of the same shape drops nothing.
+    cfg.span_capacity = 0;
+    let full = run_service(&cfg).expect("known workload");
+    assert_eq!(full.telemetry.spans_dropped, 0);
+    assert!(full.artifact.contains("\"spans_dropped\":0"));
 }

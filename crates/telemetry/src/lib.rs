@@ -11,8 +11,14 @@
 //!   cycle-stamped tumbling windows. Per-window snapshots are *deltas*:
 //!   summing a counter's windows reproduces its run total exactly, and
 //!   merging a histogram's windows reproduces the run-total histogram
-//!   byte-identically (property-tested, not assumed). Time series
-//!   export as CSV and canonical JSON.
+//!   byte-identically (property-tested, not assumed). Run totals are
+//!   [`gpstream_util::Estimator`]s — exact by default, bounded-memory
+//!   sketches on request. Time series export as CSV and canonical JSON.
+//! * [`stream`] — the registry's streaming mode: tumbling windows are
+//!   finalized and evicted as a virtual-time watermark advances past
+//!   them, flushed through incremental CSV/JSON appenders (and an
+//!   optional sink) that are byte-identical to the materialized
+//!   exports, so registry memory is O(open windows) at any run length.
 //! * [`slo`] — per-tenant service-level objectives (latency threshold +
 //!   objective fraction) with error-budget and burn-rate accounting per
 //!   window, rendered as text and as the workspace's `slo` artifact
@@ -32,6 +38,8 @@
 pub mod registry;
 pub mod sim;
 pub mod slo;
+pub mod stream;
 
 pub use registry::{CounterId, GaugeId, HistId, Telemetry, TimeSeries, WindowSnapshot};
 pub use slo::{SloReport, SloTarget, SloTracker, TenantSlo};
+pub use stream::{StreamedSeries, StreamingTelemetry, WindowSink};

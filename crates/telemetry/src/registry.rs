@@ -15,10 +15,13 @@
 //!   run total; summing the deltas over all windows must reproduce the
 //!   total exactly (asserted by [`TimeSeries`] construction and by the
 //!   crate's tests, not assumed).
-//! * **Histograms** store a per-window `Histogram` plus a run-total
-//!   `Histogram` fed by the same `record` calls; merging the windows
-//!   must equal the total byte-for-byte (`Histogram` is `Eq`, and its
-//!   JSON summary is deterministic).
+//! * **Histograms** store a per-window exact `Histogram` plus a
+//!   run-total [`Estimator`] fed by the same `record` calls — exact by
+//!   default ([`Telemetry::hist`]), a bounded-memory sketch on request
+//!   ([`Telemetry::hist_sketch`]). Folding the windows back into a
+//!   fresh estimator of the same kind must equal the total
+//!   byte-for-byte (both kinds are value-determined, and a sketch is a
+//!   pure function of its sample multiset).
 //! * **Gauges** are last-writer-wins per window (greatest stamp wins,
 //!   later write breaking ties) and carry forward across empty windows
 //!   in the dense series — a gauge is a level, not a flow.
@@ -28,7 +31,7 @@
 //! byte-identical CSV/JSON series across runs and exec-pool thread
 //! counts.
 
-use gpstream_util::{Histogram, Json};
+use gpstream_util::{Estimator, Histogram, Json};
 use std::collections::BTreeMap;
 
 /// Handle to a registered counter.
@@ -60,7 +63,7 @@ struct Gauge {
 #[derive(Debug, Clone)]
 struct Hist {
     name: String,
-    total: Histogram,
+    total: Estimator,
     windows: BTreeMap<u64, Histogram>,
 }
 
@@ -116,12 +119,27 @@ impl Telemetry {
         GaugeId(self.gauges.len() - 1)
     }
 
-    /// Register an exact histogram.
+    /// Register a histogram whose run total is an exact [`Histogram`].
     pub fn hist(&mut self, name: &str) -> HistId {
         self.assert_fresh(name);
         self.hists.push(Hist {
             name: name.to_string(),
-            total: Histogram::new(),
+            total: Estimator::new_exact(),
+            windows: BTreeMap::new(),
+        });
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Register a histogram whose run total is a bounded-memory
+    /// [`Sketch`](gpstream_util::Sketch) with relative-error bound
+    /// `gamma`. Per-window histograms stay exact either way — a window
+    /// holds few distinct values and is evicted in streaming mode, so
+    /// the run total is the only O(run-length) state worth bounding.
+    pub fn hist_sketch(&mut self, name: &str, gamma: f64) -> HistId {
+        self.assert_fresh(name);
+        self.hists.push(Hist {
+            name: name.to_string(),
+            total: Estimator::new_sketch(gamma),
             windows: BTreeMap::new(),
         });
         HistId(self.hists.len() - 1)
@@ -164,9 +182,9 @@ impl Telemetry {
         self.counters[id.0].total
     }
 
-    /// Run-total histogram (every `observe` merged).
+    /// Run-total estimator (every `observe` recorded).
     #[must_use]
-    pub fn hist_total(&self, id: HistId) -> &Histogram {
+    pub fn hist_total(&self, id: HistId) -> &Estimator {
         &self.hists[id.0].total
     }
 
@@ -230,9 +248,9 @@ impl Telemetry {
             assert_eq!(sum, c.total, "counter {} window deltas must sum to run total", c.name);
         }
         for (i, h) in self.hists.iter().enumerate() {
-            let mut all = Histogram::new();
+            let mut all = h.total.fresh_like();
             for s in &windows {
-                all.merge(&s.hists[i]);
+                all.merge_hist(&s.hists[i]);
             }
             assert_eq!(all, h.total, "hist {} windows must re-merge to run total", h.name);
         }
@@ -247,6 +265,146 @@ impl Telemetry {
             windows,
         }
     }
+
+    /// Instrument names in registration order, for exporters that run
+    /// before any window is materialized.
+    pub(crate) fn instrument_names(&self) -> (Vec<String>, Vec<String>, Vec<String>) {
+        (
+            self.counters.iter().map(|c| c.name.clone()).collect(),
+            self.gauges.iter().map(|g| g.name.clone()).collect(),
+            self.hists.iter().map(|h| h.name.clone()).collect(),
+        )
+    }
+
+    /// Last window index any instrument has touched.
+    pub(crate) fn last_active_window(&self) -> Option<u64> {
+        self.counters
+            .iter()
+            .filter_map(|c| c.windows.keys().next_back())
+            .chain(self.gauges.iter().filter_map(|g| g.windows.keys().next_back()))
+            .chain(self.hists.iter().filter_map(|h| h.windows.keys().next_back()))
+            .copied()
+            .max()
+    }
+
+    /// Remove window `w` from every instrument and return its snapshot.
+    /// `gauge_levels` holds the carried-forward gauge levels from the
+    /// previous window and is updated in place — windows must therefore
+    /// be evicted densely, in ascending order, exactly as
+    /// [`Self::series`] walks them.
+    pub(crate) fn evict_window(&mut self, w: u64, gauge_levels: &mut [u64]) -> WindowSnapshot {
+        assert_eq!(gauge_levels.len(), self.gauges.len(), "one carried level per gauge");
+        let counters: Vec<u64> =
+            self.counters.iter_mut().map(|c| c.windows.remove(&w).unwrap_or(0)).collect();
+        for (level, g) in gauge_levels.iter_mut().zip(&mut self.gauges) {
+            if let Some((_, v)) = g.windows.remove(&w) {
+                *level = v;
+            }
+        }
+        let hists: Vec<Histogram> =
+            self.hists.iter_mut().map(|h| h.windows.remove(&w).unwrap_or_default()).collect();
+        WindowSnapshot {
+            index: w,
+            start_cycle: w * self.window_cycles,
+            end_cycle: (w + 1) * self.window_cycles,
+            counters,
+            gauges: gauge_levels.to_vec(),
+            hists,
+        }
+    }
+
+    /// Run totals of every counter, in registration order.
+    pub(crate) fn all_counter_totals(&self) -> Vec<u64> {
+        self.counters.iter().map(|c| c.total).collect()
+    }
+
+    /// Run-total estimators of every histogram, in registration order.
+    pub(crate) fn all_hist_totals(&self) -> Vec<Estimator> {
+        self.hists.iter().map(|h| h.total.clone()).collect()
+    }
+}
+
+/// CSV header row shared by [`TimeSeries::to_csv`] and the streaming
+/// appender — both must emit byte-identical exports.
+pub(crate) fn csv_header(
+    counter_names: &[String],
+    gauge_names: &[String],
+    hist_names: &[String],
+) -> String {
+    let mut out = String::from("window,start_cycle,end_cycle");
+    for n in counter_names {
+        out.push(',');
+        out.push_str(n);
+    }
+    for n in gauge_names {
+        out.push(',');
+        out.push_str(n);
+    }
+    for n in hist_names {
+        for suffix in ["count", "p50", "p99", "p999", "max"] {
+            out.push(',');
+            out.push_str(n);
+            out.push('_');
+            out.push_str(suffix);
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// One window's CSV row (shared with the streaming appender).
+pub(crate) fn csv_row(w: &WindowSnapshot) -> String {
+    let mut out = format!("{},{},{}", w.index, w.start_cycle, w.end_cycle);
+    for v in &w.counters {
+        out.push_str(&format!(",{v}"));
+    }
+    for v in &w.gauges {
+        out.push_str(&format!(",{v}"));
+    }
+    for h in &w.hists {
+        let (p50, p99, p999) = h.p50_p99_p999();
+        out.push_str(&format!(",{},{},{},{},{}", h.count(), p50, p99, p999, h.max().unwrap_or(0)));
+    }
+    out.push('\n');
+    out
+}
+
+/// One window's JSON object (shared with the streaming appender).
+pub(crate) fn window_json(w: &WindowSnapshot) -> Json {
+    Json::obj([
+        ("window", Json::U64(w.index)),
+        ("start_cycle", Json::U64(w.start_cycle)),
+        ("end_cycle", Json::U64(w.end_cycle)),
+        ("counters", Json::arr(w.counters.iter().map(|&v| Json::U64(v)))),
+        ("gauges", Json::arr(w.gauges.iter().map(|&v| Json::U64(v)))),
+        ("hists", Json::arr(w.hists.iter().map(Histogram::summary_json))),
+    ])
+}
+
+/// The series-document fields that precede the window array (shared
+/// with the streaming appender, which emits them before any window has
+/// closed).
+pub(crate) fn series_header_json(
+    window_cycles: u64,
+    counter_names: &[String],
+    gauge_names: &[String],
+    hist_names: &[String],
+) -> Json {
+    let names = |ns: &[String]| Json::arr(ns.iter().map(|n| Json::Str(n.clone())));
+    Json::obj([
+        ("window_cycles", Json::U64(window_cycles)),
+        ("counters", names(counter_names)),
+        ("gauges", names(gauge_names)),
+        ("hists", names(hist_names)),
+    ])
+}
+
+/// The run-totals JSON object (shared with the streaming appender).
+pub(crate) fn totals_json(counter_totals: &[u64], hist_totals: &[Estimator]) -> Json {
+    Json::obj([
+        ("counters", Json::arr(counter_totals.iter().map(|&v| Json::U64(v)))),
+        ("hists", Json::arr(hist_totals.iter().map(Estimator::summary_json))),
+    ])
 }
 
 /// One tumbling window's worth of metric activity.
@@ -281,8 +439,8 @@ pub struct TimeSeries {
     pub hist_names: Vec<String>,
     /// Run totals per counter (equal to the window-delta sums).
     pub counter_totals: Vec<u64>,
-    /// Run-total histograms (equal to the window merges).
-    pub hist_totals: Vec<Histogram>,
+    /// Run-total estimators (equal to folding the window merges).
+    pub hist_totals: Vec<Estimator>,
     /// Every window from index 0 through the last active one.
     pub windows: Vec<WindowSnapshot>,
 }
@@ -293,77 +451,30 @@ impl TimeSeries {
     /// `count/p50/p99/p999/max` columns.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("window,start_cycle,end_cycle");
-        for n in &self.counter_names {
-            out.push(',');
-            out.push_str(n);
-        }
-        for n in &self.gauge_names {
-            out.push(',');
-            out.push_str(n);
-        }
-        for n in &self.hist_names {
-            for suffix in ["count", "p50", "p99", "p999", "max"] {
-                out.push(',');
-                out.push_str(n);
-                out.push('_');
-                out.push_str(suffix);
-            }
-        }
-        out.push('\n');
+        let mut out = csv_header(&self.counter_names, &self.gauge_names, &self.hist_names);
         for w in &self.windows {
-            out.push_str(&format!("{},{},{}", w.index, w.start_cycle, w.end_cycle));
-            for v in &w.counters {
-                out.push_str(&format!(",{v}"));
-            }
-            for v in &w.gauges {
-                out.push_str(&format!(",{v}"));
-            }
-            for h in &w.hists {
-                let (p50, p99, p999) = h.p50_p99_p999();
-                out.push_str(&format!(
-                    ",{},{},{},{},{}",
-                    h.count(),
-                    p50,
-                    p99,
-                    p999,
-                    h.max().unwrap_or(0)
-                ));
-            }
-            out.push('\n');
+            out.push_str(&csv_row(w));
         }
         out
     }
 
     /// Canonical one-line JSON document of the full series plus run
-    /// totals, suitable for byte-for-byte determinism comparison.
+    /// totals, suitable for byte-for-byte determinism comparison. The
+    /// window array precedes the totals so a streaming exporter can
+    /// append windows as they close and still produce the same bytes.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        let names = |ns: &[String]| Json::arr(ns.iter().map(|n| Json::Str(n.clone())));
-        let windows = Json::arr(self.windows.iter().map(|w| {
-            Json::obj([
-                ("window", Json::U64(w.index)),
-                ("start_cycle", Json::U64(w.start_cycle)),
-                ("end_cycle", Json::U64(w.end_cycle)),
-                ("counters", Json::arr(w.counters.iter().map(|&v| Json::U64(v)))),
-                ("gauges", Json::arr(w.gauges.iter().map(|&v| Json::U64(v)))),
-                ("hists", Json::arr(w.hists.iter().map(Histogram::summary_json))),
-            ])
-        }));
-        Json::obj([
-            ("window_cycles", Json::U64(self.window_cycles)),
-            ("counters", names(&self.counter_names)),
-            ("gauges", names(&self.gauge_names)),
-            ("hists", names(&self.hist_names)),
-            (
-                "totals",
-                Json::obj([
-                    ("counters", Json::arr(self.counter_totals.iter().map(|&v| Json::U64(v)))),
-                    ("hists", Json::arr(self.hist_totals.iter().map(Histogram::summary_json))),
-                ]),
-            ),
-            ("windows", windows),
-        ])
+        let mut doc = series_header_json(
+            self.window_cycles,
+            &self.counter_names,
+            &self.gauge_names,
+            &self.hist_names,
+        );
+        if let Json::Obj(fields) = &mut doc {
+            fields.push(("windows".into(), Json::arr(self.windows.iter().map(window_json))));
+            fields.push(("totals".into(), totals_json(&self.counter_totals, &self.hist_totals)));
+        }
+        doc
     }
 }
 
@@ -417,7 +528,7 @@ mod tests {
         let per_window: Vec<u64> = s.windows.iter().map(|w| w.counters[0]).collect();
         assert_eq!(per_window, [2, 1, 0, 1]);
         assert_eq!(s.windows[0].hists[0].max(), Some(40));
-        assert_eq!(t.hist_remerged(h), *t.hist_total(h));
+        assert_eq!(Estimator::Exact(t.hist_remerged(h)), *t.hist_total(h));
     }
 
     #[test]
@@ -489,10 +600,33 @@ mod tests {
                 expect.record(v);
             }
             assert_eq!(t.hist_remerged(h), expect);
-            assert_eq!(*t.hist_total(h), expect);
+            assert_eq!(*t.hist_total(h), Estimator::Exact(expect.clone()));
             let s = t.series(); // internally asserts delta-sum invariants
             assert_eq!(s.counter_totals[0], expect.count());
             assert_eq!(s.to_json().to_doc_string(), t.series().to_json().to_doc_string());
+        });
+    }
+
+    #[test]
+    fn sketch_totals_hold_the_remerge_invariant() {
+        // A sketch-backed run total must equal folding the evicted
+        // exact windows into a fresh sketch — the invariant the
+        // streaming mode re-asserts over its flushed stream.
+        run_cases("telemetry-sketch-remerge", 0x6a79_2005, 32, |rng| {
+            let window = 1 + rng.below(1000);
+            let mut t = Telemetry::new(window);
+            let h = t.hist_sketch("lat", 0.01);
+            for _ in 0..rng.range_usize_inclusive(0, 4000) {
+                let cycle = rng.below(1 << 20);
+                t.observe(h, cycle, rng.below(1 << 24));
+            }
+            let mut re = t.hist_total(h).fresh_like();
+            re.merge_hist(&t.hist_remerged(h));
+            assert_eq!(re, *t.hist_total(h));
+            let s = t.series(); // asserts the same invariant internally
+            assert_eq!(s.hist_totals[0].kind(), "sketch");
+            let doc = s.to_json().to_doc_string();
+            assert!(doc.contains("\"estimator\":\"sketch\""));
         });
     }
 }

@@ -1,0 +1,400 @@
+//! Streaming mode for the metrics registry: windows are finalized and
+//! evicted as virtual time advances past them, so registry memory is
+//! O(open windows) instead of O(windows in the run).
+//!
+//! [`StreamingTelemetry`] wraps a fully registered [`Telemetry`] and
+//! re-exposes its stamping surface. The producer additionally calls
+//! [`StreamingTelemetry::advance`] with its event-loop clock; any
+//! window that ends at or before that watermark can never be stamped
+//! again (the producer promises all future stamps are `>= now`, which
+//! the wrapper enforces by panicking on a stamp into a flushed window),
+//! so it is finalized: evicted from the registry's maps, appended to
+//! the CSV/JSON exports, and handed to an optional on-finalize sink.
+//!
+//! The exports are built with the exact same helpers as
+//! [`TimeSeries::to_csv`]/[`TimeSeries::to_json`], and
+//! [`StreamingTelemetry::finish`] re-asserts the registry's two
+//! invariants over the *flushed stream* rather than over materialized
+//! state: per-counter flushed deltas must sum to the run totals, and
+//! the flushed per-window histograms folded into a fresh estimator must
+//! reproduce each run-total estimator byte-for-byte. The crate's tests
+//! go one step further and assert the streamed exports are
+//! byte-identical to the non-streaming [`Telemetry::series`] output on
+//! the same observations.
+
+use crate::registry::{
+    csv_header, csv_row, series_header_json, totals_json, window_json, CounterId, GaugeId, HistId,
+    Telemetry, WindowSnapshot,
+};
+use gpstream_util::{Estimator, Histogram};
+
+/// A sink invoked once per finalized window, in window order.
+pub type WindowSink = Box<dyn FnMut(&WindowSnapshot)>;
+
+/// A [`Telemetry`] registry that finalizes and evicts tumbling windows
+/// behind a virtual-time watermark.
+pub struct StreamingTelemetry {
+    tel: Telemetry,
+    counter_names: Vec<String>,
+    gauge_names: Vec<String>,
+    hist_names: Vec<String>,
+    /// First window index not yet flushed.
+    next_flush: u64,
+    /// Gauge levels carried forward across flushed windows.
+    gauge_levels: Vec<u64>,
+    /// Flushed per-counter delta sums (checked against run totals).
+    flushed_counter_sums: Vec<u64>,
+    /// Flushed per-hist window merges (checked against run totals).
+    flushed_hist_merges: Vec<Histogram>,
+    windows_flushed: u64,
+    csv: String,
+    /// Comma-joined window JSON fragments (the inside of the array).
+    json_windows: String,
+    sink: Option<WindowSink>,
+}
+
+impl std::fmt::Debug for StreamingTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingTelemetry")
+            .field("next_flush", &self.next_flush)
+            .field("windows_flushed", &self.windows_flushed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingTelemetry {
+    /// Wrap a registry whose instruments are all registered. Further
+    /// registration is intentionally impossible — the streamed CSV/JSON
+    /// headers are emitted now, from the final instrument set.
+    #[must_use]
+    pub fn new(tel: Telemetry) -> Self {
+        let (counter_names, gauge_names, hist_names) = tel.instrument_names();
+        assert!(
+            tel.last_active_window().is_none(),
+            "wrap the registry before stamping: already-filed windows cannot be streamed"
+        );
+        let csv = csv_header(&counter_names, &gauge_names, &hist_names);
+        let gauge_levels = vec![0; gauge_names.len()];
+        let flushed_counter_sums = vec![0; counter_names.len()];
+        let flushed_hist_merges = vec![Histogram::new(); hist_names.len()];
+        Self {
+            tel,
+            counter_names,
+            gauge_names,
+            hist_names,
+            next_flush: 0,
+            gauge_levels,
+            flushed_counter_sums,
+            flushed_hist_merges,
+            windows_flushed: 0,
+            csv,
+            json_windows: String::new(),
+            sink: None,
+        }
+    }
+
+    /// Install a sink called once per finalized window, in order.
+    pub fn set_sink(&mut self, sink: WindowSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Window length in cycles.
+    #[must_use]
+    pub fn window_cycles(&self) -> u64 {
+        self.tel.window_cycles()
+    }
+
+    /// Windows finalized so far.
+    #[must_use]
+    pub fn windows_flushed(&self) -> u64 {
+        self.windows_flushed
+    }
+
+    fn assert_open(&self, cycle: u64) {
+        let w = cycle / self.tel.window_cycles();
+        assert!(
+            w >= self.next_flush,
+            "stamp at cycle {cycle} lands in flushed window {w} (watermark {})",
+            self.next_flush
+        );
+    }
+
+    /// Add `delta` to a counter at virtual cycle `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` falls in an already-flushed window.
+    pub fn add(&mut self, id: CounterId, cycle: u64, delta: u64) {
+        self.assert_open(cycle);
+        self.tel.add(id, cycle, delta);
+    }
+
+    /// Set a gauge at virtual cycle `cycle` (see [`Telemetry::set`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` falls in an already-flushed window.
+    pub fn set(&mut self, id: GaugeId, cycle: u64, value: u64) {
+        self.assert_open(cycle);
+        self.tel.set(id, cycle, value);
+    }
+
+    /// Record into a histogram at virtual cycle `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` falls in an already-flushed window.
+    pub fn observe(&mut self, id: HistId, cycle: u64, value: u64) {
+        self.assert_open(cycle);
+        self.tel.observe(id, cycle, value);
+    }
+
+    fn flush_one(&mut self) {
+        let w = self.next_flush;
+        let snap = self.tel.evict_window(w, &mut self.gauge_levels);
+        for (sum, v) in self.flushed_counter_sums.iter_mut().zip(&snap.counters) {
+            *sum += v;
+        }
+        for (merge, h) in self.flushed_hist_merges.iter_mut().zip(&snap.hists) {
+            merge.merge(h);
+        }
+        self.csv.push_str(&csv_row(&snap));
+        if self.windows_flushed > 0 {
+            self.json_windows.push(',');
+        }
+        self.json_windows.push_str(&window_json(&snap).to_string());
+        if let Some(sink) = &mut self.sink {
+            sink(&snap);
+        }
+        self.windows_flushed += 1;
+        self.next_flush += 1;
+    }
+
+    /// Advance the watermark to the producer's event-loop clock `now`,
+    /// finalizing every window that ends at or before it. Safe exactly
+    /// when every future stamp is `>= now` — which an event-driven
+    /// producer processing events in time order gets for free.
+    pub fn advance(&mut self, now: u64) {
+        let open = now / self.tel.window_cycles();
+        while self.next_flush < open {
+            self.flush_one();
+        }
+    }
+
+    /// Finalize every remaining window (dense through the last one any
+    /// instrument touched), re-assert the sum-to-total and re-merge
+    /// invariants over the flushed stream, and return the completed
+    /// exports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flushed counter stream fails to sum to its run total
+    /// or a flushed histogram stream fails to re-merge to its run-total
+    /// estimator — a corrupt export must never be returned silently.
+    #[must_use]
+    pub fn finish(mut self) -> StreamedSeries {
+        if let Some(last) = self.tel.last_active_window() {
+            while self.next_flush <= last {
+                self.flush_one();
+            }
+        }
+        let counter_totals = self.tel.all_counter_totals();
+        let hist_totals = self.tel.all_hist_totals();
+        for ((name, sum), total) in
+            self.counter_names.iter().zip(&self.flushed_counter_sums).zip(&counter_totals)
+        {
+            assert_eq!(sum, total, "counter {name} flushed deltas must sum to run total");
+        }
+        for ((name, merged), total) in
+            self.hist_names.iter().zip(&self.flushed_hist_merges).zip(&hist_totals)
+        {
+            let mut re = total.fresh_like();
+            re.merge_hist(merged);
+            assert_eq!(&re, total, "hist {name} flushed windows must re-merge to run total");
+        }
+
+        let mut json = series_header_json(
+            self.tel.window_cycles(),
+            &self.counter_names,
+            &self.gauge_names,
+            &self.hist_names,
+        )
+        .to_string();
+        assert_eq!(json.pop(), Some('}'), "header object must close with a brace");
+        json.push_str(",\"windows\":[");
+        json.push_str(&self.json_windows);
+        json.push_str("],\"totals\":");
+        json.push_str(&totals_json(&counter_totals, &hist_totals).to_string());
+        json.push_str("}\n");
+
+        StreamedSeries {
+            window_cycles: self.tel.window_cycles(),
+            counter_names: self.counter_names,
+            gauge_names: self.gauge_names,
+            hist_names: self.hist_names,
+            counter_totals,
+            hist_totals,
+            windows_flushed: self.windows_flushed,
+            csv: self.csv,
+            json,
+        }
+    }
+}
+
+/// The completed exports of a streamed run: run totals plus the
+/// incrementally built CSV/JSON documents. Per-window state is gone —
+/// it was flushed as the run progressed; only its serialized form and
+/// its contribution to the totals remain.
+#[derive(Debug, Clone)]
+pub struct StreamedSeries {
+    /// Window length in cycles.
+    pub window_cycles: u64,
+    /// Counter names, in registration order.
+    pub counter_names: Vec<String>,
+    /// Gauge names, in registration order.
+    pub gauge_names: Vec<String>,
+    /// Histogram names, in registration order.
+    pub hist_names: Vec<String>,
+    /// Run totals per counter (asserted equal to the flushed deltas).
+    pub counter_totals: Vec<u64>,
+    /// Run-total estimators (asserted equal to re-merging the flushed
+    /// windows).
+    pub hist_totals: Vec<Estimator>,
+    /// Number of windows finalized (dense from index 0).
+    pub windows_flushed: u64,
+    /// CSV document, byte-identical to [`TimeSeries::to_csv`] on the
+    /// same observations.
+    ///
+    /// [`TimeSeries::to_csv`]: crate::TimeSeries::to_csv
+    pub csv: String,
+    /// One-line JSON document (with trailing newline), byte-identical
+    /// to [`TimeSeries::to_json`]`.to_doc_string()` on the same
+    /// observations.
+    ///
+    /// [`TimeSeries::to_json`]: crate::TimeSeries::to_json
+    pub json: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpstream_util::check::run_cases;
+    use gpstream_util::Rng64;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn registered(window: u64, sketch: bool) -> (Telemetry, CounterId, GaugeId, HistId, HistId) {
+        let mut t = Telemetry::new(window);
+        let c = t.counter("events");
+        let g = t.gauge("pending");
+        let h = t.hist("lat");
+        let hs = if sketch { t.hist_sketch("lat_sketch", 0.01) } else { t.hist("lat_sketch") };
+        (t, c, g, h, hs)
+    }
+
+    /// Random stamp stream delivered in event-time order, as a
+    /// discrete-event producer would: the watermark advances between
+    /// stamps, and some stamps land *ahead* of the watermark (a
+    /// completion filed at its future finish cycle).
+    fn random_run(rng: &mut Rng64, sketch: bool) -> (StreamedSeries, crate::TimeSeries) {
+        let window = 1 + rng.below(500);
+        let n = rng.range_usize_inclusive(0, 600);
+        let mut nows: Vec<u64> = (0..n).map(|_| rng.below(1 << 18)).collect();
+        nows.sort_unstable();
+
+        let (tel, c, g, h, hs) = registered(window, sketch);
+        let mut stream = StreamingTelemetry::new(tel);
+        let (mirror, mc, mg, mh, mhs) = registered(window, sketch);
+        let mut mirror = mirror;
+
+        for &now in &nows {
+            stream.advance(now);
+            let ahead = now + rng.below(4 * window + 1); // stamp at or after `now`
+            let v = rng.below(10_000);
+            match rng.below(4) {
+                0 => {
+                    stream.add(c, ahead, 1 + v % 5);
+                    mirror.add(mc, ahead, 1 + v % 5);
+                }
+                1 => {
+                    stream.set(g, ahead, v);
+                    mirror.set(mg, ahead, v);
+                }
+                2 => {
+                    stream.observe(h, ahead, v);
+                    mirror.observe(mh, ahead, v);
+                }
+                _ => {
+                    stream.observe(hs, ahead, v);
+                    mirror.observe(mhs, ahead, v);
+                }
+            }
+        }
+        (stream.finish(), mirror.series())
+    }
+
+    #[test]
+    fn streamed_exports_match_materialized_series_byte_for_byte() {
+        run_cases("stream-vs-series", 0x6a79_2005, 64, |rng| {
+            let sketch = rng.bool();
+            let (streamed, series) = random_run(rng, sketch);
+            assert_eq!(streamed.csv, series.to_csv());
+            assert_eq!(streamed.json, series.to_json().to_doc_string());
+            assert_eq!(streamed.counter_totals, series.counter_totals);
+            assert_eq!(streamed.hist_totals, series.hist_totals);
+            assert_eq!(streamed.windows_flushed, series.windows.len() as u64);
+        });
+    }
+
+    #[test]
+    fn empty_run_streams_an_empty_series() {
+        let (tel, ..) = registered(100, false);
+        let stream = StreamingTelemetry::new(tel);
+        let (mirror, ..) = registered(100, false);
+        let streamed = stream.finish();
+        assert_eq!(streamed.windows_flushed, 0);
+        assert_eq!(streamed.csv, mirror.series().to_csv());
+        assert_eq!(streamed.json, mirror.series().to_json().to_doc_string());
+    }
+
+    #[test]
+    fn sink_sees_every_window_in_order_and_registry_stays_bounded() {
+        let (tel, c, _, h, _) = registered(10, true);
+        let mut stream = StreamingTelemetry::new(tel);
+        let seen: Rc<RefCell<Vec<u64>>> = Rc::default();
+        let sink_seen = Rc::clone(&seen);
+        stream.set_sink(Box::new(move |w| sink_seen.borrow_mut().push(w.index)));
+        for now in 0..1000 {
+            stream.advance(now);
+            stream.add(c, now, 1);
+            stream.observe(h, now, now % 97);
+        }
+        // Everything behind the watermark is flushed: at now=999 the
+        // open window is 99, so 0..=98 are gone from the registry and
+        // only the open window remains resident.
+        assert_eq!(stream.windows_flushed(), 99);
+        assert_eq!(stream.tel.last_active_window(), Some(99));
+        let streamed = stream.finish();
+        assert_eq!(streamed.windows_flushed, 100);
+        assert_eq!(seen.borrow().as_slice(), (0..100).collect::<Vec<u64>>().as_slice());
+        assert_eq!(streamed.counter_totals, [1000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flushed window")]
+    fn stamping_behind_the_watermark_panics() {
+        let (tel, c, ..) = registered(10, false);
+        let mut stream = StreamingTelemetry::new(tel);
+        stream.add(c, 5, 1);
+        stream.advance(50);
+        stream.add(c, 15, 1); // window 1 was flushed at watermark 50
+    }
+
+    #[test]
+    #[should_panic(expected = "before stamping")]
+    fn wrapping_a_stamped_registry_panics() {
+        let (mut tel, c, ..) = registered(10, false);
+        tel.add(c, 5, 1);
+        let _ = StreamingTelemetry::new(tel);
+    }
+}

@@ -44,6 +44,21 @@ impl Histogram {
         self.sum += other.sum;
     }
 
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Iterate `(value, occurrences)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &n)| (v, n))
+    }
+
     /// Number of recorded samples.
     #[must_use]
     pub fn count(&self) -> u64 {

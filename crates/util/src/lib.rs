@@ -4,7 +4,8 @@
 //! workspace: a deterministic seedable PRNG ([`rng::Rng64`]), a minimal
 //! JSON value builder/writer/parser ([`json::Json`]), a stable content
 //! fingerprint ([`hash::Fingerprint`]), an exact latency histogram
-//! ([`hist::Histogram`]) and a property-test
+//! ([`hist::Histogram`]), its bounded-memory sketch counterpart
+//! ([`sketch::Sketch`]) and a property-test
 //! harness ([`check::run_cases`]). The build environment has no network
 //! access to a crate registry, so these stand in for `rand`, `serde`
 //! and `proptest` respectively; everything here is deliberately tiny
@@ -21,8 +22,10 @@ pub mod hist;
 pub mod json;
 pub mod render;
 pub mod rng;
+pub mod sketch;
 
 pub use hash::Fingerprint;
 pub use hist::Histogram;
 pub use json::Json;
 pub use rng::Rng64;
+pub use sketch::{Estimator, Sketch};

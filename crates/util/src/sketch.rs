@@ -1,0 +1,692 @@
+//! A deterministic, mergeable log-bucketed sketch histogram.
+//!
+//! The exact [`Histogram`] keeps one `BTreeMap` entry per *distinct*
+//! sample, which is perfect at 10⁴ jobs and O(jobs) at 10⁶: streaming
+//! the serving harness needs quantiles in bounded space. [`Sketch`] is
+//! the DDSketch/HDR-style answer, built under this workspace's rules:
+//!
+//! * **Pure integer bucketing** — a value's bucket is derived from its
+//!   bit length and top `s` mantissa bits, no `log`/floating point, so
+//!   the sketch is byte-identical across platforms and runs.
+//! * **Declared relative-error bound** — `gamma()` = 2^−(s+1). Every
+//!   bucketed quantile answer is the bucket midpoint, clamped to the
+//!   exact observed `[min, max]`, which keeps the relative error within
+//!   the declared bound ([`Sketch::quantile_with_bound`] carries it).
+//! * **Exact low-count path** — until the multiset exceeds
+//!   [`EXACT_DISTINCT_CAP`] distinct values, the sketch stores raw
+//!   values and answers exactly (bound 0.0). Values below `2^(s+1)` are
+//!   exact even after promotion (their buckets are singletons).
+//! * **Mergeable and order-independent** — the final state is a pure
+//!   function of the recorded multiset: merging shards in any grouping
+//!   or order produces byte-identical state (`Sketch` is `Eq`; the
+//!   property tests assert associativity rather than trusting this
+//!   comment). This is what lets the telemetry registry fold evicted
+//!   windows back into a run total and still assert the re-merge
+//!   invariant byte for byte.
+//!
+//! [`Estimator`] wraps "exact or sketch" behind the `Histogram` method
+//! surface, so the serving report can switch estimators per run while
+//! artifact code stays identical.
+
+use crate::{Histogram, Json};
+use std::collections::BTreeMap;
+
+/// Distinct-value cap of the exact low-count path; one more distinct
+/// value promotes the sketch to log buckets.
+pub const EXACT_DISTINCT_CAP: usize = 2048;
+
+/// Default relative-error target for sketch quantiles (the serving
+/// harness's `--sketch` mode). The realized bound is the next power of
+/// two at or below it: 2^−7 ≈ 0.0078.
+pub const DEFAULT_GAMMA: f64 = 0.01;
+
+/// Log-bucketed quantile sketch with an exact low-count path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sketch {
+    /// Sub-bucket (mantissa) bits per octave; the error bound is
+    /// 2^−(sub_bits+1).
+    sub_bits: u32,
+    /// `false`: `counts` keys are raw values (exact). `true`: keys are
+    /// bucket indices.
+    promoted: bool,
+    counts: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+    /// Exact extremes (valid when `count > 0`); quantile answers are
+    /// clamped into `[min, max]`.
+    min: u64,
+    max: u64,
+}
+
+impl Sketch {
+    /// A sketch whose quantile relative error is at most `gamma`
+    /// (once promoted; exact before). The realized bound — the largest
+    /// power of two at or below `gamma`, see [`Sketch::gamma`] — is
+    /// what answers are measured against.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2^-32 <= gamma < 0.5`.
+    #[must_use]
+    pub fn new(gamma: f64) -> Self {
+        assert!(
+            gamma < 0.5 && gamma >= 1.0 / (1u64 << 32) as f64,
+            "sketch gamma {gamma} outside [2^-32, 0.5)"
+        );
+        // Smallest s with 2^-(s+1) <= gamma; pure integer search so the
+        // same gamma always lands on the same geometry.
+        let mut sub_bits = 0u32;
+        while 1.0 / (1u64 << (sub_bits + 1)) as f64 > gamma {
+            sub_bits += 1;
+        }
+        Self {
+            sub_bits,
+            promoted: false,
+            counts: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The declared relative-error bound, 2^−(sub_bits+1). Exact-path
+    /// answers are better than this (see
+    /// [`Sketch::quantile_with_bound`]); bucketed answers meet it.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        1.0 / (1u64 << (self.sub_bits + 1)) as f64
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (exact).
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (exact).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (exact: the sum is tracked outside the buckets).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether the exact low-count path has been abandoned for buckets.
+    #[must_use]
+    pub fn is_promoted(&self) -> bool {
+        self.promoted
+    }
+
+    /// Bucket index of `v`: identity below `2^(sub_bits+1)`, else
+    /// `(bit_len - sub_bits) octaves * 2^sub_bits` plus the top
+    /// `sub_bits` mantissa bits. Monotone in `v`, contiguous across
+    /// octave boundaries.
+    fn bucket_of(&self, v: u64) -> u64 {
+        let s = self.sub_bits;
+        if v >> (s + 1) == 0 {
+            return v;
+        }
+        let e = 63 - u64::from(v.leading_zeros());
+        let shift = e - u64::from(s);
+        ((shift + 1) << s) + ((v >> shift) & ((1 << s) - 1))
+    }
+
+    /// Representative value of bucket `b`: itself in the exact range,
+    /// else the bucket midpoint (relative error ≤ 2^−(sub_bits+1) from
+    /// any member of the bucket).
+    fn representative(&self, b: u64) -> u64 {
+        let s = self.sub_bits;
+        if b >> (s + 1) == 0 {
+            return b;
+        }
+        let shift = (b >> s) - 1;
+        let lo = ((1 << s) + (b & ((1 << s) - 1))) << shift;
+        lo + (1u64 << shift >> 1)
+    }
+
+    fn promote(&mut self) {
+        debug_assert!(!self.promoted);
+        let mut buckets = BTreeMap::new();
+        for (&v, &n) in &self.counts {
+            *buckets.entry(self.bucket_of(v)).or_insert(0) += n;
+        }
+        self.counts = buckets;
+        self.promoted = true;
+    }
+
+    /// Record `n` occurrences of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let key = if self.promoted { self.bucket_of(value) } else { value };
+        *self.counts.entry(key).or_insert(0) += n;
+        if !self.promoted && self.counts.len() > EXACT_DISTINCT_CAP {
+            self.promote();
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Fold another sketch into this one. The result depends only on
+    /// the combined multiset — any merge grouping or order produces
+    /// byte-identical state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches were built with different error
+    /// bounds (their buckets would not line up).
+    pub fn merge(&mut self, other: &Sketch) {
+        assert_eq!(self.sub_bits, other.sub_bits, "cannot merge sketches of different gamma");
+        if other.count == 0 {
+            return;
+        }
+        if other.promoted && !self.promoted {
+            self.promote();
+        }
+        for (&k, &n) in &other.counts {
+            let key = if self.promoted && !other.promoted { self.bucket_of(k) } else { k };
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if !self.promoted && self.counts.len() > EXACT_DISTINCT_CAP {
+            self.promote();
+        }
+    }
+
+    /// Fold an exact histogram's multiset into this sketch.
+    pub fn merge_hist(&mut self, h: &Histogram) {
+        for (v, n) in h.iter() {
+            self.record_n(v, n);
+        }
+    }
+
+    /// Nearest-rank quantile answer plus the relative-error bound it
+    /// carries: `0.0` while the exact path holds, [`Sketch::gamma`]
+    /// once promoted. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile_with_bound(&self, q: f64) -> Option<(u64, f64)> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&key, &n) in &self.counts {
+            seen += n;
+            if seen >= rank {
+                let v = if self.promoted { self.representative(key) } else { key };
+                let bound = if self.promoted { self.gamma() } else { 0.0 };
+                return Some((v.clamp(self.min, self.max), bound));
+            }
+        }
+        unreachable!("rank {rank} <= count {} must land inside the sketch", self.count)
+    }
+
+    /// Nearest-rank quantile (see [`Sketch::quantile_with_bound`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.quantile_with_bound(q).map(|(v, _)| v)
+    }
+
+    /// The standard latency triple (p50, p99, p999), zeros when empty.
+    #[must_use]
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50).unwrap_or(0),
+            self.quantile(0.99).unwrap_or(0),
+            self.quantile(0.999).unwrap_or(0),
+        )
+    }
+}
+
+/// "Exact histogram or sketch", behind one method surface, so report
+/// and registry code can switch estimators per run without forking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Estimator {
+    /// The exact [`Histogram`] (O(distinct values) memory).
+    Exact(Histogram),
+    /// The log-bucketed [`Sketch`] (bounded memory).
+    Sketch(Sketch),
+}
+
+impl Default for Estimator {
+    fn default() -> Self {
+        Estimator::Exact(Histogram::new())
+    }
+}
+
+impl Estimator {
+    /// An empty exact estimator.
+    #[must_use]
+    pub fn new_exact() -> Self {
+        Estimator::Exact(Histogram::new())
+    }
+
+    /// An empty sketch estimator with error bound `gamma` (see
+    /// [`Sketch::new`]).
+    #[must_use]
+    pub fn new_sketch(gamma: f64) -> Self {
+        Estimator::Sketch(Sketch::new(gamma))
+    }
+
+    /// An empty estimator of the same kind (and, for sketches, the same
+    /// geometry) as this one.
+    #[must_use]
+    pub fn fresh_like(&self) -> Self {
+        match self {
+            Estimator::Exact(_) => Estimator::new_exact(),
+            Estimator::Sketch(s) => Estimator::new_sketch(s.gamma()),
+        }
+    }
+
+    /// `"exact"` or `"sketch"` — recorded in artifacts so a reader
+    /// knows what the quantiles are.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Estimator::Exact(_) => "exact",
+            Estimator::Sketch(_) => "sketch",
+        }
+    }
+
+    /// Declared relative-error bound of quantile answers: `0.0` exact,
+    /// [`Sketch::gamma`] for a sketch (even while its low-count path is
+    /// still exact — the declaration is what the artifact promises).
+    #[must_use]
+    pub fn rel_error_bound(&self) -> f64 {
+        match self {
+            Estimator::Exact(_) => 0.0,
+            Estimator::Sketch(s) => s.gamma(),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        match self {
+            Estimator::Exact(h) => h.record(value),
+            Estimator::Sketch(s) => s.record(value),
+        }
+    }
+
+    /// Fold another estimator of the same kind into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a kind mismatch (or sketch-gamma mismatch).
+    pub fn merge(&mut self, other: &Estimator) {
+        match (self, other) {
+            (Estimator::Exact(a), Estimator::Exact(b)) => a.merge(b),
+            (Estimator::Sketch(a), Estimator::Sketch(b)) => a.merge(b),
+            _ => panic!("cannot merge estimators of different kinds"),
+        }
+    }
+
+    /// Fold an exact histogram's multiset into this estimator.
+    pub fn merge_hist(&mut self, h: &Histogram) {
+        match self {
+            Estimator::Exact(a) => a.merge(h),
+            Estimator::Sketch(s) => s.merge_hist(h),
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        match self {
+            Estimator::Exact(h) => h.count(),
+            Estimator::Sketch(s) => s.count(),
+        }
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Smallest recorded sample (exact in both kinds).
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        match self {
+            Estimator::Exact(h) => h.min(),
+            Estimator::Sketch(s) => s.min(),
+        }
+    }
+
+    /// Largest recorded sample (exact in both kinds).
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        match self {
+            Estimator::Exact(h) => h.max(),
+            Estimator::Sketch(s) => s.max(),
+        }
+    }
+
+    /// Arithmetic mean (exact in both kinds).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match self {
+            Estimator::Exact(h) => h.mean(),
+            Estimator::Sketch(s) => s.mean(),
+        }
+    }
+
+    /// Nearest-rank quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        match self {
+            Estimator::Exact(h) => h.quantile(q),
+            Estimator::Sketch(s) => s.quantile(q),
+        }
+    }
+
+    /// Quantile answer plus the relative-error bound it actually
+    /// carries (`0.0` on every exact path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile_with_bound(&self, q: f64) -> Option<(u64, f64)> {
+        match self {
+            Estimator::Exact(h) => h.quantile(q).map(|v| (v, 0.0)),
+            Estimator::Sketch(s) => s.quantile_with_bound(q),
+        }
+    }
+
+    /// The standard latency triple (p50, p99, p999), zeros when empty.
+    #[must_use]
+    pub fn p50_p99_p999(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50).unwrap_or(0),
+            self.quantile(0.99).unwrap_or(0),
+            self.quantile(0.999).unwrap_or(0),
+        )
+    }
+
+    /// Summary as a JSON object — the [`Histogram::summary_json`] keys
+    /// plus `estimator` and `rel_error_bound`, so a reader of any
+    /// artifact knows what the quantiles are and how far they can be
+    /// off. Deterministic for a fixed sample multiset.
+    #[must_use]
+    pub fn summary_json(&self) -> Json {
+        let (p50, p99, p999) = self.p50_p99_p999();
+        Json::obj([
+            ("count", Json::U64(self.count())),
+            ("min", Json::U64(self.min().unwrap_or(0))),
+            ("max", Json::U64(self.max().unwrap_or(0))),
+            ("mean", Json::F64(self.mean())),
+            ("p50", Json::U64(p50)),
+            ("p99", Json::U64(p99)),
+            ("p999", Json::U64(p999)),
+            ("estimator", Json::from(self.kind())),
+            ("rel_error_bound", Json::F64(self.rel_error_bound())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::run_cases;
+    use crate::Rng64;
+
+    fn filled(values: &[u64], gamma: f64) -> (Sketch, Histogram) {
+        let mut s = Sketch::new(gamma);
+        let mut h = Histogram::new();
+        for &v in values {
+            s.record(v);
+            h.record(v);
+        }
+        (s, h)
+    }
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = Sketch::new(DEFAULT_GAMMA);
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), 0.0);
+        assert!(!s.is_promoted());
+    }
+
+    #[test]
+    fn gamma_is_the_next_power_of_two_at_or_below() {
+        assert_eq!(Sketch::new(0.01).gamma(), 1.0 / 128.0);
+        assert_eq!(Sketch::new(0.5 - 1e-9).gamma(), 0.25);
+        assert_eq!(Sketch::new(1.0 / 128.0).gamma(), 1.0 / 128.0);
+        assert!(Sketch::new(0.001).gamma() <= 0.001);
+    }
+
+    #[test]
+    fn exact_low_count_path_matches_histogram_exactly() {
+        run_cases("sketch-exact-path", 0x6a79_2005, 32, |rng: &mut Rng64| {
+            // Few enough distinct values that no promotion happens.
+            let n = rng.range_usize_inclusive(1, 500);
+            let values: Vec<u64> = (0..n).map(|_| rng.below(1 << 40)).collect();
+            let (s, h) = filled(&values, DEFAULT_GAMMA);
+            assert!(!s.is_promoted());
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let (v, bound) = s.quantile_with_bound(q).unwrap();
+                assert_eq!(bound, 0.0, "exact path carries a zero bound");
+                assert_eq!(Some(v), h.quantile(q), "q={q}");
+            }
+        });
+    }
+
+    #[test]
+    fn bucketing_is_monotone_and_contiguous() {
+        let s = Sketch::new(DEFAULT_GAMMA);
+        let mut last = 0u64;
+        let mut v = 0u64;
+        while v < 1 << 20 {
+            let b = s.bucket_of(v);
+            assert!(b >= last, "bucket index must be monotone at v={v}");
+            assert!(b == last || b == last + 1, "bucket indices must be contiguous at v={v}");
+            last = b;
+            v += 1 + v / 512; // dense at the bottom, sparse above
+        }
+    }
+
+    #[test]
+    fn representative_stays_within_gamma_of_every_bucket_member() {
+        let s = Sketch::new(DEFAULT_GAMMA);
+        let gamma = s.gamma();
+        run_cases("sketch-representative", 0x5e44_11aa, 64, |rng: &mut Rng64| {
+            for _ in 0..256 {
+                let v = rng.below(u64::MAX / 2) + 1;
+                let rep = s.representative(s.bucket_of(v));
+                let err = (rep as f64 - v as f64).abs() / v as f64;
+                assert!(err <= gamma, "v={v} rep={rep} err={err} > gamma={gamma}");
+            }
+        });
+    }
+
+    #[test]
+    fn promoted_quantiles_stay_within_declared_bound_of_exact() {
+        run_cases("sketch-vs-exact", 0x6a79_2005, 48, |rng: &mut Rng64| {
+            let n = rng.range_usize_inclusive(3_000, 8_000);
+            // Mixed regimes: wide uniform, narrow, heavy-tailed-ish.
+            let mode = rng.below(3);
+            let values: Vec<u64> = (0..n)
+                .map(|_| match mode {
+                    0 => rng.below(1 << 34),
+                    1 => 100 + rng.below(64),
+                    _ => {
+                        let base = rng.below(1 << 12);
+                        base * (1 + rng.below(1 << 18))
+                    }
+                })
+                .collect();
+            let (s, h) = filled(&values, DEFAULT_GAMMA);
+            for _ in 0..8 {
+                let q = rng.f64();
+                let (got, bound) = s.quantile_with_bound(q).unwrap();
+                let want = h.quantile(q).unwrap();
+                let err = (got as f64 - want as f64).abs() / (want.max(1)) as f64;
+                assert!(
+                    err <= bound,
+                    "q={q} got={got} want={want} err={err} bound={bound} promoted={}",
+                    s.is_promoted()
+                );
+            }
+            for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+                let (got, bound) = s.quantile_with_bound(q).unwrap();
+                let want = h.quantile(q).unwrap();
+                let err = (got as f64 - want as f64).abs() / (want.max(1)) as f64;
+                assert!(err <= bound, "q={q} got={got} want={want}");
+            }
+            // Extremes are exact in every regime.
+            assert_eq!(s.min(), h.min());
+            assert_eq!(s.max(), h.max());
+            assert_eq!(s.count(), h.count());
+            assert!((s.mean() - h.mean()).abs() <= h.mean().abs() * 1e-12 + 1e-9);
+        });
+    }
+
+    #[test]
+    fn merge_is_byte_deterministic_and_associative() {
+        run_cases("sketch-merge-assoc", 0x6a79_2005, 48, |rng: &mut Rng64| {
+            let shards: Vec<Vec<u64>> = (0..rng.range_usize_inclusive(2, 6))
+                .map(|_| {
+                    (0..rng.range_usize_inclusive(0, 2_000)).map(|_| rng.below(1 << 30)).collect()
+                })
+                .collect();
+            let sketch_of = |vals: &[u64]| {
+                let mut s = Sketch::new(DEFAULT_GAMMA);
+                for &v in vals {
+                    s.record(v);
+                }
+                s
+            };
+            // Left fold, right fold, and record-everything-into-one must
+            // all land on byte-identical state (Sketch is Eq over its
+            // whole representation).
+            let mut left = Sketch::new(DEFAULT_GAMMA);
+            for sh in &shards {
+                left.merge(&sketch_of(sh));
+            }
+            let mut right = sketch_of(shards.last().unwrap());
+            for sh in shards[..shards.len() - 1].iter().rev() {
+                let mut s = sketch_of(sh);
+                s.merge(&right);
+                right = s;
+            }
+            let mut pooled = Sketch::new(DEFAULT_GAMMA);
+            for sh in &shards {
+                for &v in sh {
+                    pooled.record(v);
+                }
+            }
+            assert_eq!(left, right, "merge grouping must not change the state");
+            assert_eq!(left, pooled, "merged shards must equal pooled recording");
+            assert_eq!(
+                Estimator::Sketch(left).summary_json().to_string(),
+                Estimator::Sketch(pooled).summary_json().to_string()
+            );
+        });
+    }
+
+    #[test]
+    fn promotion_straddling_merges_agree() {
+        // One shard small (exact), one past the cap (promoted): merging
+        // in either order equals pooled recording.
+        let small: Vec<u64> = (0..100).map(|i| i * 7 + 3).collect();
+        let big: Vec<u64> = (0..3 * EXACT_DISTINCT_CAP as u64).map(|i| i * 13 + 1).collect();
+        let (s_small, _) = filled(&small, DEFAULT_GAMMA);
+        let (s_big, _) = filled(&big, DEFAULT_GAMMA);
+        assert!(!s_small.is_promoted());
+        assert!(s_big.is_promoted());
+        let mut a = s_small.clone();
+        a.merge(&s_big);
+        let mut b = s_big.clone();
+        b.merge(&s_small);
+        let all: Vec<u64> = small.iter().chain(&big).copied().collect();
+        let (pooled, _) = filled(&all, DEFAULT_GAMMA);
+        assert_eq!(a, b);
+        assert_eq!(a, pooled);
+    }
+
+    #[test]
+    #[should_panic(expected = "different gamma")]
+    fn merging_mismatched_gamma_panics() {
+        let mut a = Sketch::new(0.01);
+        a.merge(&Sketch::new(0.1));
+    }
+
+    #[test]
+    fn estimator_surface_matches_kinds() {
+        let mut e = Estimator::new_exact();
+        let mut s = Estimator::new_sketch(DEFAULT_GAMMA);
+        for v in [5u64, 900, 42, 42, 7] {
+            e.record(v);
+            s.record(v);
+        }
+        assert_eq!(e.kind(), "exact");
+        assert_eq!(s.kind(), "sketch");
+        assert_eq!(e.rel_error_bound(), 0.0);
+        assert_eq!(s.rel_error_bound(), 1.0 / 128.0);
+        assert_eq!(e.quantile(0.5), s.quantile(0.5), "low counts are exact in both kinds");
+        assert_eq!(e.quantile_with_bound(0.99).unwrap().1, 0.0);
+        assert_eq!(s.quantile_with_bound(0.99).unwrap().1, 0.0, "sketch still on its exact path");
+        let j = s.summary_json().to_string();
+        assert!(j.contains("\"estimator\":\"sketch\""));
+        assert!(j.contains("\"count\":5"));
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1);
+        h.record(3);
+        s.merge_hist(&h);
+        e.merge_hist(&h);
+        assert_eq!(s.count(), 8);
+        assert_eq!(e.count(), 8);
+        assert_eq!(s.fresh_like().count(), 0);
+    }
+}
